@@ -1,0 +1,161 @@
+//! Criterion micro-benchmarks of the real (Layer A) numerical kernels.
+//!
+//! These measure the actual Rust implementations on laptop-scale problems:
+//! the 3-D FFT in band-by-band vs batched layout (the Fig. 3 stage-1 vs
+//! stage-2 distinction), the Fock exchange application scaling in N_e
+//! (the N_e² pair-solve law of Eq. 3), GEMM overlap kernels and the
+//! Anderson mixer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pt_fft::Fft3;
+use pt_ham::{FockMode, FockOperator, PwGrids, ScreenedKernel};
+use pt_lattice::silicon_cubic_supercell;
+use pt_linalg::{gemm, CMat, Op};
+use pt_num::c64;
+use std::hint::black_box;
+
+fn rand_block(ng: usize, nb: usize, seed: u64) -> CMat {
+    let mut s = seed | 1;
+    let mut rnd = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut m = CMat::from_fn(ng, nb, |_, _| c64::new(rnd(), rnd()));
+    for j in 0..nb {
+        let nrm = pt_num::complex::znrm2(m.col(j));
+        for z in m.col_mut(j) {
+            *z = z.scale(1.0 / nrm);
+        }
+    }
+    m
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft3");
+    g.sample_size(20);
+    // a paper-shaped grid (60×90×120 scaled down 5x → 12×18×24)
+    let fft = Fft3::new(12, 18, 24);
+    let n = fft.len();
+    let data: Vec<c64> = (0..n).map(|i| c64::new(i as f64, -(i as f64))).collect();
+    g.bench_function("single_parallel", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            fft.forward(black_box(&mut d));
+            d
+        })
+    });
+    let batch = 8;
+    let bdata: Vec<c64> = (0..n * batch).map(|i| c64::new(i as f64, 0.5)).collect();
+    g.bench_function("batched_8", |b| {
+        b.iter(|| {
+            let mut d = bdata.clone();
+            fft.forward_batch(black_box(&mut d));
+            d
+        })
+    });
+    g.bench_function("band_by_band_8", |b| {
+        b.iter(|| {
+            let mut d = bdata.clone();
+            for chunk in d.chunks_mut(n) {
+                fft.forward(black_box(chunk));
+            }
+            d
+        })
+    });
+    g.finish();
+}
+
+fn bench_fock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fock_apply");
+    g.sample_size(10);
+    let s = silicon_cubic_supercell(1, 1, 1);
+    let grids = PwGrids::new(&s, 2.0);
+    let kernel = ScreenedKernel::new(&grids, 0.11);
+    for nb in [2usize, 4, 8] {
+        let phi = rand_block(grids.ng(), nb, 3);
+        let psi = rand_block(grids.ng(), nb, 7);
+        let fock = FockOperator::new(&grids, &phi, 0.25, kernel.clone(), FockMode::Batched);
+        g.bench_with_input(BenchmarkId::new("n_bands", nb), &nb, |b, _| {
+            b.iter(|| {
+                let mut out = CMat::zeros(grids.ng(), nb);
+                fock.apply_block(&grids, black_box(&psi), &mut out);
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemm_overlap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlap_gemm");
+    g.sample_size(20);
+    let psi = rand_block(4096, 16, 5);
+    let hpsi = rand_block(4096, 16, 9);
+    g.bench_function("psi_h_hpsi_16", |b| {
+        b.iter(|| {
+            let mut s = CMat::zeros(16, 16);
+            gemm(c64::ONE, black_box(&psi), Op::ConjTrans, &hpsi, Op::None, c64::ZERO, &mut s);
+            s
+        })
+    });
+    g.finish();
+}
+
+fn bench_anderson(c: &mut Criterion) {
+    let mut g = c.benchmark_group("anderson");
+    g.sample_size(20);
+    g.bench_function("band_mixer_depth20", |b| {
+        b.iter(|| {
+            let mut mixer = pt_core::BandAndersonMixer::new(4, 20, 1.0);
+            let x = rand_block(1024, 4, 1);
+            let mut cur = x.clone();
+            for k in 0..6 {
+                let f = rand_block(1024, 4, 100 + k);
+                cur = mixer.step(black_box(&cur), &f);
+            }
+            cur
+        })
+    });
+    g.finish();
+}
+
+
+fn bench_ace(c: &mut Criterion) {
+    // The paper's §1 finding: with fast GPU FFTs, plain PT beats PT+ACE
+    // because ACE's construction (one exact exchange over Φ) cannot be
+    // amortized over the few SCF iterations per PT-CN step. Measure both
+    // sides of that trade-off on the real kernels.
+    let mut g = c.benchmark_group("ace");
+    g.sample_size(10);
+    let s = silicon_cubic_supercell(1, 1, 1);
+    let grids = PwGrids::new(&s, 2.0);
+    let kernel = ScreenedKernel::new(&grids, 0.11);
+    let nb = 4;
+    let phi = rand_block(grids.ng(), nb, 3);
+    let psi = rand_block(grids.ng(), nb, 7);
+    let fock = FockOperator::new(&grids, &phi, 0.25, kernel, FockMode::Batched);
+    g.bench_function("construct", |b| {
+        b.iter(|| pt_ham::AceOperator::new(&grids, black_box(&fock), &phi))
+    });
+    let ace = pt_ham::AceOperator::new(&grids, &fock, &phi);
+    g.bench_function("apply_compressed", |b| {
+        b.iter(|| {
+            let mut out = CMat::zeros(grids.ng(), nb);
+            ace.apply_block(black_box(&psi), &mut out);
+            out
+        })
+    });
+    g.bench_function("apply_exact", |b| {
+        b.iter(|| {
+            let mut out = CMat::zeros(grids.ng(), nb);
+            fock.apply_block(&grids, black_box(&psi), &mut out);
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_fock, bench_gemm_overlap, bench_anderson, bench_ace);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion wrapper over the Layer-B artifact generators, so that
+//! `cargo bench --workspace` regenerates every paper table/figure and
+//! prints the full report once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn artifacts(c: &mut Criterion) {
+    // print the complete paper report once, to stderr-independent stdout
+    let model = pt_perf::CostModel::new();
+    println!("\n================ SC'19 PT-TDDFT paper artifacts (model) ================");
+    print!("{}", pt_bench::render_table1(&model));
+    println!();
+    print!("{}", pt_bench::render_table2(&model));
+    println!("\nFig. 3 stages (s/step): ");
+    for s in pt_perf::fig3_stages(&model) {
+        println!("  {:<22} {:>10.1}", s.label, s.seconds);
+    }
+    println!("\nFig. 6 (RK4 vs PT-CN, 50 as):");
+    for r in pt_perf::fig6_rows(&model) {
+        println!("  {:>5} GPUs: RK4 {:>9.1}s  PT-CN {:>7.1}s  ({:.1}x)", r.gpus, r.rk4, r.ptcn, r.rk4 / r.ptcn);
+    }
+    println!("\nFig. 8 (weak scaling):");
+    for r in pt_perf::fig8_rows(&model) {
+        println!("  {:>5} atoms / {:>4} GPUs: {:>8.2}s (ideal N²: {:>8.2}s)", r.atoms, r.gpus, r.seconds, r.ideal);
+    }
+    println!("=========================================================================\n");
+
+    let mut g = c.benchmark_group("paper_artifacts");
+    g.sample_size(10);
+    g.bench_function("table1_generation", |b| {
+        b.iter(|| pt_perf::table1(black_box(&model)))
+    });
+    g.bench_function("full_model_build", |b| b.iter(pt_perf::CostModel::new));
+    g.finish();
+}
+
+criterion_group!(benches, artifacts);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerate Fig. 10: strong scaling of MPI / memcpy / computation classes.
+fn main() {
+    let model = pt_perf::CostModel::new();
+    println!("Fig. 10 — per-step operation classes (seconds)");
+    println!("{:>6} {:>9} {:>9} {:>10} {:>10} {:>12}",
+             "GPUs", "bcast", "memcpy", "alltoallv", "allreduce", "computation");
+    for (p, classes) in pt_perf::fig10_rows(&model) {
+        print!("{p:>6}");
+        for (_, t) in &classes {
+            print!(" {t:>9.2}");
+        }
+        println!();
+    }
+    println!("(the MPI_Bcast wall past 768 GPUs is the paper's scaling limit)");
+}

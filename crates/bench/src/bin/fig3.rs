@@ -1,0 +1,9 @@
+//! Regenerate Fig. 3: Fock exchange wall time across optimization stages
+//! (1536-atom Si; CPU 3072 cores vs 72 GPUs).
+fn main() {
+    let model = pt_perf::CostModel::new();
+    println!("Fig. 3 — Fock exchange operator wall time per step (s)");
+    for s in pt_perf::fig3_stages(&model) {
+        println!("{:<22} {:>10.1}", s.label, s.seconds);
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 1 of the paper.
+fn main() {
+    let model = pt_perf::CostModel::new();
+    print!("{}", pt_bench::render_table1(&model));
+}

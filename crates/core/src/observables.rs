@@ -1,0 +1,96 @@
+//! Gauge-invariant observables and sanity probes.
+//!
+//! The PT gauge is defined so that physical observables — anything that is
+//! a function of the density matrix P = ΨΨ* — are untouched by the gauge
+//! transformation (§2). These helpers quantify exactly that.
+
+use pt_ham::KsSystem;
+use pt_linalg::{gemm, CMat, Op};
+use pt_num::c64;
+
+/// Max deviation of `Ψ*Ψ` from the identity.
+pub fn orthonormality_error(psi: &CMat) -> f64 {
+    let nb = psi.ncols();
+    let mut s = CMat::zeros(nb, nb);
+    gemm(c64::ONE, psi, Op::ConjTrans, psi, Op::None, c64::ZERO, &mut s);
+    s.max_diff(&CMat::eye(nb))
+}
+
+/// Distance between the density matrices (projectors) spanned by two
+/// orbital blocks: ‖P₁ − P₂‖_F via the subspace-angle identity
+/// `‖P₁ − P₂‖_F² = 2 nb − 2 ‖Ψ₁* Ψ₂‖_F²` (blocks assumed orthonormal).
+pub fn density_matrix_distance(psi1: &CMat, psi2: &CMat) -> f64 {
+    assert_eq!(psi1.ncols(), psi2.ncols());
+    let nb = psi1.ncols();
+    let mut o = CMat::zeros(nb, nb);
+    gemm(c64::ONE, psi1, Op::ConjTrans, psi2, Op::None, c64::ZERO, &mut o);
+    let cross: f64 = o.data().iter().map(|z| z.norm_sqr()).sum();
+    (2.0 * nb as f64 - 2.0 * cross).max(0.0).sqrt()
+}
+
+/// Macroscopic current density `j(t) = (1/Ω) Σ_i f_i ⟨ψ_i|(−i∇ + A)|ψ_i⟩`
+/// — the primary observable of a velocity-gauge laser simulation.
+pub fn current_density(sys: &KsSystem, psi: &CMat, a_field: [f64; 3]) -> [f64; 3] {
+    let g = &sys.grids;
+    let mut j = [0.0; 3];
+    for (b, &f) in sys.occupations.iter().enumerate() {
+        for (c, gc) in psi.col(b).iter().zip(&g.sphere.g_cart) {
+            let w = f * c.norm_sqr();
+            j[0] += w * (gc[0] + a_field[0]);
+            j[1] += w * (gc[1] + a_field[1]);
+            j[2] += w * (gc[2] + a_field[2]);
+        }
+    }
+    [j[0] / g.volume, j[1] / g.volume, j[2] / g.volume]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_orthonormal(ng: usize, nb: usize, seed: u64) -> CMat {
+        let mut s = seed | 1;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut m = CMat::from_fn(ng, nb, |_, _| c64::new(rnd(), rnd()));
+        let mut o = CMat::zeros(nb, nb);
+        gemm(c64::ONE, &m, Op::ConjTrans, &m, Op::None, c64::ZERO, &mut o);
+        let mut l = o;
+        pt_linalg::cholesky_in_place(&mut l);
+        pt_linalg::trsm_right_lh(&mut m, &l);
+        m
+    }
+
+    #[test]
+    fn orthonormal_block_has_zero_error() {
+        let m = rand_orthonormal(40, 5, 3);
+        assert!(orthonormality_error(&m) < 1e-12);
+    }
+
+    #[test]
+    fn density_matrix_distance_gauge_invariance() {
+        // rotating an orthonormal block by a unitary leaves P unchanged
+        let m = rand_orthonormal(30, 4, 7);
+        let h = {
+            let a = rand_orthonormal(4, 4, 9);
+            let mut h = CMat::zeros(4, 4);
+            for j in 0..4 {
+                for i in 0..4 {
+                    h[(i, j)] = (a[(i, j)] + a[(j, i)].conj()).scale(0.5);
+                }
+            }
+            h
+        };
+        let (_w, u) = pt_linalg::eigh(&h);
+        let mut rotated = CMat::zeros(30, 4);
+        gemm(c64::ONE, &m, Op::None, &u, Op::None, c64::ZERO, &mut rotated);
+        assert!(density_matrix_distance(&m, &rotated) < 1e-10);
+        // and two random subspaces are far apart
+        let other = rand_orthonormal(30, 4, 99);
+        assert!(density_matrix_distance(&m, &other) > 0.5);
+    }
+}

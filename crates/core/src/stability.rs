@@ -1,0 +1,84 @@
+//! Empirical RK4 stability ceiling.
+//!
+//! §6: "The time step for RK4 is 0.5 as. This is close to the largest time
+//! step allowed by RK4 due to the stability constraint." For an explicit
+//! integrator on `i∂tψ = Hψ` the ceiling is `dt ≲ c/λ_max(H)` (c ≈ 2.8 for
+//! RK4's stability region on the imaginary axis); λ_max is dominated by the
+//! kinetic cutoff, so dt_max ≈ 2.8 / E_cut-ish — sub-attosecond for real
+//! cutoffs. This probe measures it by bisection on norm blow-up.
+
+use crate::propagator::{Rk4Propagator, TdState};
+use pt_ham::KsSystem;
+use pt_linalg::CMat;
+
+/// Largest RK4 step (a.u.) that keeps the orbital-block Frobenius norm
+/// within `1 + tol` after `n_steps` field-free steps, found by bisection
+/// over `[lo, hi]`.
+pub fn max_stable_rk4_dt(
+    sys: &KsSystem,
+    psi0: &CMat,
+    n_steps: usize,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    let norm0 = psi0.norm_fro();
+    let stable = |dt: f64| -> bool {
+        let rk = Rk4Propagator { sys, laser: None };
+        let mut st = TdState { psi: psi0.clone(), t: 0.0 };
+        for _ in 0..n_steps {
+            rk.step(&mut st, dt);
+            let n = st.psi.norm_fro();
+            if !n.is_finite() || (n / norm0 - 1.0).abs() > 0.02 {
+                return false;
+            }
+        }
+        true
+    };
+    let (mut lo, mut hi) = (lo, hi);
+    assert!(stable(lo), "lower bracket must be stable");
+    if stable(hi) {
+        return hi;
+    }
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        if stable(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_lattice::silicon_cubic_supercell;
+    use pt_scf::{scf_loop, ScfOptions};
+    use pt_xc::XcKind;
+
+    /// The stability ceiling must sit near c/λ_max — and, crucially for
+    /// the paper's argument, *way below* the 50 as PT-CN step.
+    #[test]
+    fn rk4_ceiling_tracks_spectral_radius() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let sys = KsSystem::new(s, 2.5, XcKind::Lda, None);
+        let mut o = ScfOptions::default();
+        o.rho_tol = 1e-6;
+        let gs = scf_loop(&sys, o);
+        // λ_max ≈ E_cut + |V| terms; at E_cut = 2.5 Ha expect dt_max ≈ 1 au
+        let dt_max = max_stable_rk4_dt(&sys, &gs.orbitals, 12, 0.05, 4.0);
+        let lam_est = sys.grids.ecut + 1.0; // kinetic ceiling + potential slack
+        let dt_theory = 2.8 / lam_est;
+        assert!(
+            dt_max > 0.2 * dt_theory && dt_max < 5.0 * dt_theory,
+            "dt_max {dt_max} vs theory {dt_theory}"
+        );
+        // the headline gap: PT-CN's 50 as step is far beyond RK4's ceiling
+        let dt_ptcn = pt_num::units::attosecond_to_au(50.0);
+        assert!(
+            dt_ptcn > 1.5 * dt_max,
+            "PT-CN step {dt_ptcn} should exceed the RK4 ceiling {dt_max}"
+        );
+    }
+}

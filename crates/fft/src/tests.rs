@@ -1,0 +1,238 @@
+//! Correctness tests: every transform is checked against the naive O(n²)
+//! DFT and against algebraic invariants (roundtrip, Parseval, linearity,
+//! shift theorem). Property tests cover arbitrary (including prime) sizes,
+//! which exercise the Bluestein path.
+
+use crate::{next_smooth, Direction, Fft3, Plan1d};
+use proptest::prelude::*;
+use pt_num::c64;
+
+fn naive_dft(x: &[c64], dir: Direction) -> Vec<c64> {
+    let n = x.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![c64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = c64::ZERO;
+        for (j, &xj) in x.iter().enumerate() {
+            let phase = sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+            acc += xj * c64::cis(phase);
+        }
+        *o = if dir == Direction::Inverse { acc / n as f64 } else { acc };
+    }
+    out
+}
+
+fn random_signal(n: usize, seed: u64) -> Vec<c64> {
+    // Deterministic xorshift so tests are reproducible without rand.
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    (0..n).map(|_| c64::new(next(), next())).collect()
+}
+
+fn max_err(a: &[c64], b: &[c64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+}
+
+#[test]
+fn matches_naive_dft_many_sizes() {
+    // smooth sizes take the mixed-radix path, primes the Bluestein path
+    for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 17, 20, 24, 25, 30, 31, 36, 45, 60] {
+        let plan = Plan1d::new(n);
+        let x = random_signal(n, n as u64);
+        let mut y = x.clone();
+        plan.transform(&mut y, Direction::Forward);
+        let want = naive_dft(&x, Direction::Forward);
+        let err = max_err(&y, &want);
+        assert!(err < 1e-10 * (n as f64), "n={n} err={err}");
+    }
+}
+
+#[test]
+fn inverse_matches_naive_dft() {
+    for n in [3usize, 7, 12, 18, 29, 40] {
+        let plan = Plan1d::new(n);
+        let x = random_signal(n, 1000 + n as u64);
+        let mut y = x.clone();
+        plan.transform(&mut y, Direction::Inverse);
+        let want = naive_dft(&x, Direction::Inverse);
+        assert!(max_err(&y, &want) < 1e-11 * n as f64, "n={n}");
+    }
+}
+
+#[test]
+fn paper_grid_lines_roundtrip() {
+    // The 1536-atom wavefunction grid in the paper is 60 × 90 × 120.
+    for n in [60usize, 90, 120] {
+        let plan = Plan1d::new(n);
+        let x = random_signal(n, n as u64 * 7);
+        let mut y = x.clone();
+        plan.transform(&mut y, Direction::Forward);
+        plan.transform(&mut y, Direction::Inverse);
+        assert!(max_err(&x, &y) < 1e-12, "n={n}");
+    }
+}
+
+#[test]
+fn delta_transforms_to_constant() {
+    let n = 24;
+    let plan = Plan1d::new(n);
+    let mut x = vec![c64::ZERO; n];
+    x[0] = c64::ONE;
+    plan.transform(&mut x, Direction::Forward);
+    for v in &x {
+        assert!((*v - c64::ONE).abs() < 1e-13);
+    }
+}
+
+#[test]
+fn plane_wave_transforms_to_delta() {
+    let n = 30;
+    let k0 = 7usize;
+    let plan = Plan1d::new(n);
+    let mut x: Vec<c64> = (0..n)
+        .map(|j| c64::cis(2.0 * std::f64::consts::PI * (j * k0) as f64 / n as f64))
+        .collect();
+    plan.transform(&mut x, Direction::Forward);
+    for (k, v) in x.iter().enumerate() {
+        let want = if k == k0 { n as f64 } else { 0.0 };
+        assert!((v.re - want).abs() < 1e-10 && v.im.abs() < 1e-10, "k={k} v={v:?}");
+    }
+}
+
+#[test]
+fn parseval_identity() {
+    let n = 48;
+    let plan = Plan1d::new(n);
+    let x = random_signal(n, 99);
+    let mut y = x.clone();
+    plan.transform(&mut y, Direction::Forward);
+    let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+    let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+    assert!((ex - ey).abs() < 1e-12 * ex);
+}
+
+#[test]
+fn fft3_roundtrip_and_naive_small() {
+    let (nx, ny, nz) = (3, 4, 5);
+    let fft = Fft3::new(nx, ny, nz);
+    let x = random_signal(nx * ny * nz, 5);
+    // naive separable 3-D DFT
+    let mut want = vec![c64::ZERO; x.len()];
+    for kx in 0..nx {
+        for ky in 0..ny {
+            for kz in 0..nz {
+                let mut acc = c64::ZERO;
+                for jx in 0..nx {
+                    for jy in 0..ny {
+                        for jz in 0..nz {
+                            let ph = -2.0
+                                * std::f64::consts::PI
+                                * ((jx * kx) as f64 / nx as f64
+                                    + (jy * ky) as f64 / ny as f64
+                                    + (jz * kz) as f64 / nz as f64);
+                            acc += x[jx + nx * (jy + ny * jz)] * c64::cis(ph);
+                        }
+                    }
+                }
+                want[kx + nx * (ky + ny * kz)] = acc;
+            }
+        }
+    }
+    let mut y = x.clone();
+    fft.forward(&mut y);
+    assert!(max_err(&y, &want) < 1e-10, "forward vs naive");
+    fft.inverse(&mut y);
+    assert!(max_err(&y, &x) < 1e-12, "roundtrip");
+}
+
+#[test]
+fn fft3_serial_equals_parallel() {
+    let fft = Fft3::new(12, 10, 9);
+    let x = random_signal(12 * 10 * 9, 17);
+    let mut a = x.clone();
+    let mut b = x.clone();
+    fft.forward(&mut a);
+    fft.forward_serial(&mut b);
+    assert!(max_err(&a, &b) < 1e-12);
+}
+
+#[test]
+fn fft3_batch_equals_loop() {
+    let fft = Fft3::new(6, 5, 4);
+    let n = fft.len();
+    let batch = 7;
+    let x = random_signal(n * batch, 23);
+    let mut a = x.clone();
+    fft.forward_batch(&mut a);
+    let mut b = x.clone();
+    for chunk in b.chunks_mut(n) {
+        fft.forward_serial(chunk);
+    }
+    assert!(max_err(&a, &b) < 1e-12);
+    fft.inverse_batch(&mut a);
+    assert!(max_err(&a, &x) < 1e-12);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_roundtrip_any_size(n in 1usize..80, seed in 0u64..1000) {
+        let plan = Plan1d::new(n);
+        let x = random_signal(n, seed);
+        let mut y = x.clone();
+        plan.transform(&mut y, Direction::Forward);
+        plan.transform(&mut y, Direction::Inverse);
+        prop_assert!(max_err(&x, &y) < 1e-10);
+    }
+
+    #[test]
+    fn prop_linearity(n in 2usize..50, seed in 0u64..1000) {
+        let plan = Plan1d::new(n);
+        let x = random_signal(n, seed);
+        let y = random_signal(n, seed + 1);
+        let alpha = c64::new(0.7, -0.3);
+        let mut lhs: Vec<c64> = x.iter().zip(&y).map(|(a, b)| *a * alpha + *b).collect();
+        plan.transform(&mut lhs, Direction::Forward);
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        plan.transform(&mut fx, Direction::Forward);
+        plan.transform(&mut fy, Direction::Forward);
+        let rhs: Vec<c64> = fx.iter().zip(&fy).map(|(a, b)| *a * alpha + *b).collect();
+        prop_assert!(max_err(&lhs, &rhs) < 1e-9);
+    }
+
+    #[test]
+    fn prop_next_smooth_is_smooth_and_minimal(n in 1usize..5000) {
+        let m = next_smooth(n);
+        prop_assert!(m >= n);
+        let mut q = m;
+        for p in [2usize, 3, 5] { while q % p == 0 { q /= p; } }
+        prop_assert_eq!(q, 1);
+    }
+
+    #[test]
+    fn prop_shift_theorem(n in 4usize..40, shift in 1usize..8, seed in 0u64..100) {
+        let shift = shift % n;
+        let plan = Plan1d::new(n);
+        let x = random_signal(n, seed);
+        let shifted: Vec<c64> = (0..n).map(|j| x[(j + shift) % n]).collect();
+        let mut fx = x.clone();
+        let mut fs = shifted;
+        plan.transform(&mut fx, Direction::Forward);
+        plan.transform(&mut fs, Direction::Forward);
+        for k in 0..n {
+            let phase = c64::cis(2.0 * std::f64::consts::PI * (k * shift % n) as f64 / n as f64);
+            let want = fx[k] * phase;
+            prop_assert!((fs[k] - want).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Adaptively Compressed Exchange (ACE; Lin, JCTC 12, 2242 (2016) —
+//! reference [24] of the paper).
+//!
+//! ACE compresses the Fock operator into a rank-N_φ projector
+//! `V_ACE = −ξ ξ^H` with `ξ = W L^{-H}`, `W = V_X Φ`, `−Φ^H W = L L^H`.
+//! Applying it costs two skinny GEMMs instead of N_e Poisson solves, but
+//! building it costs one full exchange application over Φ.
+//!
+//! The paper's finding (§1): on CPUs, PT-CN + ACE wins (ref [22]); with
+//! GPU-accelerated FFTs, plain PT wins on Summit because the exchange
+//! application is cheap enough and ACE's construction cannot be amortized
+//! across the few SCF iterations of a PT-CN step. This module exists to
+//! make that trade-off measurable (see the `ace` criterion bench).
+
+use crate::fock::FockOperator;
+use crate::grids::PwGrids;
+use pt_linalg::{cholesky_in_place, gemm, CMat, Op};
+use pt_num::c64;
+
+/// The compressed exchange operator.
+pub struct AceOperator {
+    /// The adaptively compressed projector columns ξ (N_G × N_φ).
+    xi: CMat,
+}
+
+impl AceOperator {
+    /// Build from the exact operator and its defining orbitals Φ:
+    /// one exact exchange application over the block, one small Cholesky.
+    pub fn new(grids: &PwGrids, fock: &FockOperator, phi: &CMat) -> Self {
+        let (ng, nb) = (phi.nrows(), phi.ncols());
+        let mut w = CMat::zeros(ng, nb);
+        fock.apply_block(grids, phi, &mut w);
+        // M = −Φ^H W is Hermitian positive semi-definite (V_X ⪯ 0)
+        let mut m = CMat::zeros(nb, nb);
+        gemm(-c64::ONE, phi, Op::ConjTrans, &w, Op::None, c64::ZERO, &mut m);
+        // tiny ridge for rank-deficient Φ (e.g. orbitals outside the
+        // screened interaction range)
+        for i in 0..nb {
+            m[(i, i)] += c64::real(1e-14);
+        }
+        let mut l = m;
+        cholesky_in_place(&mut l);
+        // ξ = W L^{-H}: solve L ξ^H-column systems; equivalently apply the
+        // right-triangular solve used for orthogonalization
+        let mut xi = w;
+        pt_linalg::trsm_right_lh(&mut xi, &l);
+        AceOperator { xi }
+    }
+
+    /// Apply: `out += V_ACE ψ = −ξ (ξ^H ψ)` for a block of orbitals.
+    pub fn apply_block(&self, psi: &CMat, out: &mut CMat) {
+        let nb = self.xi.ncols();
+        let mut proj = CMat::zeros(nb, psi.ncols());
+        gemm(c64::ONE, &self.xi, Op::ConjTrans, psi, Op::None, c64::ZERO, &mut proj);
+        gemm(-c64::ONE, &self.xi, Op::None, &proj, Op::None, c64::ONE, out);
+    }
+
+    /// Exchange energy of orbitals under the compressed operator.
+    pub fn energy(&self, psi: &CMat, occ: &[f64]) -> f64 {
+        let mut v = CMat::zeros(psi.nrows(), psi.ncols());
+        self.apply_block(psi, &mut v);
+        (0..psi.ncols())
+            .map(|j| 0.5 * occ[j] * pt_num::complex::zdotc(psi.col(j), v.col(j)).re)
+            .sum()
+    }
+
+    /// Rank of the compression (N_φ).
+    pub fn rank(&self) -> usize {
+        self.xi.ncols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fock::{FockMode, ScreenedKernel};
+    use pt_lattice::silicon_cubic_supercell;
+
+    fn setup() -> (PwGrids, CMat, FockOperator) {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let grids = PwGrids::new(&s, 2.0);
+        let ng = grids.ng();
+        let nb = 4;
+        let mut seed = 11u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut phi = CMat::from_fn(ng, nb, |_, _| c64::new(rnd(), rnd()));
+        // orthonormalize
+        let mut s_ = CMat::zeros(nb, nb);
+        gemm(c64::ONE, &phi, Op::ConjTrans, &phi, Op::None, c64::ZERO, &mut s_);
+        let mut l = s_;
+        cholesky_in_place(&mut l);
+        pt_linalg::trsm_right_lh(&mut phi, &l);
+        let kern = ScreenedKernel::new(&grids, 0.11);
+        let fock = FockOperator::new(&grids, &phi, 0.25, kern, FockMode::Batched);
+        (grids, phi, fock)
+    }
+
+    #[test]
+    fn ace_is_exact_on_the_defining_orbitals() {
+        // The ACE identity: V_ACE Φ = V_X Φ exactly.
+        let (grids, phi, fock) = setup();
+        let ace = AceOperator::new(&grids, &fock, &phi);
+        let mut exact = CMat::zeros(phi.nrows(), phi.ncols());
+        fock.apply_block(&grids, &phi, &mut exact);
+        let mut compressed = CMat::zeros(phi.nrows(), phi.ncols());
+        ace.apply_block(&phi, &mut compressed);
+        let err = exact.max_diff(&compressed);
+        assert!(err < 1e-9, "ACE must reproduce V_X on span(Φ): {err}");
+    }
+
+    #[test]
+    fn ace_energy_matches_exact_exchange_energy() {
+        let (grids, phi, fock) = setup();
+        let ace = AceOperator::new(&grids, &fock, &phi);
+        let occ = vec![2.0; phi.ncols()];
+        let e_exact = fock.energy(&grids, &phi, &occ);
+        let e_ace = ace.energy(&phi, &occ);
+        assert!(
+            (e_exact - e_ace).abs() < 1e-9 * e_exact.abs(),
+            "{e_exact} vs {e_ace}"
+        );
+        assert!(e_exact < 0.0);
+    }
+
+    #[test]
+    fn ace_is_negative_semidefinite_everywhere() {
+        // off span(Φ), V_ACE underestimates |V_X| but never changes sign
+        let (grids, phi, fock) = setup();
+        let ace = AceOperator::new(&grids, &fock, &phi);
+        let ng = grids.ng();
+        let mut seed = 99u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for trial in 0..5 {
+            let v = CMat::from_fn(ng, 1, |_, _| c64::new(rnd(), rnd()));
+            let mut out = CMat::zeros(ng, 1);
+            ace.apply_block(&v, &mut out);
+            let q = pt_num::complex::zdotc(v.col(0), out.col(0)).re;
+            assert!(q <= 1e-10, "trial {trial}: ⟨v|V_ACE v⟩ = {q} > 0");
+        }
+        assert_eq!(ace.rank(), phi.ncols());
+    }
+}

@@ -1,0 +1,97 @@
+//! Electron density from a block of orbitals.
+//!
+//! `ρ(r) = Σ_i f_i |ψ_i(r)|²`, evaluated on the dense grid (paper §3.4:
+//! band-index layout makes this embarrassingly parallel over bands followed
+//! by one `MPI_Allreduce` — here a rayon fold/reduce).
+
+use crate::grids::PwGrids;
+use pt_linalg::CMat;
+use pt_num::c64;
+use rayon::prelude::*;
+
+/// Compute the density on the dense grid. `orbitals` columns are sphere
+/// coefficient vectors; `occ[i]` their occupations (2.0 for closed shell).
+pub fn density_from_orbitals(grids: &PwGrids, orbitals: &CMat, occ: &[f64]) -> Vec<f64> {
+    assert_eq!(orbitals.nrows(), grids.ng());
+    assert_eq!(orbitals.ncols(), occ.len());
+    let nd = grids.n_dense();
+    (0..orbitals.ncols())
+        .into_par_iter()
+        .fold(
+            || (vec![0.0f64; nd], vec![c64::ZERO; nd]),
+            |(mut acc, mut work), i| {
+                grids.to_real_dense(orbitals.col(i), &mut work);
+                let f = occ[i];
+                for (a, z) in acc.iter_mut().zip(&work) {
+                    *a += f * z.norm_sqr();
+                }
+                (acc, work)
+            },
+        )
+        .map(|(acc, _)| acc)
+        .reduce(
+            || vec![0.0f64; nd],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// ∫ρ dr (electron-count check).
+pub fn integrate(grids: &PwGrids, rho: &[f64]) -> f64 {
+    rho.iter().sum::<f64>() * grids.volume / grids.n_dense() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_lattice::silicon_cubic_supercell;
+
+    #[test]
+    fn density_integrates_to_electron_count() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let g = PwGrids::new(&s, 3.0);
+        let ng = g.ng();
+        let nb = 4;
+        // random orthonormal-ish block: normalize each column
+        let mut seed = 3u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut orb = CMat::zeros(ng, nb);
+        for j in 0..nb {
+            let col = orb.col_mut(j);
+            for z in col.iter_mut() {
+                *z = c64::new(rnd(), rnd());
+            }
+            let n = pt_num::complex::znrm2(col);
+            for z in col.iter_mut() {
+                *z = z.scale(1.0 / n);
+            }
+        }
+        let occ = vec![2.0; nb];
+        let rho = density_from_orbitals(&g, &orb, &occ);
+        let ne = integrate(&g, &rho);
+        assert!((ne - 8.0).abs() < 1e-10, "{ne}");
+        assert!(rho.iter().all(|&v| v >= -1e-12), "density must be nonnegative");
+    }
+
+    #[test]
+    fn uniform_orbital_gives_uniform_density() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let g = PwGrids::new(&s, 2.0);
+        let mut orb = CMat::zeros(g.ng(), 1);
+        orb[(0, 0)] = c64::ONE; // G = 0 plane wave
+        let rho = density_from_orbitals(&g, &orb, &[2.0]);
+        let want = 2.0 / g.volume;
+        for &v in &rho {
+            assert!((v - want).abs() < 1e-12);
+        }
+    }
+}

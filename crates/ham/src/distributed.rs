@@ -1,0 +1,419 @@
+//! Distributed execution of Alg. 2 over the virtual MPI runtime.
+//!
+//! Wavefunctions are distributed by **band index** (§3.1): rank p owns
+//! bands `p, p+N_p, p+2N_p, …` (block-cyclic keeps loads balanced when
+//! N_e % N_p ≠ 0). The Fock exchange loop broadcasts one owner's orbital at
+//! a time (`MPI_Bcast`, optionally f32 on the wire) while every rank solves
+//! the Poisson-like equations for its local bands — exactly Alg. 2.
+//!
+//! The total broadcast volume is `N_p × N_G × N_e × sizeof(wire scalar)`
+//! summed over receivers (§3.2) — asserted by the `val-comm` integration
+//! test against the byte counters of `pt-mpi`.
+
+use crate::fock::FockOperator;
+use crate::grids::PwGrids;
+use pt_linalg::CMat;
+use pt_mpi::Comm;
+use pt_num::c64;
+
+/// Block-cyclic band ownership map.
+#[derive(Clone, Copy, Debug)]
+pub struct BandDistribution {
+    /// Total number of bands.
+    pub n_bands: usize,
+    /// Number of ranks.
+    pub n_ranks: usize,
+}
+
+impl BandDistribution {
+    /// Owner rank of band `i`.
+    #[inline]
+    pub fn owner(&self, i: usize) -> usize {
+        i % self.n_ranks
+    }
+
+    /// Bands owned by `rank`, in ascending order.
+    pub fn local_bands(&self, rank: usize) -> Vec<usize> {
+        (0..self.n_bands).filter(|i| self.owner(*i) == rank).collect()
+    }
+}
+
+/// Distributed Fock exchange application (Alg. 2).
+///
+/// `fock` must have been built with the same Φ on every rank (its defining
+/// orbitals are broadcast band-by-band *inside* this routine, so callers
+/// pass the **local** slice of Φ and receive `V_X ψ` for their local ψ
+/// bands). Returns the local output block (columns ↔ `dist.local_bands`).
+pub fn distributed_fock_apply(
+    comm: &mut Comm,
+    grids: &PwGrids,
+    dist: BandDistribution,
+    phi_local: &CMat,
+    psi_local: &CMat,
+    alpha: f64,
+    kernel: &crate::fock::ScreenedKernel,
+) -> CMat {
+    let ng = grids.ng();
+    let nw = grids.n_wfc();
+    assert_eq!(phi_local.nrows(), ng);
+    assert_eq!(psi_local.nrows(), ng);
+    let my_bands = dist.local_bands(comm.rank());
+    assert_eq!(phi_local.ncols(), my_bands.len());
+    assert_eq!(psi_local.ncols(), my_bands.len());
+
+    // local ψ in real space (reused across the i loop)
+    let psi_real: Vec<Vec<c64>> = (0..psi_local.ncols())
+        .map(|j| {
+            let mut r = vec![c64::ZERO; nw];
+            grids.to_real_wfc(psi_local.col(j), &mut r);
+            r
+        })
+        .collect();
+    let mut acc: Vec<Vec<c64>> = (0..psi_local.ncols()).map(|_| vec![c64::ZERO; nw]).collect();
+
+    // Alg. 2: for every band i, the owner broadcasts φ_i, everyone
+    // accumulates onto its local (V_X ψ_j).
+    let mut pair = vec![c64::ZERO; nw];
+    for i in 0..dist.n_bands {
+        let owner = dist.owner(i);
+        let mut phi_i: Vec<c64> = if owner == comm.rank() {
+            let local_idx = my_bands.iter().position(|&b| b == i).unwrap();
+            phi_local.col(local_idx).to_vec()
+        } else {
+            Vec::new()
+        };
+        comm.bcast_c64(owner, &mut phi_i);
+        // φ_i to real space once per rank
+        let mut phi_real = vec![c64::ZERO; nw];
+        grids.to_real_wfc(&phi_i, &mut phi_real);
+        for (j, acc_j) in acc.iter_mut().enumerate() {
+            for ((p, f), s) in pair.iter_mut().zip(&phi_real).zip(&psi_real[j]) {
+                *p = f.conj() * *s;
+            }
+            grids.fft_wfc.forward(&mut pair);
+            for (z, &k) in pair.iter_mut().zip(&kernel.values) {
+                *z = z.scale(k);
+            }
+            grids.fft_wfc.inverse(&mut pair);
+            for ((o, f), v) in acc_j.iter_mut().zip(&phi_real).zip(&pair) {
+                *o += (*f * *v).scale(-alpha);
+            }
+        }
+    }
+    // gather back to sphere coefficients
+    let mut out = CMat::zeros(ng, psi_local.ncols());
+    for (j, mut acc_j) in acc.into_iter().enumerate() {
+        let mut coeffs = vec![c64::ZERO; ng];
+        grids.to_coeffs_wfc(&mut acc_j, &mut coeffs);
+        out.col_mut(j).copy_from_slice(&coeffs);
+    }
+    out
+}
+
+/// Distributed PT residual evaluation (Alg. 3).
+///
+/// Inputs are in the band-index layout (each rank owns its block-cyclic
+/// bands of Ψ_f, H_f Ψ_f and Ψ_{n+1/2}); the routine flips to the G-space
+/// layout with `MPI_Alltoallv`, forms the local overlap contribution
+/// `S_temp = Ψ_f^H (H_f Ψ_f)`, `MPI_Allreduce`s it into the global S,
+/// applies the rotation `Ψ_f S` locally, assembles
+/// `R_f = Ψ_f + i·dt/2·(H_f Ψ_f − Ψ_f S) − Ψ_{n+1/2}` and flips back.
+///
+/// Row partition: rank r owns sphere rows `[r·N_G/N_p, (r+1)·N_G/N_p)`
+/// (remainder rows go to the last rank).
+pub fn distributed_residual(
+    comm: &mut Comm,
+    dist: BandDistribution,
+    ng: usize,
+    psi_f: &CMat,
+    hpsi_f: &CMat,
+    psi_half: &CMat,
+    dt: f64,
+) -> CMat {
+    use pt_linalg::{gemm, Op};
+    let np = comm.size();
+    let my_bands = dist.local_bands(comm.rank());
+    let nb_local = my_bands.len();
+    assert_eq!(psi_f.ncols(), nb_local);
+    let rows_of = |r: usize| -> (usize, usize) {
+        let base = ng / np;
+        let start = r * base;
+        let end = if r + 1 == np { ng } else { start + base };
+        (start, end)
+    };
+
+    // line 1: band → G-space layout for the three blocks
+    let flip_to_g = |comm: &mut Comm, m: &CMat| -> CMat {
+        let send: Vec<Vec<c64>> = (0..np)
+            .map(|dst| {
+                let (s, e) = rows_of(dst);
+                let mut blk = Vec::with_capacity((e - s) * nb_local);
+                for j in 0..nb_local {
+                    blk.extend_from_slice(&m.col(j)[s..e]);
+                }
+                blk
+            })
+            .collect();
+        let recv = comm.alltoallv_c64(send);
+        // my rows × all bands, band-major columns ordered by global band id
+        let (s, e) = rows_of(comm.rank());
+        let nrows = e - s;
+        let mut out = CMat::zeros(nrows, dist.n_bands);
+        for (src, blk) in recv.iter().enumerate() {
+            let src_bands = dist.local_bands(src);
+            for (bj, &b) in src_bands.iter().enumerate() {
+                out.col_mut(b).copy_from_slice(&blk[bj * nrows..(bj + 1) * nrows]);
+            }
+        }
+        out
+    };
+    let gp = flip_to_g(comm, psi_f);
+    let gh = flip_to_g(comm, hpsi_f);
+    let ghalf = flip_to_g(comm, psi_half);
+
+    // lines 2-3: local overlap + allreduce
+    let nb = dist.n_bands;
+    let mut s_local = CMat::zeros(nb, nb);
+    gemm(c64::ONE, &gp, Op::ConjTrans, &gh, Op::None, c64::ZERO, &mut s_local);
+    let mut s_data = s_local.data().to_vec();
+    comm.allreduce_sum_c64(&mut s_data);
+    let s_global = CMat::from_vec(nb, nb, s_data);
+
+    // lines 4-5: rotation and residual on my rows
+    let mut rot = CMat::zeros(gp.nrows(), nb);
+    gemm(c64::ONE, &gp, Op::None, &s_global, Op::None, c64::ZERO, &mut rot);
+    let mut resid_g = CMat::zeros(gp.nrows(), nb);
+    for j in 0..nb {
+        for i in 0..gp.nrows() {
+            let rhs = gh[(i, j)] - rot[(i, j)];
+            resid_g[(i, j)] = gp[(i, j)] + rhs.mul_i().scale(0.5 * dt) - ghalf[(i, j)];
+        }
+    }
+
+    // line 6: back to band layout
+    let send_back: Vec<Vec<c64>> = (0..np)
+        .map(|dst| {
+            let bands = dist.local_bands(dst);
+            let mut blk = Vec::with_capacity(bands.len() * resid_g.nrows());
+            for &b in &bands {
+                blk.extend_from_slice(resid_g.col(b));
+            }
+            blk
+        })
+        .collect();
+    let recv = comm.alltoallv_c64(send_back);
+    let mut out = CMat::zeros(ng, nb_local);
+    for (src, blk) in recv.iter().enumerate() {
+        let (s, e) = rows_of(src);
+        let nrows = e - s;
+        for j in 0..nb_local {
+            out.col_mut(j)[s..e].copy_from_slice(&blk[j * nrows..(j + 1) * nrows]);
+        }
+    }
+    out
+}
+
+/// Serial reference: apply a [`FockOperator`] built from the full Φ to the
+/// full Ψ (used by tests to validate the distributed path).
+pub fn serial_fock_reference(
+    grids: &PwGrids,
+    fock: &FockOperator,
+    psi: &CMat,
+) -> CMat {
+    let mut out = CMat::zeros(psi.nrows(), psi.ncols());
+    fock.apply_block(grids, psi, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fock::{FockMode, FockOperator, ScreenedKernel};
+    use pt_lattice::silicon_cubic_supercell;
+    use pt_mpi::{run_ranks, Wire};
+
+    fn rand_block(ng: usize, nb: usize, seed: u64) -> CMat {
+        let mut s = seed | 1;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut m = CMat::from_fn(ng, nb, |_, _| c64::new(rnd(), rnd()));
+        for j in 0..nb {
+            let nrm = pt_num::complex::znrm2(m.col(j));
+            for z in m.col_mut(j) {
+                *z = z.scale(1.0 / nrm);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn block_cyclic_distribution_covers_all_bands() {
+        let d = BandDistribution { n_bands: 7, n_ranks: 3 };
+        let mut seen = vec![false; 7];
+        for r in 0..3 {
+            for b in d.local_bands(r) {
+                assert!(!seen[b]);
+                seen[b] = true;
+                assert_eq!(d.owner(b), r);
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn distributed_matches_serial() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let grids = PwGrids::new(&s, 2.0);
+        let ng = grids.ng();
+        let nb = 6;
+        let phi = rand_block(ng, nb, 3);
+        let psi = rand_block(ng, nb, 4);
+        let kernel = ScreenedKernel::new(&grids, 0.11);
+        // serial reference
+        let fock = FockOperator::new(&grids, &phi, 0.25, kernel.clone(), FockMode::Batched);
+        let want = serial_fock_reference(&grids, &fock, &psi);
+        // distributed over 3 ranks
+        let np = 3;
+        let dist = BandDistribution { n_bands: nb, n_ranks: np };
+        let grids_ref = &grids;
+        let phi_ref = &phi;
+        let psi_ref = &psi;
+        let kern_ref = &kernel;
+        let (outs, stats) = run_ranks(np, Wire::F64, move |comm| {
+            let mine = dist.local_bands(comm.rank());
+            let take = |m: &CMat| {
+                let mut lm = CMat::zeros(ng, mine.len());
+                for (lj, &b) in mine.iter().enumerate() {
+                    lm.col_mut(lj).copy_from_slice(m.col(b));
+                }
+                lm
+            };
+            let out = distributed_fock_apply(
+                comm,
+                grids_ref,
+                dist,
+                &take(phi_ref),
+                &take(psi_ref),
+                0.25,
+                kern_ref,
+            );
+            (mine, out)
+        });
+        let mut err = 0.0f64;
+        for (mine, out) in outs {
+            for (lj, &b) in mine.iter().enumerate() {
+                for (x, y) in out.col(lj).iter().zip(want.col(b)) {
+                    err = err.max((*x - *y).abs());
+                }
+            }
+        }
+        assert!(err < 1e-11, "distributed vs serial: {err}");
+        // §3.2 volume: receivers = (N_p−1) per bcast, N_e bcasts of N_G c64
+        let want_bytes = (np as u64 - 1) * nb as u64 * ng as u64 * 16;
+        assert_eq!(stats.bcast_bytes, want_bytes);
+        assert_eq!(stats.bcast_calls, (np * nb) as u64);
+    }
+
+    #[test]
+    fn f32_wire_error_is_small() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let grids = PwGrids::new(&s, 2.0);
+        let ng = grids.ng();
+        let nb = 4;
+        let phi = rand_block(ng, nb, 7);
+        let psi = rand_block(ng, nb, 8);
+        let kernel = ScreenedKernel::new(&grids, 0.11);
+        let fock = FockOperator::new(&grids, &phi, 0.25, kernel.clone(), FockMode::Batched);
+        let want = serial_fock_reference(&grids, &fock, &psi);
+        let np = 2;
+        let dist = BandDistribution { n_bands: nb, n_ranks: np };
+        let (grids_ref, phi_ref, psi_ref, kern_ref) = (&grids, &phi, &psi, &kernel);
+        let (outs, stats) = run_ranks(np, Wire::F32, move |comm| {
+            let mine = dist.local_bands(comm.rank());
+            let take = |m: &CMat| {
+                let mut lm = CMat::zeros(ng, mine.len());
+                for (lj, &b) in mine.iter().enumerate() {
+                    lm.col_mut(lj).copy_from_slice(m.col(b));
+                }
+                lm
+            };
+            let out = distributed_fock_apply(
+                comm, grids_ref, dist, &take(phi_ref), &take(psi_ref), 0.25, kern_ref,
+            );
+            (mine, out)
+        });
+        // volume is halved relative to f64
+        assert_eq!(stats.bcast_bytes, (np as u64 - 1) * nb as u64 * ng as u64 * 8);
+        let mut err = 0.0f64;
+        for (mine, out) in outs {
+            for (lj, &b) in mine.iter().enumerate() {
+                for (x, y) in out.col(lj).iter().zip(want.col(b)) {
+                    err = err.max((*x - *y).abs());
+                }
+            }
+        }
+        // f32 wire: ~1e-7 relative loss on the broadcast orbitals (§3.2:
+        // "negligible changes in the accuracy")
+        assert!(err < 1e-5, "f32 wire error too large: {err}");
+        assert!(err > 1e-12, "error suspiciously zero — wire not exercised?");
+    }
+
+    #[test]
+    fn distributed_residual_matches_serial() {
+        use pt_linalg::{gemm, Op};
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let grids = PwGrids::new(&s, 2.0);
+        let ng = grids.ng();
+        let nb = 6;
+        let psi = rand_block(ng, nb, 21);
+        let hpsi = rand_block(ng, nb, 22);
+        let half = rand_block(ng, nb, 23);
+        let dt = 0.7;
+        // serial reference: R = Ψ + i dt/2 (HΨ − Ψ(Ψ^H HΨ)) − Ψ_half
+        let mut sg = CMat::zeros(nb, nb);
+        gemm(c64::ONE, &psi, Op::ConjTrans, &hpsi, Op::None, c64::ZERO, &mut sg);
+        let mut rot = CMat::zeros(ng, nb);
+        gemm(c64::ONE, &psi, Op::None, &sg, Op::None, c64::ZERO, &mut rot);
+        let mut want = CMat::zeros(ng, nb);
+        for j in 0..nb {
+            for i in 0..ng {
+                let rhs = hpsi[(i, j)] - rot[(i, j)];
+                want[(i, j)] = psi[(i, j)] + rhs.mul_i().scale(0.5 * dt) - half[(i, j)];
+            }
+        }
+        for np in [2usize, 3] {
+            let dist = BandDistribution { n_bands: nb, n_ranks: np };
+            let (p_, h_, f_) = (&psi, &hpsi, &half);
+            let (outs, stats) = run_ranks(np, Wire::F64, move |comm| {
+                let mine = dist.local_bands(comm.rank());
+                let take = |m: &CMat| {
+                    let mut lm = CMat::zeros(ng, mine.len());
+                    for (lj, &b) in mine.iter().enumerate() {
+                        lm.col_mut(lj).copy_from_slice(m.col(b));
+                    }
+                    lm
+                };
+                let r = distributed_residual(
+                    comm, dist, ng, &take(p_), &take(h_), &take(f_), dt,
+                );
+                (mine, r)
+            });
+            // three forward flips + one backward per rank
+            assert_eq!(stats.alltoallv_calls, 4 * np as u64);
+            assert!(stats.allreduce_calls >= np as u64);
+            let mut err = 0.0f64;
+            for (mine, out) in outs {
+                for (lj, &b) in mine.iter().enumerate() {
+                    for (x, y) in out.col(lj).iter().zip(want.col(b)) {
+                        err = err.max((*x - *y).abs());
+                    }
+                }
+            }
+            assert!(err < 1e-11, "np={np}: distributed residual error {err}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Hartree potential by G-space Poisson solve on the dense grid.
+
+use pt_fft::Fft3;
+use pt_lattice::GridGVectors;
+use pt_num::c64;
+
+/// Solve `∇² v_H = −4π ρ` on the dense grid: returns `(v_H(r), E_H)` with
+/// `E_H = ½ ∫ v_H ρ`. The G = 0 component is dropped (jellium convention —
+/// it cancels against the pseudopotential α-term and the Ewald background).
+pub fn hartree_potential(
+    rho: &[f64],
+    fft: &Fft3,
+    gv: &GridGVectors,
+    volume: f64,
+) -> (Vec<f64>, f64) {
+    assert_eq!(rho.len(), gv.len());
+    let n = rho.len();
+    let mut work: Vec<c64> = rho.iter().map(|&v| c64::real(v)).collect();
+    fft.forward(&mut work);
+    // v_H = IFFT( 4π/G² · FFT(ρ) ), with our scaling conventions
+    for (idx, z) in work.iter_mut().enumerate() {
+        let g2 = gv.g2[idx];
+        *z = if g2 > 1e-12 {
+            z.scale(4.0 * std::f64::consts::PI / g2)
+        } else {
+            c64::ZERO
+        };
+    }
+    fft.inverse(&mut work);
+    let vh: Vec<f64> = work.iter().map(|z| z.re).collect();
+    let dv = volume / n as f64;
+    let eh = 0.5 * vh.iter().zip(rho).map(|(v, r)| v * r).sum::<f64>() * dv;
+    (vh, eh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_lattice::{Cell, GridGVectors};
+
+    #[test]
+    fn plane_wave_density_analytic() {
+        // ρ(r) = cos(G₀·x): v_H must be (4π/G₀²) cos(G₀·x)
+        let l = 10.0;
+        let n = 16;
+        let cell = Cell::cubic(l);
+        let gv = GridGVectors::new(&cell, (n, n, n));
+        let fft = Fft3::new(n, n, n);
+        let g0 = 2.0 * std::f64::consts::PI / l;
+        let mut rho = vec![0.0; n * n * n];
+        for iz in 0..n {
+            for iy in 0..n {
+                for ix in 0..n {
+                    rho[ix + n * (iy + n * iz)] = (g0 * ix as f64 * l / n as f64).cos();
+                }
+            }
+        }
+        let (vh, eh) = hartree_potential(&rho, &fft, &gv, cell.volume());
+        let scale = 4.0 * std::f64::consts::PI / (g0 * g0);
+        for (i, &v) in vh.iter().enumerate() {
+            let ix = i % n;
+            let want = scale * (g0 * ix as f64 * l / n as f64).cos();
+            assert!((v - want).abs() < 1e-10, "{v} vs {want}");
+        }
+        // E_H = ½ ∫ vρ = ½·scale·(Ω/2)
+        let want_e = 0.5 * scale * cell.volume() / 2.0;
+        assert!((eh - want_e).abs() < 1e-8 * want_e, "{eh} vs {want_e}");
+    }
+
+    #[test]
+    fn gaussian_charge_matches_erf_solution() {
+        // ρ(r) = q (a/π)^{3/2} e^{−a r²} (periodized): v_H(r) ≈ q erf(√a r)/r
+        // near the center of a large box, up to the uniform-background const.
+        let l = 24.0;
+        let n = 48;
+        let a = 2.0;
+        let q = 1.0;
+        let cell = Cell::cubic(l);
+        let gv = GridGVectors::new(&cell, (n, n, n));
+        let fft = Fft3::new(n, n, n);
+        let norm = q * (a / std::f64::consts::PI).powf(1.5);
+        let c = l / 2.0;
+        let mut rho = vec![0.0; n * n * n];
+        for iz in 0..n {
+            for iy in 0..n {
+                for ix in 0..n {
+                    let dx = ix as f64 * l / n as f64 - c;
+                    let dy = iy as f64 * l / n as f64 - c;
+                    let dz = iz as f64 * l / n as f64 - c;
+                    let r2 = dx * dx + dy * dy + dz * dz;
+                    rho[ix + n * (iy + n * iz)] = norm * (-a * r2).exp();
+                }
+            }
+        }
+        let (vh, _eh) = hartree_potential(&rho, &fft, &gv, cell.volume());
+        // compare differences of v_H (kills the G=0 constant) at two radii
+        let at = |fx: f64| {
+            let ix = (fx * n as f64).round() as usize;
+            let iy = n / 2;
+            let iz = n / 2;
+            let r = (ix as f64 * l / n as f64 - c).abs();
+            (vh[ix + n * (iy + n * iz)], r)
+        };
+        let (v1, r1) = at(0.58);
+        let (v2, r2) = at(0.70);
+        let exact = |r: f64| q * pt_num::erf(a.sqrt() * r) / r;
+        let want = exact(r1) - exact(r2);
+        let got = v1 - v2;
+        assert!(
+            (got - want).abs() < 6e-3,
+            "images+grid residual too large: {got} vs {want}"
+        );
+    }
+}

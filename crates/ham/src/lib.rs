@@ -1,0 +1,37 @@
+//! `pt-ham` — the plane-wave Kohn–Sham Hamiltonian with hybrid functional.
+//!
+//! This is the substrate PWDFT provides in the paper: everything needed to
+//! apply `H[P] Ψ` (Eq. 2) to a block of orbitals —
+//!
+//! * kinetic term `½|G + A(t)|²` (velocity-gauge vector potential for the
+//!   laser coupling),
+//! * total local potential (local pseudopotential + Hartree + semi-local
+//!   XC + scalar external) on the dense density grid,
+//! * Kleinman–Bylander nonlocal pseudopotential,
+//! * the **Fock exchange operator** `V_X[P]` (Eq. 3), evaluated exactly as
+//!   Alg. 2: one Poisson-like FFT solve per orbital pair on the
+//!   wavefunction grid, with serial / batched(rayon) / distributed(pt-mpi)
+//!   execution paths mirroring the paper's optimization stages,
+//! * total-energy assembly including the Ewald ion–ion term,
+//! * the distributed layout flips (band-index ↔ G-space) and residual
+//!   evaluation of Alg. 3.
+
+mod ace;
+mod density;
+mod distributed;
+mod fock;
+mod grids;
+mod hamiltonian;
+mod hartree;
+mod system;
+
+pub use ace::AceOperator;
+pub use density::{density_from_orbitals, integrate};
+pub use distributed::{
+    distributed_fock_apply, distributed_residual, serial_fock_reference, BandDistribution,
+};
+pub use fock::{FockMode, FockOperator, ScreenedKernel};
+pub use grids::PwGrids;
+pub use hamiltonian::Hamiltonian;
+pub use hartree::hartree_potential;
+pub use system::{Energies, HybridConfig, KsSystem, Potentials};

@@ -1,0 +1,265 @@
+//! `KsSystem` — the static problem definition plus potential/energy
+//! assembly from a density.
+
+use crate::density::density_from_orbitals;
+use crate::fock::{FockMode, FockOperator, ScreenedKernel};
+use crate::grids::PwGrids;
+use crate::hamiltonian::Hamiltonian;
+use crate::hartree::hartree_potential;
+use pt_lattice::{ewald_energy, Structure};
+use pt_linalg::CMat;
+use pt_num::c64;
+use pt_pseudo::{LocalPotential, NonlocalPs};
+use pt_xc::{XcGridEvaluator, XcKind};
+use std::sync::Arc;
+
+/// Hybrid-functional configuration (HSE06-like: α = 0.25, ω = 0.11).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HybridConfig {
+    /// Fock mixing fraction α.
+    pub alpha: f64,
+    /// Screening parameter ω (bohr⁻¹); 0 = unscreened (PBE0-like).
+    pub omega: f64,
+}
+
+impl HybridConfig {
+    /// The paper's functional: HSE06 (α = 0.25, ω = 0.11 bohr⁻¹).
+    pub fn hse06() -> Self {
+        HybridConfig { alpha: 0.25, omega: 0.11 }
+    }
+}
+
+/// Potentials and energy pieces derived from one density.
+pub struct Potentials {
+    /// Total local potential on the dense grid (pseudo + Hartree + XC).
+    pub v_total: Vec<f64>,
+    /// Hartree energy.
+    pub e_hartree: f64,
+    /// Semi-local XC energy.
+    pub e_xc: f64,
+    /// ∫ v_xc ρ (double-counting correction bookkeeping).
+    pub int_vxc_rho: f64,
+    /// ∫ v_ps,loc ρ.
+    pub e_loc_ps: f64,
+}
+
+/// Energy breakdown of a state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Energies {
+    /// Kinetic.
+    pub kinetic: f64,
+    /// Local pseudopotential.
+    pub local_ps: f64,
+    /// Nonlocal pseudopotential.
+    pub nonlocal: f64,
+    /// Hartree.
+    pub hartree: f64,
+    /// Semi-local XC.
+    pub xc: f64,
+    /// Fock exchange (α-scaled, screened).
+    pub fock: f64,
+    /// Ewald ion–ion.
+    pub ewald: f64,
+}
+
+impl Energies {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.kinetic + self.local_ps + self.nonlocal + self.hartree + self.xc + self.fock
+            + self.ewald
+    }
+}
+
+/// The static Kohn–Sham problem: structure, grids, pseudopotentials,
+/// functional choice.
+pub struct KsSystem {
+    /// Geometry.
+    pub structure: Structure,
+    /// Plane-wave grids.
+    pub grids: Arc<PwGrids>,
+    /// Local pseudopotential (dense-grid real space).
+    pub vps_loc_r: Vec<f64>,
+    /// Nonlocal pseudopotential.
+    pub nonlocal: Arc<NonlocalPs>,
+    /// Semi-local XC evaluator.
+    pub xc: XcGridEvaluator,
+    /// Hybrid configuration (None = pure semi-local).
+    pub hybrid: Option<HybridConfig>,
+    /// Screened exchange kernel (precomputed when hybrid).
+    pub kernel: Option<ScreenedKernel>,
+    /// Ewald ion–ion energy (geometry constant).
+    pub e_ewald: f64,
+    /// Occupations (2.0 per doubly occupied band).
+    pub occupations: Vec<f64>,
+}
+
+impl KsSystem {
+    /// Build the full problem for `structure` at cutoff `ecut`.
+    pub fn new(structure: Structure, ecut: f64, xc_kind: XcKind, hybrid: Option<HybridConfig>) -> Self {
+        let grids = Arc::new(PwGrids::new(&structure, ecut));
+        // local PS: G-space assembly → dense-grid real values
+        let lp = LocalPotential::new(&structure, &grids.gv_dense);
+        let n = grids.n_dense();
+        let mut arr: Vec<c64> = lp.coeffs.iter().map(|c| c.scale(n as f64)).collect();
+        grids.fft_dense.inverse(&mut arr);
+        let vps_loc_r: Vec<f64> = arr.iter().map(|z| z.re).collect();
+        let nonlocal = Arc::new(NonlocalPs::new(&structure, &grids.sphere));
+        let xc = XcGridEvaluator::new(xc_kind, grids.gv_dense.clone(), structure.cell.volume());
+        let kernel = hybrid.map(|h| ScreenedKernel::new(&grids, h.omega));
+        let e_ewald = ewald_energy(&structure);
+        let nb = structure.n_occupied_bands();
+        KsSystem {
+            structure,
+            grids,
+            vps_loc_r,
+            nonlocal,
+            xc,
+            hybrid,
+            kernel,
+            e_ewald,
+            occupations: vec![2.0; nb],
+        }
+    }
+
+    /// Number of occupied bands.
+    pub fn n_bands(&self) -> usize {
+        self.occupations.len()
+    }
+
+    /// Assemble potentials from a density.
+    pub fn potentials(&self, rho: &[f64]) -> Potentials {
+        let g = &self.grids;
+        let (vh, e_hartree) = hartree_potential(rho, &g.fft_dense, &g.gv_dense, g.volume);
+        let (e_xc, vxc) = self.xc.evaluate(rho);
+        let dv = g.volume / g.n_dense() as f64;
+        let mut v_total = vec![0.0; g.n_dense()];
+        let mut int_vxc_rho = 0.0;
+        let mut e_loc_ps = 0.0;
+        for i in 0..g.n_dense() {
+            v_total[i] = self.vps_loc_r[i] + vh[i] + vxc[i];
+            int_vxc_rho += vxc[i] * rho[i];
+            e_loc_ps += self.vps_loc_r[i] * rho[i];
+        }
+        Potentials {
+            v_total,
+            e_hartree,
+            e_xc,
+            int_vxc_rho: int_vxc_rho * dv,
+            e_loc_ps: e_loc_ps * dv,
+        }
+    }
+
+    /// Build a Hamiltonian from a density and (for hybrids) the orbitals Φ
+    /// defining the exchange operator.
+    pub fn hamiltonian(&self, rho: &[f64], phi: Option<&CMat>, a_field: [f64; 3]) -> Hamiltonian {
+        let pots = self.potentials(rho);
+        let fock = match (&self.hybrid, phi) {
+            (Some(h), Some(phi)) => Some(Arc::new(FockOperator::new(
+                &self.grids,
+                phi,
+                h.alpha,
+                self.kernel.clone().expect("kernel built with hybrid"),
+                FockMode::Batched,
+            ))),
+            (Some(_), None) => panic!("hybrid functional requires defining orbitals"),
+            _ => None,
+        };
+        Hamiltonian {
+            grids: Arc::clone(&self.grids),
+            vloc_r: pots.v_total,
+            nonlocal: Arc::clone(&self.nonlocal),
+            fock,
+            a_field,
+        }
+    }
+
+    /// Density of an orbital block under this system's occupations.
+    pub fn density(&self, orbitals: &CMat) -> Vec<f64> {
+        density_from_orbitals(&self.grids, orbitals, &self.occupations)
+    }
+
+    /// Total-energy breakdown for orbitals + their density.
+    pub fn energies(&self, orbitals: &CMat, rho: &[f64], a_field: [f64; 3]) -> Energies {
+        let g = &self.grids;
+        let pots = self.potentials(rho);
+        // kinetic
+        let kin_diag: Vec<f64> = g
+            .sphere
+            .g_cart
+            .iter()
+            .map(|gc| {
+                0.5 * ((gc[0] + a_field[0]).powi(2)
+                    + (gc[1] + a_field[1]).powi(2)
+                    + (gc[2] + a_field[2]).powi(2))
+            })
+            .collect();
+        let mut kinetic = 0.0;
+        for (j, &f) in self.occupations.iter().enumerate() {
+            let col = orbitals.col(j);
+            kinetic += f * col
+                .iter()
+                .zip(&kin_diag)
+                .map(|(c, k)| k * c.norm_sqr())
+                .sum::<f64>();
+        }
+        let nonlocal = self
+            .nonlocal
+            .energy(orbitals.data(), g.ng(), &self.occupations);
+        let fock = match (&self.hybrid, &self.kernel) {
+            (Some(h), Some(k)) => {
+                let op = FockOperator::new(&self.grids, orbitals, h.alpha, k.clone(), FockMode::Batched);
+                op.energy(&self.grids, orbitals, &self.occupations)
+            }
+            _ => 0.0,
+        };
+        Energies {
+            kinetic,
+            local_ps: pots.e_loc_ps,
+            nonlocal,
+            hartree: pots.e_hartree,
+            xc: pots.e_xc,
+            fock,
+            ewald: self.e_ewald,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_lattice::silicon_cubic_supercell;
+
+    #[test]
+    fn system_builds_and_charges_balance() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let sys = KsSystem::new(s, 2.0, XcKind::Lda, None);
+        assert_eq!(sys.n_bands(), 16);
+        assert!((sys.occupations.iter().sum::<f64>() - 32.0).abs() < 1e-12);
+        assert!(sys.e_ewald < 0.0, "bulk Si Ewald energy is negative");
+    }
+
+    #[test]
+    fn potentials_from_uniform_density() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let sys = KsSystem::new(s, 2.0, XcKind::Lda, None);
+        let n = sys.grids.n_dense();
+        let ne = 32.0;
+        let rho = vec![ne / sys.grids.volume; n];
+        let p = sys.potentials(&rho);
+        // uniform density: Hartree energy = 0 in jellium convention
+        assert!(p.e_hartree.abs() < 1e-8, "{}", p.e_hartree);
+        // XC energy should equal Ω ρ ε_xc(ρ)
+        let (eps, _v) = pt_xc::lda_exc_vxc(ne / sys.grids.volume);
+        let want = ne * eps;
+        assert!((p.e_xc - want).abs() < 1e-8 * want.abs(), "{} vs {want}", p.e_xc);
+    }
+
+    #[test]
+    fn hybrid_system_builds_kernel() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let sys = KsSystem::new(s, 2.0, XcKind::Pbe, Some(HybridConfig::hse06()));
+        assert!(sys.kernel.is_some());
+        let k = sys.kernel.as_ref().unwrap();
+        assert!((k.values[0] - std::f64::consts::PI / (0.11 * 0.11)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! Simulation cell: direct and reciprocal lattice.
+
+/// A periodic simulation cell.
+///
+/// Rows of `a` are the direct lattice vectors in bohr; rows of `b` are the
+/// reciprocal vectors with the physics convention `b_i · a_j = 2π δ_ij`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    a: [[f64; 3]; 3],
+    b: [[f64; 3]; 3],
+    volume: f64,
+}
+
+fn cross(u: [f64; 3], v: [f64; 3]) -> [f64; 3] {
+    [
+        u[1] * v[2] - u[2] * v[1],
+        u[2] * v[0] - u[0] * v[2],
+        u[0] * v[1] - u[1] * v[0],
+    ]
+}
+
+fn dot(u: [f64; 3], v: [f64; 3]) -> f64 {
+    u[0] * v[0] + u[1] * v[1] + u[2] * v[2]
+}
+
+impl Cell {
+    /// Build from direct lattice vectors (rows, bohr). Panics on a
+    /// degenerate (non-right-handed or zero-volume) cell.
+    pub fn new(a: [[f64; 3]; 3]) -> Self {
+        let v = dot(a[0], cross(a[1], a[2]));
+        assert!(v.abs() > 1e-12, "cell volume ~ 0");
+        let tau = 2.0 * std::f64::consts::PI / v;
+        let b = [
+            cross(a[1], a[2]).map(|x| x * tau),
+            cross(a[2], a[0]).map(|x| x * tau),
+            cross(a[0], a[1]).map(|x| x * tau),
+        ];
+        Cell { a, b, volume: v.abs() }
+    }
+
+    /// Orthorhombic cell with edge lengths `(lx, ly, lz)` in bohr.
+    pub fn orthorhombic(lx: f64, ly: f64, lz: f64) -> Self {
+        Cell::new([[lx, 0.0, 0.0], [0.0, ly, 0.0], [0.0, 0.0, lz]])
+    }
+
+    /// Cubic cell of edge `l` bohr.
+    pub fn cubic(l: f64) -> Self {
+        Cell::orthorhombic(l, l, l)
+    }
+
+    /// Direct lattice vectors (rows, bohr).
+    #[inline]
+    pub fn lattice(&self) -> &[[f64; 3]; 3] {
+        &self.a
+    }
+
+    /// Reciprocal lattice vectors (rows, bohr⁻¹, with 2π).
+    #[inline]
+    pub fn reciprocal(&self) -> &[[f64; 3]; 3] {
+        &self.b
+    }
+
+    /// Cell volume in bohr³.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.volume
+    }
+
+    /// Cartesian coordinates of a fractional position.
+    pub fn frac_to_cart(&self, f: [f64; 3]) -> [f64; 3] {
+        [
+            f[0] * self.a[0][0] + f[1] * self.a[1][0] + f[2] * self.a[2][0],
+            f[0] * self.a[0][1] + f[1] * self.a[1][1] + f[2] * self.a[2][1],
+            f[0] * self.a[0][2] + f[1] * self.a[1][2] + f[2] * self.a[2][2],
+        ]
+    }
+
+    /// Cartesian G vector for integer Miller indices.
+    pub fn g_cart(&self, m: [i32; 3]) -> [f64; 3] {
+        [
+            m[0] as f64 * self.b[0][0] + m[1] as f64 * self.b[1][0] + m[2] as f64 * self.b[2][0],
+            m[0] as f64 * self.b[0][1] + m[1] as f64 * self.b[1][1] + m[2] as f64 * self.b[2][1],
+            m[0] as f64 * self.b[0][2] + m[1] as f64 * self.b[1][2] + m[2] as f64 * self.b[2][2],
+        ]
+    }
+
+    /// |G|² for integer Miller indices.
+    pub fn g2(&self, m: [i32; 3]) -> f64 {
+        let g = self.g_cart(m);
+        dot(g, g)
+    }
+
+    /// Minimum-image distance between two fractional positions.
+    pub fn min_image_distance(&self, f1: [f64; 3], f2: [f64; 3]) -> f64 {
+        let mut best = f64::INFINITY;
+        for sx in -1..=1 {
+            for sy in -1..=1 {
+                for sz in -1..=1 {
+                    let d = [
+                        f1[0] - f2[0] + sx as f64,
+                        f1[1] - f2[1] + sy as f64,
+                        f1[2] - f2[2] + sz as f64,
+                    ];
+                    let c = self.frac_to_cart(d);
+                    best = best.min(dot(c, c).sqrt());
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reciprocal_duality() {
+        let c = Cell::new([[10.0, 0.0, 0.0], [1.0, 12.0, 0.0], [0.5, 0.5, 9.0]]);
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = dot(c.lattice()[i], c.reciprocal()[j]);
+                let want = if i == j { 2.0 * std::f64::consts::PI } else { 0.0 };
+                assert!((d - want).abs() < 1e-12, "i={i} j={j} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn cubic_volume_and_g() {
+        let l = 10.0;
+        let c = Cell::cubic(l);
+        assert!((c.volume() - 1000.0).abs() < 1e-12);
+        let g = c.g_cart([1, 0, 0]);
+        assert!((g[0] - 2.0 * std::f64::consts::PI / l).abs() < 1e-14);
+        assert!((c.g2([1, 2, 2]) - (2.0 * std::f64::consts::PI / l).powi(2) * 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frac_cart_roundtrip_feel() {
+        let c = Cell::orthorhombic(4.0, 5.0, 6.0);
+        let r = c.frac_to_cart([0.5, 0.25, 1.0]);
+        assert_eq!(r, [2.0, 1.25, 6.0]);
+    }
+
+    #[test]
+    fn min_image_wraps() {
+        let c = Cell::cubic(10.0);
+        let d = c.min_image_distance([0.05, 0.0, 0.0], [0.95, 0.0, 0.0]);
+        assert!((d - 1.0).abs() < 1e-12, "{d}");
+    }
+}

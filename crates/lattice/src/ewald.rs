@@ -1,0 +1,209 @@
+//! Ewald summation for the ion–ion interaction energy.
+//!
+//! Total energies in plane-wave DFT split the divergent Coulomb pieces
+//! between Hartree (G = 0 dropped), the local pseudopotential (G = 0
+//! replaced by its non-Coulombic average) and this classical lattice sum
+//! over the pseudo-ion point charges in a neutralizing background.
+
+use crate::cell::Cell;
+use crate::structure::Structure;
+use pt_num::erfc;
+
+/// Ewald energy (Ha) of the pseudo-ion point charges of `s` in a uniform
+/// neutralizing background.
+///
+/// `eta` is chosen automatically; the real-space and reciprocal sums are
+/// extended until their tails are below 1e-12 Ha.
+pub fn ewald_energy(s: &Structure) -> f64 {
+    let charges: Vec<f64> = s.atoms.iter().map(|a| a.species.z_valence()).collect();
+    let pos = s.cart_positions();
+    ewald_energy_charges(&s.cell, &pos, &charges, None)
+}
+
+/// Ewald energy for explicit charges/positions; `eta` may be forced (used
+/// by the η-independence test).
+pub fn ewald_energy_charges(
+    cell: &Cell,
+    pos: &[[f64; 3]],
+    charges: &[f64],
+    eta: Option<f64>,
+) -> f64 {
+    assert_eq!(pos.len(), charges.len());
+    let n = pos.len();
+    let vol = cell.volume();
+    let ztot: f64 = charges.iter().sum();
+    let z2: f64 = charges.iter().map(|z| z * z).sum();
+
+    // split parameter: balances real/reciprocal work
+    let eta = eta.unwrap_or_else(|| {
+        let l_min = (0..3)
+            .map(|i| {
+                let a = cell.lattice()[i];
+                (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt()
+            })
+            .fold(f64::INFINITY, f64::min);
+        3.5 / l_min * (n as f64).powf(1.0 / 6.0).max(1.0)
+    });
+
+    // real-space cutoff: erfc(eta r)/r < 1e-13
+    let r_cut = {
+        let mut r = 1.0;
+        while erfc(eta * r) / r > 1e-16 {
+            r += 0.5;
+        }
+        r
+    };
+    // number of images per direction
+    let images: Vec<i32> = (0..3)
+        .map(|i| {
+            let a = cell.lattice()[i];
+            let len = (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt();
+            (r_cut / len).ceil() as i32
+        })
+        .collect();
+
+    let mut e_real = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            for mx in -images[0]..=images[0] {
+                for my in -images[1]..=images[1] {
+                    for mz in -images[2]..=images[2] {
+                        if i == j && mx == 0 && my == 0 && mz == 0 {
+                            continue;
+                        }
+                        let a = cell.lattice();
+                        let shift = [
+                            mx as f64 * a[0][0] + my as f64 * a[1][0] + mz as f64 * a[2][0],
+                            mx as f64 * a[0][1] + my as f64 * a[1][1] + mz as f64 * a[2][1],
+                            mx as f64 * a[0][2] + my as f64 * a[1][2] + mz as f64 * a[2][2],
+                        ];
+                        let d = [
+                            pos[i][0] - pos[j][0] + shift[0],
+                            pos[i][1] - pos[j][1] + shift[1],
+                            pos[i][2] - pos[j][2] + shift[2],
+                        ];
+                        let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+                        if r < r_cut {
+                            e_real += 0.5 * charges[i] * charges[j] * erfc(eta * r) / r;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // reciprocal cutoff: exp(-g²/4η²)/g² tail < 1e-13
+    let g_cut = 2.0 * eta * (17.0 * std::f64::consts::LN_10).sqrt();
+    let gimg: Vec<i32> = (0..3)
+        .map(|i| {
+            let b = cell.reciprocal()[i];
+            let len = (b[0] * b[0] + b[1] * b[1] + b[2] * b[2]).sqrt();
+            (g_cut / len).ceil() as i32
+        })
+        .collect();
+    let mut e_recip = 0.0;
+    for mx in -gimg[0]..=gimg[0] {
+        for my in -gimg[1]..=gimg[1] {
+            for mz in -gimg[2]..=gimg[2] {
+                if mx == 0 && my == 0 && mz == 0 {
+                    continue;
+                }
+                let g = cell.g_cart([mx, my, mz]);
+                let g2 = g[0] * g[0] + g[1] * g[1] + g[2] * g[2];
+                if g2 > g_cut * g_cut {
+                    continue;
+                }
+                // |S(G)|² with S(G) = Σ_a Z_a e^{-iG·τ_a}
+                let (mut sre, mut sim) = (0.0, 0.0);
+                for (p, &z) in pos.iter().zip(charges) {
+                    let phase = -(g[0] * p[0] + g[1] * p[1] + g[2] * p[2]);
+                    sre += z * phase.cos();
+                    sim += z * phase.sin();
+                }
+                e_recip += (2.0 * std::f64::consts::PI / vol)
+                    * ((-g2 / (4.0 * eta * eta)).exp() / g2)
+                    * (sre * sre + sim * sim);
+            }
+        }
+    }
+
+    let e_self = -eta / std::f64::consts::PI.sqrt() * z2;
+    let e_background = -std::f64::consts::PI / (2.0 * eta * eta * vol) * ztot * ztot;
+    e_real + e_recip + e_self + e_background
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::{silicon_cubic_supercell, Atom, Species, Structure};
+
+    #[test]
+    fn eta_independence() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let pos = s.cart_positions();
+        let q: Vec<f64> = s.atoms.iter().map(|a| a.species.z_valence()).collect();
+        let e1 = ewald_energy_charges(&s.cell, &pos, &q, Some(0.35));
+        let e2 = ewald_energy_charges(&s.cell, &pos, &q, Some(0.6));
+        let e3 = ewald_energy_charges(&s.cell, &pos, &q, None);
+        assert!((e1 - e2).abs() < 1e-8, "{e1} vs {e2}");
+        assert!((e1 - e3).abs() < 1e-8, "{e1} vs {e3}");
+    }
+
+    #[test]
+    fn simple_cubic_madelung_constant() {
+        // One unit point charge on a simple cubic lattice (a = 1) in a
+        // neutralizing background: E = ζ/2 with ζ = −2.8372974794…
+        let cell = Cell::cubic(1.0);
+        let e = ewald_energy_charges(&cell, &[[0.0, 0.0, 0.0]], &[1.0], None);
+        let zeta = -2.837_297_479_480_6;
+        assert!((e - zeta / 2.0).abs() < 1e-9, "{e} vs {}", zeta / 2.0);
+    }
+
+    #[test]
+    fn supercell_extensivity() {
+        let s1 = silicon_cubic_supercell(1, 1, 1);
+        let s2 = silicon_cubic_supercell(2, 1, 1);
+        let e1 = ewald_energy(&s1);
+        let e2 = ewald_energy(&s2);
+        assert!((e2 - 2.0 * e1).abs() < 1e-7, "e1={e1} e2={e2}");
+    }
+
+    #[test]
+    fn nacl_structure_madelung() {
+        // Rock-salt ±1 charges, lattice constant a (cubic cell, 8 ions):
+        // E/pair = −M / r_nn with M = 1.7475645946 and r_nn = a/2.
+        let a = 2.0;
+        let cell = Cell::cubic(a);
+        let mut pos = Vec::new();
+        let mut q = Vec::new();
+        for ix in 0..2 {
+            for iy in 0..2 {
+                for iz in 0..2 {
+                    pos.push([ix as f64 * a / 2.0, iy as f64 * a / 2.0, iz as f64 * a / 2.0]);
+                    q.push(if (ix + iy + iz) % 2 == 0 { 1.0 } else { -1.0 });
+                }
+            }
+        }
+        let e = ewald_energy_charges(&cell, &pos, &q, None);
+        let madelung = 1.747_564_594_633_18;
+        let want = -4.0 * madelung / (a / 2.0); // 4 ion pairs in the cell
+        assert!((e - want).abs() < 1e-8, "{e} vs {want}");
+    }
+
+    #[test]
+    fn hydrogen_like_charge_in_large_box_tends_to_zero_slowly() {
+        // single Z=1 in a big box: |E| = |ζ|/(2L) shrinks with box size
+        let mk = |l: f64| {
+            let cell = Cell::cubic(l);
+            let s = Structure {
+                cell,
+                atoms: vec![Atom { species: Species::H, frac: [0.0, 0.0, 0.0] }],
+            };
+            ewald_energy(&s)
+        };
+        let e10 = mk(10.0);
+        let e20 = mk(20.0);
+        assert!((e10 * 10.0 - e20 * 20.0).abs() < 1e-8, "scaling 1/L violated");
+        assert!(e10 < 0.0);
+    }
+}

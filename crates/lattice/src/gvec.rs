@@ -1,0 +1,283 @@
+//! Plane-wave G-vector bookkeeping.
+//!
+//! Two kinds of reciprocal-space objects appear in PWDFT:
+//!
+//! * the **wavefunction sphere** [`GSphere`]: all G with |G|²/2 ≤ E_cut.
+//!   Orbitals are stored as coefficient vectors over this sphere (that is
+//!   the `N_G` of the paper — 648 000 for the 1536-atom system), and
+//!   scattered onto an FFT grid for real-space work;
+//! * the **full grid** [`GridGVectors`]: |G|² and G at every point of an
+//!   FFT grid, used by the Hartree/Poisson solves and gradient evaluations
+//!   on the density grid (which has twice the linear size, i.e. a 4·E_cut
+//!   sphere — the paper's 120×180×240).
+
+use crate::cell::Cell;
+use pt_fft::next_smooth;
+
+/// Smallest FFT grid that can hold the sphere |G|²/2 ≤ `ecut` for `cell`,
+/// with 2,3,5-smooth dimensions.
+///
+/// For the paper's 4×6×8 silicon supercell at E_cut = 10 Ha this returns
+/// exactly 60×90×120 (asserted in tests).
+pub fn fft_dims_for_cutoff(cell: &Cell, ecut: f64) -> (usize, usize, usize) {
+    assert!(ecut > 0.0);
+    let gmax = (2.0 * ecut).sqrt();
+    let mut dims = [0usize; 3];
+    for (i, d) in dims.iter_mut().enumerate() {
+        let a = cell.lattice()[i];
+        let len = (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt();
+        let mmax = (gmax * len / (2.0 * std::f64::consts::PI)).floor() as usize;
+        *d = next_smooth(2 * mmax + 1);
+    }
+    (dims[0], dims[1], dims[2])
+}
+
+/// Wrap an FFT grid coordinate into a signed Miller index.
+#[inline]
+fn index_to_miller(ix: usize, n: usize) -> i32 {
+    if ix <= n / 2 {
+        ix as i32
+    } else {
+        ix as i32 - n as i32
+    }
+}
+
+/// Wrap a signed Miller index into an FFT grid coordinate.
+#[inline]
+fn miller_to_index(m: i32, n: usize) -> usize {
+    m.rem_euclid(n as i32) as usize
+}
+
+/// The sphere of plane waves with kinetic energy below a cutoff.
+#[derive(Clone, Debug)]
+pub struct GSphere {
+    /// Kinetic cutoff (Ha) defining the sphere.
+    pub ecut: f64,
+    /// FFT grid dims this sphere was built against.
+    pub dims: (usize, usize, usize),
+    /// Miller indices of each member, sorted by |G|² ascending.
+    pub miller: Vec<[i32; 3]>,
+    /// |G|² for each member.
+    pub g2: Vec<f64>,
+    /// Cartesian G for each member.
+    pub g_cart: Vec<[f64; 3]>,
+    /// Linear FFT-grid index of each member within `dims`.
+    pub fft_index: Vec<usize>,
+}
+
+impl GSphere {
+    /// Enumerate the sphere for `cell` at cutoff `ecut` on grid `dims`.
+    /// Panics if the grid cannot hold the sphere.
+    pub fn new(cell: &Cell, ecut: f64, dims: (usize, usize, usize)) -> Self {
+        let (n1, n2, n3) = dims;
+        let mut entries: Vec<([i32; 3], f64)> = Vec::new();
+        for iz in 0..n3 {
+            let m3 = index_to_miller(iz, n3);
+            for iy in 0..n2 {
+                let m2 = index_to_miller(iy, n2);
+                for ix in 0..n1 {
+                    let m1 = index_to_miller(ix, n1);
+                    let m = [m1, m2, m3];
+                    let g2 = cell.g2(m);
+                    if 0.5 * g2 <= ecut + 1e-12 {
+                        entries.push((m, g2));
+                    }
+                }
+            }
+        }
+        // deterministic order: by |G|², then lexicographic Miller
+        entries.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap()
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        // verify the grid really holds the sphere (no aliasing): every
+        // Miller index must be within the representable range.
+        for (m, _) in &entries {
+            for (k, &n) in [n1, n2, n3].iter().enumerate() {
+                let lo = -(n as i32 - 1) / 2;
+                let hi = n as i32 / 2;
+                assert!(
+                    m[k] >= lo && m[k] <= hi,
+                    "grid {dims:?} cannot hold G sphere at ecut {ecut}"
+                );
+            }
+        }
+        let miller: Vec<[i32; 3]> = entries.iter().map(|e| e.0).collect();
+        let g2: Vec<f64> = entries.iter().map(|e| e.1).collect();
+        let g_cart: Vec<[f64; 3]> = miller.iter().map(|&m| cell.g_cart(m)).collect();
+        let fft_index = miller
+            .iter()
+            .map(|&m| {
+                miller_to_index(m[0], n1)
+                    + n1 * (miller_to_index(m[1], n2) + n2 * miller_to_index(m[2], n3))
+            })
+            .collect();
+        GSphere { ecut, dims, miller, g2, g_cart, fft_index }
+    }
+
+    /// Number of plane waves (the paper's N_G).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.miller.len()
+    }
+
+    /// True when the sphere is empty (never for positive cutoffs).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.miller.is_empty()
+    }
+
+    /// Linear indices of the sphere members in a *different* (larger) FFT
+    /// grid — used to scatter wavefunction coefficients onto the density
+    /// grid.
+    pub fn fft_index_in(&self, dims: (usize, usize, usize)) -> Vec<usize> {
+        let (n1, n2, n3) = dims;
+        self.miller
+            .iter()
+            .map(|&m| {
+                for (k, &n) in [n1, n2, n3].iter().enumerate() {
+                    let lo = -(n as i32 - 1) / 2;
+                    let hi = n as i32 / 2;
+                    assert!(m[k] >= lo && m[k] <= hi, "target grid too small");
+                }
+                miller_to_index(m[0], n1)
+                    + n1 * (miller_to_index(m[1], n2) + n2 * miller_to_index(m[2], n3))
+            })
+            .collect()
+    }
+}
+
+/// |G|² and G over every point of an FFT grid.
+#[derive(Clone, Debug)]
+pub struct GridGVectors {
+    /// Grid dims.
+    pub dims: (usize, usize, usize),
+    /// |G|² at each linear grid index.
+    pub g2: Vec<f64>,
+    /// Cartesian G at each linear grid index (xyz interleaved).
+    pub g_cart: Vec<[f64; 3]>,
+}
+
+impl GridGVectors {
+    /// Tabulate G over the full grid.
+    pub fn new(cell: &Cell, dims: (usize, usize, usize)) -> Self {
+        let (n1, n2, n3) = dims;
+        let n = n1 * n2 * n3;
+        let mut g2 = Vec::with_capacity(n);
+        let mut g_cart = Vec::with_capacity(n);
+        for iz in 0..n3 {
+            let m3 = index_to_miller(iz, n3);
+            for iy in 0..n2 {
+                let m2 = index_to_miller(iy, n2);
+                for ix in 0..n1 {
+                    let m1 = index_to_miller(ix, n1);
+                    let g = cell.g_cart([m1, m2, m3]);
+                    g2.push(g[0] * g[0] + g[1] * g[1] + g[2] * g[2]);
+                    g_cart.push(g);
+                }
+            }
+        }
+        GridGVectors { dims, g2, g_cart }
+    }
+
+    /// Number of grid points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.g2.len()
+    }
+
+    /// True when the grid is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.g2.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::silicon_cubic_supercell;
+
+    #[test]
+    fn paper_grid_dims_exactly_reproduced() {
+        // §4: 1536-atom cell (4×6×8 supercell), E_cut = 10 Ha →
+        // wavefunction grid 60×90×120, density grid 120×180×240.
+        let s = silicon_cubic_supercell(4, 6, 8);
+        let wfc = fft_dims_for_cutoff(&s.cell, 10.0);
+        assert_eq!(wfc, (60, 90, 120));
+        let rho = fft_dims_for_cutoff(&s.cell, 40.0); // 4·E_cut
+        assert_eq!(rho, (120, 180, 240));
+    }
+
+    #[test]
+    fn sphere_is_inversion_symmetric() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let dims = fft_dims_for_cutoff(&s.cell, 5.0);
+        let sph = GSphere::new(&s.cell, 5.0, dims);
+        use std::collections::HashSet;
+        let set: HashSet<[i32; 3]> = sph.miller.iter().copied().collect();
+        assert_eq!(set.len(), sph.len(), "duplicate G vectors");
+        for m in &sph.miller {
+            assert!(set.contains(&[-m[0], -m[1], -m[2]]), "missing -G for {m:?}");
+        }
+        // G = 0 present and first (sorted by |G|²)
+        assert_eq!(sph.miller[0], [0, 0, 0]);
+        assert_eq!(sph.fft_index[0], 0);
+    }
+
+    #[test]
+    fn sphere_counts_grow_with_cutoff() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let mut prev = 0;
+        for ec in [1.0, 2.0, 4.0, 8.0] {
+            let dims = fft_dims_for_cutoff(&s.cell, ec);
+            let sph = GSphere::new(&s.cell, ec, dims);
+            assert!(sph.len() > prev, "sphere must grow with cutoff");
+            prev = sph.len();
+            // all members respect the cutoff
+            for &g2 in &sph.g2 {
+                assert!(0.5 * g2 <= ec + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sphere_count_matches_volume_estimate() {
+        // N_G ≈ Ω · (4/3)π G_max³ / (2π)³ for large cutoffs
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let ec = 12.0;
+        let dims = fft_dims_for_cutoff(&s.cell, ec);
+        let sph = GSphere::new(&s.cell, ec, dims);
+        let gmax = (2.0 * ec).sqrt();
+        let est = s.cell.volume() * 4.0 / 3.0 * std::f64::consts::PI * gmax.powi(3)
+            / (2.0 * std::f64::consts::PI).powi(3);
+        let ratio = sph.len() as f64 / est;
+        assert!((ratio - 1.0).abs() < 0.05, "count {} est {est}", sph.len());
+    }
+
+    #[test]
+    fn grid_gvectors_consistent_with_sphere() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let dims = fft_dims_for_cutoff(&s.cell, 4.0);
+        let sph = GSphere::new(&s.cell, 4.0, dims);
+        let grid = GridGVectors::new(&s.cell, dims);
+        assert_eq!(grid.len(), dims.0 * dims.1 * dims.2);
+        for (k, &idx) in sph.fft_index.iter().enumerate() {
+            assert!((grid.g2[idx] - sph.g2[k]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cross_grid_embedding() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let wdims = fft_dims_for_cutoff(&s.cell, 4.0);
+        let ddims = fft_dims_for_cutoff(&s.cell, 16.0);
+        let sph = GSphere::new(&s.cell, 4.0, wdims);
+        let idx2 = sph.fft_index_in(ddims);
+        let grid2 = GridGVectors::new(&s.cell, ddims);
+        for (k, &idx) in idx2.iter().enumerate() {
+            assert!((grid2.g2[idx] - sph.g2[k]).abs() < 1e-10);
+        }
+    }
+}

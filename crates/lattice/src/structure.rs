@@ -1,0 +1,155 @@
+//! Atomic structures and the paper's silicon test systems.
+
+use crate::cell::Cell;
+use pt_num::units::SI_LATTICE_BOHR;
+
+/// Chemical species with a GTH pseudopotential in `pt-pseudo`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Species {
+    /// Hydrogen (Z_val = 1).
+    H,
+    /// Carbon (Z_val = 4).
+    C,
+    /// Silicon (Z_val = 4) — the paper's test systems are pure silicon.
+    Si,
+}
+
+impl Species {
+    /// Valence charge of the pseudo-ion.
+    pub fn z_valence(self) -> f64 {
+        match self {
+            Species::H => 1.0,
+            Species::C => 4.0,
+            Species::Si => 4.0,
+        }
+    }
+
+    /// Element symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Species::H => "H",
+            Species::C => "C",
+            Species::Si => "Si",
+        }
+    }
+}
+
+/// One atom: species + fractional position in the cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Atom {
+    /// Chemical species.
+    pub species: Species,
+    /// Fractional coordinates in `[0, 1)³`.
+    pub frac: [f64; 3],
+}
+
+/// A periodic structure: cell + atoms.
+#[derive(Clone, Debug)]
+pub struct Structure {
+    /// The simulation cell.
+    pub cell: Cell,
+    /// All atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl Structure {
+    /// Total valence electron count (spin-degenerate).
+    pub fn n_electrons(&self) -> f64 {
+        self.atoms.iter().map(|a| a.species.z_valence()).sum()
+    }
+
+    /// Number of doubly occupied orbitals (N_e/2 for closed shell).
+    pub fn n_occupied_bands(&self) -> usize {
+        let ne = self.n_electrons();
+        let nb = (ne / 2.0).ceil() as usize;
+        assert!(
+            (ne - 2.0 * nb as f64).abs() < 1e-9,
+            "only closed-shell systems supported (N_elec = {ne})"
+        );
+        nb
+    }
+
+    /// Cartesian positions of all atoms (bohr).
+    pub fn cart_positions(&self) -> Vec<[f64; 3]> {
+        self.atoms.iter().map(|a| self.cell.frac_to_cart(a.frac)).collect()
+    }
+}
+
+/// Fractional basis of the 8-atom conventional diamond cell.
+const DIAMOND_BASIS: [[f64; 3]; 8] = [
+    [0.00, 0.00, 0.00],
+    [0.00, 0.50, 0.50],
+    [0.50, 0.00, 0.50],
+    [0.50, 0.50, 0.00],
+    [0.25, 0.25, 0.25],
+    [0.25, 0.75, 0.75],
+    [0.75, 0.25, 0.75],
+    [0.75, 0.75, 0.25],
+];
+
+/// Build the paper's silicon test systems: an `n1 × n2 × n3` supercell of
+/// the 8-atom simple-cubic diamond cell with a = 5.43 Å (§4). The paper uses
+/// 1×1×3 (48 atoms) up to 4×6×8 (1536 atoms).
+pub fn silicon_cubic_supercell(n1: usize, n2: usize, n3: usize) -> Structure {
+    assert!(n1 > 0 && n2 > 0 && n3 > 0);
+    let a0 = SI_LATTICE_BOHR;
+    let cell = Cell::orthorhombic(a0 * n1 as f64, a0 * n2 as f64, a0 * n3 as f64);
+    let mut atoms = Vec::with_capacity(8 * n1 * n2 * n3);
+    for i in 0..n1 {
+        for j in 0..n2 {
+            for k in 0..n3 {
+                for basis in DIAMOND_BASIS {
+                    atoms.push(Atom {
+                        species: Species::Si,
+                        frac: [
+                            (basis[0] + i as f64) / n1 as f64,
+                            (basis[1] + j as f64) / n2 as f64,
+                            (basis[2] + k as f64) / n3 as f64,
+                        ],
+                    });
+                }
+            }
+        }
+    }
+    Structure { cell, atoms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_system_sizes() {
+        // §4: supercells 1×1×3 → 48 atoms … 4×6×8 → 1536 atoms
+        assert_eq!(silicon_cubic_supercell(1, 1, 3).atoms.len(), 24);
+        assert_eq!(silicon_cubic_supercell(1, 2, 3).atoms.len(), 48);
+        let big = silicon_cubic_supercell(4, 6, 8);
+        assert_eq!(big.atoms.len(), 1536);
+        // 3072 doubly-occupied bands for 1536 Si atoms (4 valence e⁻ each)
+        assert_eq!(big.n_occupied_bands(), 3072);
+    }
+
+    #[test]
+    fn unit_cell_geometry() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        assert_eq!(s.atoms.len(), 8);
+        assert!((s.n_electrons() - 32.0).abs() < 1e-12);
+        // nearest-neighbour distance in diamond = sqrt(3)/4 * a
+        let d01 = s.cell.min_image_distance(s.atoms[0].frac, s.atoms[4].frac);
+        let want = 3.0f64.sqrt() / 4.0 * SI_LATTICE_BOHR;
+        assert!((d01 - want).abs() < 1e-9, "{d01} vs {want}");
+    }
+
+    #[test]
+    fn all_atoms_distinct() {
+        let s = silicon_cubic_supercell(2, 2, 2);
+        for i in 0..s.atoms.len() {
+            for j in (i + 1)..s.atoms.len() {
+                assert!(
+                    s.cell.min_image_distance(s.atoms[i].frac, s.atoms[j].frac) > 1.0,
+                    "atoms {i},{j} overlap"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Hermitian eigensolver (cyclic complex Jacobi).
+//!
+//! PWDFT's subspace problems are small — `N_e × N_e` Rayleigh–Ritz matrices
+//! in the ground-state solver and `Ψ^H H Ψ` projections in the PT residual —
+//! so a robust O(n³)-per-sweep Jacobi iteration is the right tool: simple,
+//! unconditionally stable, and it delivers orthonormal eigenvectors to
+//! machine precision, which the Cholesky-based orthogonalization downstream
+//! relies on.
+//!
+//! Rotation construction: for the pivot pair (p, q) with `g = M[p,q] =
+//! |g| e^{iφ}`, the unitary
+//! `J = [[c, s·e^{iφ}], [−s·e^{−iφ}, c]]` (c, s real from the usual real
+//! Jacobi tangent with `τ = (M_qq − M_pp) / 2|g|`) annihilates the
+//! off-diagonal entry of the (p, q) block of `J^H M J`.
+
+use crate::mat::CMat;
+use pt_num::c64;
+
+/// Eigendecomposition of a Hermitian matrix: returns `(eigenvalues
+/// ascending, eigenvectors as columns)` with `A ≈ V diag(λ) V^H`.
+///
+/// The input is symmetrized (`(A + A^H)/2`) first, so tiny Hermiticity
+/// violations from accumulated roundoff are tolerated.
+pub fn eigh(a: &CMat) -> (Vec<f64>, CMat) {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "eigh: square matrix required");
+    let mut m = CMat::zeros(n, n);
+    for j in 0..n {
+        for i in 0..n {
+            m[(i, j)] = (a[(i, j)] + a[(j, i)].conj()).scale(0.5);
+        }
+    }
+    let mut v = CMat::eye(n);
+    let scale = 1.0 + m.norm_fro();
+    for _sweep in 0..100 {
+        let mut off = 0.0f64;
+        for j in 0..n {
+            for i in 0..j {
+                off += m[(i, j)].norm_sqr();
+            }
+        }
+        if off.sqrt() < 1e-14 * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                rotate(&mut m, &mut v, p, q);
+            }
+        }
+    }
+    // extract and sort ascending
+    let mut idx: Vec<usize> = (0..n).collect();
+    let evals: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+    idx.sort_by(|&a, &b| evals[a].partial_cmp(&evals[b]).unwrap());
+    let mut lam = Vec::with_capacity(n);
+    let mut vecs = CMat::zeros(n, n);
+    for (new_j, &old_j) in idx.iter().enumerate() {
+        lam.push(evals[old_j]);
+        let src: Vec<c64> = v.col(old_j).to_vec();
+        vecs.col_mut(new_j).copy_from_slice(&src);
+    }
+    (lam, vecs)
+}
+
+/// One two-sided Jacobi rotation on the (p, q) pivot.
+fn rotate(m: &mut CMat, v: &mut CMat, p: usize, q: usize) {
+    let n = m.nrows();
+    let g = m[(p, q)];
+    let gabs = g.abs();
+    if gabs < 1e-300 {
+        return;
+    }
+    let app = m[(p, p)].re;
+    let aqq = m[(q, q)].re;
+    let phase = g.scale(1.0 / gabs); // e^{iφ}
+    let tau = (aqq - app) / (2.0 * gabs);
+    let t = if tau >= 0.0 {
+        1.0 / (tau + (1.0 + tau * tau).sqrt())
+    } else {
+        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+    let s_phase = phase.scale(s); // s e^{iφ}
+    let s_phase_c = phase.conj().scale(s); // s e^{-iφ}
+
+    // M ← M J   (columns p, q)
+    for k in 0..n {
+        let mkp = m[(k, p)];
+        let mkq = m[(k, q)];
+        m[(k, p)] = mkp.scale(c) - mkq * s_phase_c;
+        m[(k, q)] = mkp * s_phase + mkq.scale(c);
+    }
+    // M ← J^H M (rows p, q)
+    for k in 0..n {
+        let mpk = m[(p, k)];
+        let mqk = m[(q, k)];
+        m[(p, k)] = mpk.scale(c) - mqk * s_phase;
+        m[(q, k)] = mpk * s_phase_c + mqk.scale(c);
+    }
+    // keep the pivot block exactly Hermitian against roundoff drift
+    m[(p, q)] = c64::ZERO;
+    m[(q, p)] = c64::ZERO;
+    let dp = m[(p, p)].re;
+    let dq = m[(q, q)].re;
+    m[(p, p)] = c64::real(dp);
+    m[(q, q)] = c64::real(dq);
+
+    // V ← V J
+    for k in 0..n {
+        let vkp = v[(k, p)];
+        let vkq = v[(k, q)];
+        v[(k, p)] = vkp.scale(c) - vkq * s_phase_c;
+        v[(k, q)] = vkp * s_phase + vkq.scale(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::{gemm, Op};
+
+    fn rand_herm(n: usize, seed: u64) -> CMat {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let raw = CMat::from_fn(n, n, |_, _| c64::new(next(), next()));
+        let mut h = CMat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                h[(i, j)] = (raw[(i, j)] + raw[(j, i)].conj()).scale(0.5);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_answer() {
+        let mut d = CMat::zeros(4, 4);
+        for (i, val) in [3.0, -1.0, 2.0, 0.5].into_iter().enumerate() {
+            d[(i, i)] = c64::real(val);
+        }
+        let (lam, _v) = eigh(&d);
+        assert_eq!(lam.len(), 4);
+        let want = [-1.0, 0.5, 2.0, 3.0];
+        for (a, b) in lam.iter().zip(want) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn known_2x2_complex() {
+        // H = [[1, i], [-i, 1]] has eigenvalues 0 and 2.
+        let mut h = CMat::zeros(2, 2);
+        h[(0, 0)] = c64::ONE;
+        h[(0, 1)] = c64::I;
+        h[(1, 0)] = -c64::I;
+        h[(1, 1)] = c64::ONE;
+        let (lam, v) = eigh(&h);
+        assert!((lam[0] - 0.0).abs() < 1e-14 && (lam[1] - 2.0).abs() < 1e-14);
+        // check residual H v = λ v
+        for j in 0..2 {
+            let col = CMat::from_vec(2, 1, v.col(j).to_vec());
+            let mut hv = CMat::zeros(2, 1);
+            gemm(c64::ONE, &h, Op::None, &col, Op::None, c64::ZERO, &mut hv);
+            for i in 0..2 {
+                assert!((hv[(i, 0)] - col[(i, 0)].scale(lam[j])).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn random_hermitian_decomposition() {
+        for n in [1usize, 2, 3, 5, 8, 13, 20] {
+            let h = rand_herm(n, n as u64 * 7 + 1);
+            let (lam, v) = eigh(&h);
+            // ascending
+            for w in lam.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+            // V unitary
+            let mut vhv = CMat::zeros(n, n);
+            gemm(c64::ONE, &v, Op::ConjTrans, &v, Op::None, c64::ZERO, &mut vhv);
+            assert!(vhv.max_diff(&CMat::eye(n)) < 1e-11, "n={n}");
+            // H V = V Λ
+            let mut hv = CMat::zeros(n, n);
+            gemm(c64::ONE, &h, Op::None, &v, Op::None, c64::ZERO, &mut hv);
+            let mut vl = v.clone();
+            for j in 0..n {
+                for z in vl.col_mut(j) {
+                    *z = z.scale(lam[j]);
+                }
+            }
+            assert!(hv.max_diff(&vl) < 1e-10, "n={n} resid {}", hv.max_diff(&vl));
+        }
+    }
+
+    #[test]
+    fn trace_and_frobenius_preserved() {
+        let n = 9;
+        let h = rand_herm(n, 77);
+        let (lam, _) = eigh(&h);
+        let tr: f64 = (0..n).map(|i| h[(i, i)].re).sum();
+        let tr_l: f64 = lam.iter().sum();
+        assert!((tr - tr_l).abs() < 1e-11);
+        let fro2: f64 = h.data().iter().map(|z| z.norm_sqr()).sum();
+        let fro2_l: f64 = lam.iter().map(|l| l * l).sum();
+        assert!((fro2 - fro2_l).abs() < 1e-10 * (1.0 + fro2));
+    }
+}

@@ -1,0 +1,22 @@
+//! `pt-linalg` — dense complex linear algebra for the plane-wave stack.
+//!
+//! The paper's matrix work splits into two shapes:
+//!
+//! * **tall-skinny** `N_G × N_e` wavefunction blocks: overlap matrices
+//!   `S = Ψ^H (HΨ)` (Alg. 3 line 2), subspace rotations `Ψ S`, and the
+//!   Cholesky-based re-orthogonalization at the end of every PT-CN step
+//!   (§3.4). These are [`gemm`]/[`herk`]-style kernels parallelized with
+//!   rayon (standing in for CUBLAS on the V100s).
+//! * **tiny** `≤ 20×20` Anderson least-squares problems and `N_e × N_e`
+//!   subspace eigenproblems, handled by [`lstsq`] (regularized normal
+//!   equations) and [`eigh`] (cyclic complex Jacobi).
+
+mod eig;
+mod mat;
+mod solve;
+
+pub use eig::eigh;
+pub use mat::{CMat, Op};
+pub use solve::{cholesky_in_place, lstsq, solve_lower, solve_upper_conj, trsm_right_lh};
+
+pub use mat::{gemm, herk};

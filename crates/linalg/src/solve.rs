@@ -1,0 +1,242 @@
+//! Triangular factorizations and solves.
+//!
+//! The PT-CN step ends with re-orthogonalization (paper §3.4): form the
+//! overlap `S = Ψ^H Ψ`, Cholesky-factor it on one rank (cuSOLVER in the
+//! paper), then apply `Ψ ← Ψ L^{-H}` with a triangular solve (`Trsm`).
+//! [`lstsq`] solves the tiny (≤ 20 unknowns) Anderson mixing problems.
+
+use crate::mat::CMat;
+use pt_num::c64;
+
+/// In-place lower Cholesky factorization `A = L L^H` of a Hermitian
+/// positive-definite matrix. On return the lower triangle (incl. diagonal)
+/// holds `L`; the strict upper triangle is zeroed. Panics if a pivot is not
+/// positive (matrix not PD — e.g. linearly dependent orbitals).
+pub fn cholesky_in_place(a: &mut CMat) {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "cholesky: square matrix required");
+    for j in 0..n {
+        // diagonal pivot
+        let mut d = a[(j, j)].re;
+        for k in 0..j {
+            d -= a[(j, k)].norm_sqr();
+        }
+        assert!(
+            d > 0.0,
+            "cholesky: non-positive pivot {d:.3e} at column {j} (matrix not PD)"
+        );
+        let ljj = d.sqrt();
+        a[(j, j)] = c64::real(ljj);
+        for i in (j + 1)..n {
+            let mut v = a[(i, j)];
+            for k in 0..j {
+                v -= a[(i, k)] * a[(j, k)].conj();
+            }
+            a[(i, j)] = v / ljj;
+        }
+        for i in 0..j {
+            a[(i, j)] = c64::ZERO;
+        }
+    }
+}
+
+/// Solve `L y = b` with `L` lower triangular (forward substitution).
+pub fn solve_lower(l: &CMat, b: &[c64]) -> Vec<c64> {
+    let n = l.nrows();
+    assert_eq!(b.len(), n);
+    let mut y = vec![c64::ZERO; n];
+    for i in 0..n {
+        let mut v = b[i];
+        for k in 0..i {
+            v -= l[(i, k)] * y[k];
+        }
+        y[i] = v / l[(i, i)];
+    }
+    y
+}
+
+/// Solve `L^H x = y` with `L` lower triangular (back substitution on the
+/// conjugate transpose).
+pub fn solve_upper_conj(l: &CMat, y: &[c64]) -> Vec<c64> {
+    let n = l.nrows();
+    assert_eq!(y.len(), n);
+    let mut x = vec![c64::ZERO; n];
+    for i in (0..n).rev() {
+        let mut v = y[i];
+        for k in (i + 1)..n {
+            v -= l[(k, i)].conj() * x[k];
+        }
+        x[i] = v / l[(i, i)].conj();
+    }
+    x
+}
+
+/// Right triangular solve `X ← X · L^{-H}` (i.e. solve `X_new · L^H = X`)
+/// with `L` lower triangular. This is exactly the orthogonalization rotation
+/// `Ψ ← Ψ L^{-H}` after Cholesky of the overlap matrix.
+pub fn trsm_right_lh(x: &mut CMat, l: &CMat) {
+    let n = l.nrows();
+    assert_eq!(n, l.ncols());
+    assert_eq!(x.ncols(), n, "trsm: X columns must match L order");
+    let m = x.nrows();
+    // (X L^H)[:,j] = Σ_{i<=j} X[:,i] conj(L[j,i]);
+    // solve columns in increasing j.
+    for j in 0..n {
+        // subtract contributions of already-solved columns
+        for i in 0..j {
+            let coef = l[(j, i)].conj();
+            if coef != c64::ZERO {
+                // X[:,j] -= X[:,i] * coef — need split borrows
+                let (lo, hi) = x.data_mut().split_at_mut(j * m);
+                let xi = &lo[i * m..(i + 1) * m];
+                let xj = &mut hi[..m];
+                for (a, b) in xj.iter_mut().zip(xi) {
+                    *a -= *b * coef;
+                }
+            }
+        }
+        let d = l[(j, j)].conj();
+        for v in x.col_mut(j) {
+            *v = *v / d;
+        }
+    }
+}
+
+/// Least squares `min_x ‖A x − b‖₂` via regularized normal equations
+/// `(A^H A + ridge·I) x = A^H b`.
+///
+/// Used for Anderson mixing (history ≤ 20, so normal equations are cheap
+/// and the ridge keeps nearly linearly dependent histories harmless —
+/// PWDFT does the same with its up-to-20-deep mixing memory).
+pub fn lstsq(a: &CMat, b: &[c64], ridge: f64) -> Vec<c64> {
+    let k = a.ncols();
+    assert_eq!(a.nrows(), b.len());
+    let mut g = CMat::zeros(k, k);
+    crate::mat::gemm(
+        c64::ONE,
+        a,
+        crate::mat::Op::ConjTrans,
+        a,
+        crate::mat::Op::None,
+        c64::ZERO,
+        &mut g,
+    );
+    // scale-aware ridge
+    let trace: f64 = (0..k).map(|i| g[(i, i)].re).sum();
+    let eps = ridge * (trace / k.max(1) as f64).max(1e-300);
+    for i in 0..k {
+        g[(i, i)] += c64::real(eps);
+    }
+    let mut rhs = vec![c64::ZERO; k];
+    for (i, r) in rhs.iter_mut().enumerate() {
+        *r = pt_num::complex::zdotc(a.col(i), b);
+    }
+    cholesky_in_place(&mut g);
+    let y = solve_lower(&g, &rhs);
+    solve_upper_conj(&g, &y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::{gemm, Op};
+
+    fn randm(nr: usize, nc: usize, seed: u64) -> CMat {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        CMat::from_fn(nr, nc, |_, _| c64::new(next(), next()))
+    }
+
+    fn rand_hpd(n: usize, seed: u64) -> CMat {
+        let a = randm(n + 3, n, seed);
+        let mut g = CMat::zeros(n, n);
+        gemm(c64::ONE, &a, Op::ConjTrans, &a, Op::None, c64::ZERO, &mut g);
+        for i in 0..n {
+            g[(i, i)] += c64::real(0.5);
+        }
+        g
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = rand_hpd(7, 11);
+        let mut l = a.clone();
+        cholesky_in_place(&mut l);
+        // L L^H == A
+        let lh = l.dagger();
+        let mut back = CMat::zeros(7, 7);
+        gemm(c64::ONE, &l, Op::None, &lh, Op::None, c64::ZERO, &mut back);
+        assert!(back.max_diff(&a) < 1e-11, "diff {}", back.max_diff(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive pivot")]
+    fn cholesky_rejects_indefinite() {
+        let mut a = CMat::eye(3);
+        a[(2, 2)] = c64::real(-1.0);
+        cholesky_in_place(&mut a);
+    }
+
+    #[test]
+    fn triangular_solves_invert() {
+        let a = rand_hpd(6, 5);
+        let mut l = a.clone();
+        cholesky_in_place(&mut l);
+        let b: Vec<c64> = (0..6).map(|i| c64::new(i as f64 + 0.5, -(i as f64))).collect();
+        let y = solve_lower(&l, &b);
+        let x = solve_upper_conj(&l, &y);
+        // A x should equal b
+        let xm = CMat::from_vec(6, 1, x);
+        let mut ax = CMat::zeros(6, 1);
+        gemm(c64::ONE, &a, Op::None, &xm, Op::None, c64::ZERO, &mut ax);
+        for i in 0..6 {
+            assert!((ax[(i, 0)] - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn trsm_orthogonalizes() {
+        // Ψ ← Ψ L^{-H} with S = Ψ^H Ψ = L L^H must give Ψ^H Ψ = I
+        let mut psi = randm(40, 6, 21);
+        let mut s = CMat::zeros(6, 6);
+        gemm(c64::ONE, &psi, Op::ConjTrans, &psi, Op::None, c64::ZERO, &mut s);
+        let mut l = s.clone();
+        cholesky_in_place(&mut l);
+        trsm_right_lh(&mut psi, &l);
+        let mut id = CMat::zeros(6, 6);
+        gemm(c64::ONE, &psi, Op::ConjTrans, &psi, Op::None, c64::ZERO, &mut id);
+        assert!(id.max_diff(&CMat::eye(6)) < 1e-11, "{}", id.max_diff(&CMat::eye(6)));
+    }
+
+    #[test]
+    fn lstsq_exact_on_consistent_system() {
+        let a = randm(10, 4, 31);
+        let xtrue: Vec<c64> = (0..4).map(|i| c64::new(1.0 + i as f64, -0.5 * i as f64)).collect();
+        let xm = CMat::from_vec(4, 1, xtrue.clone());
+        let mut bm = CMat::zeros(10, 1);
+        gemm(c64::ONE, &a, Op::None, &xm, Op::None, c64::ZERO, &mut bm);
+        let x = lstsq(&a, bm.col(0), 0.0);
+        for i in 0..4 {
+            assert!((x[i] - xtrue[i]).abs() < 1e-9, "{:?} vs {:?}", x[i], xtrue[i]);
+        }
+    }
+
+    #[test]
+    fn lstsq_ridge_handles_dependent_columns() {
+        // two identical columns: without a ridge the normal equations are
+        // singular; with it the solve must not panic and must fit b.
+        let mut a = randm(8, 2, 41);
+        let c0: Vec<c64> = a.col(0).to_vec();
+        a.col_mut(1).copy_from_slice(&c0);
+        let b: Vec<c64> = a.col(0).to_vec();
+        let x = lstsq(&a, &b, 1e-10);
+        // residual should be ~0: x0 + x1 ≈ 1
+        let s = x[0] + x[1];
+        assert!((s - c64::ONE).abs() < 1e-4, "{s:?}");
+    }
+}

@@ -1,0 +1,486 @@
+//! Rank threads, point-to-point messaging and collectives.
+
+use crate::stats::CommStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pt_num::{c32, c64};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Wire precision for complex payloads (§3.2 optimization 4: sending
+/// wavefunctions in single precision halves the broadcast volume; values
+/// are converted back to f64 before any computation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Wire {
+    /// Full double precision on the wire.
+    F64,
+    /// Single-precision wire format (half the bytes, ~1e-7 relative loss).
+    F32,
+}
+
+/// A tagged message between ranks.
+enum Payload {
+    C64(Vec<c64>),
+    C32(Vec<c32>),
+    F64(Vec<f64>),
+}
+
+struct Envelope {
+    src: usize,
+    tag: u64,
+    payload: Payload,
+}
+
+/// Per-rank communicator handle (the `MPI_COMM_WORLD` of a virtual run).
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope>>,
+    receiver: Receiver<Envelope>,
+    /// out-of-order message stash
+    stash: HashMap<(usize, u64), Vec<Payload>>,
+    stats: Arc<CommStats>,
+    wire: Wire,
+}
+
+/// Spawn `np` rank threads running `f(comm)` and return their results in
+/// rank order. Panics in any rank propagate (failure injection semantics:
+/// a dead rank aborts the whole virtual job, like a real MPI fault).
+pub fn run_ranks<T, F>(np: usize, wire: Wire, f: F) -> (Vec<T>, crate::StatsSnapshot)
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    assert!(np > 0);
+    let stats = Arc::new(CommStats::default());
+    let mut txs = Vec::with_capacity(np);
+    let mut rxs = Vec::with_capacity(np);
+    for _ in 0..np {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let mut results: Vec<Option<T>> = (0..np).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(np);
+        for (rank, (rx, slot)) in rxs.drain(..).zip(results.iter_mut()).enumerate() {
+            let txs = txs.clone();
+            let stats = Arc::clone(&stats);
+            let fref = &f;
+            handles.push(scope.spawn(move |_| {
+                let mut comm = Comm {
+                    rank,
+                    size: np,
+                    senders: txs,
+                    receiver: rx,
+                    stash: HashMap::new(),
+                    stats,
+                    wire,
+                };
+                *slot = Some(fref(&mut comm));
+            }));
+        }
+        for h in handles {
+            h.join().expect("rank thread panicked");
+        }
+    })
+    .expect("virtual MPI scope failed");
+    let out = results.into_iter().map(|r| r.expect("rank produced no result")).collect();
+    let snap = stats.snapshot();
+    (out, snap)
+}
+
+impl Comm {
+    /// This rank's id.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Wire precision in force for complex payloads.
+    #[inline]
+    pub fn wire(&self) -> Wire {
+        self.wire
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> crate::StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn send_payload(&self, dst: usize, tag: u64, payload: Payload) {
+        self.senders[dst]
+            .send(Envelope { src: self.rank, tag, payload })
+            .expect("receiver hung up");
+    }
+
+    fn recv_payload(&mut self, src: usize, tag: u64) -> Payload {
+        if let Some(q) = self.stash.get_mut(&(src, tag)) {
+            if !q.is_empty() {
+                return q.remove(0);
+            }
+        }
+        loop {
+            let env = self.receiver.recv().expect("sender hung up");
+            if env.src == src && env.tag == tag {
+                return env.payload;
+            }
+            self.stash.entry((env.src, env.tag)).or_default().push(env.payload);
+        }
+    }
+
+    /// Point-to-point send of complex data (wire conversion applied).
+    pub fn send_c64(&self, dst: usize, tag: u64, data: &[c64]) {
+        let bytes = self.c64_wire_bytes(data.len());
+        self.stats.add(&self.stats.p2p_bytes, bytes);
+        match self.wire {
+            Wire::F64 => self.send_payload(dst, tag, Payload::C64(data.to_vec())),
+            Wire::F32 => self.send_payload(
+                dst,
+                tag,
+                Payload::C32(data.iter().map(|z| z.to_c32()).collect()),
+            ),
+        }
+    }
+
+    /// Point-to-point receive of complex data.
+    pub fn recv_c64(&mut self, src: usize, tag: u64) -> Vec<c64> {
+        match self.recv_payload(src, tag) {
+            Payload::C64(v) => v,
+            Payload::C32(v) => v.into_iter().map(|z| z.to_c64()).collect(),
+            Payload::F64(_) => panic!("type mismatch: expected complex payload"),
+        }
+    }
+
+    fn c64_wire_bytes(&self, n: usize) -> u64 {
+        match self.wire {
+            Wire::F64 => 16 * n as u64,
+            Wire::F32 => 8 * n as u64,
+        }
+    }
+
+    /// Binomial-tree broadcast of complex data from `root` (the Alg. 2
+    /// wavefunction broadcast). Counts received bytes like the paper's §7
+    /// receiving-side analysis.
+    pub fn bcast_c64(&mut self, root: usize, data: &mut Vec<c64>) {
+        self.stats.add(&self.stats.bcast_calls, 1);
+        let p = self.size;
+        if p == 1 {
+            return;
+        }
+        let r = (self.rank + p - root) % p; // relative rank
+        // receive phase: the lowest set bit of r determines the parent
+        if r != 0 {
+            let lsb = r & r.wrapping_neg();
+            let parent = (r - lsb + root) % p;
+            let got = self.recv_payload(parent, TAG_BCAST);
+            *data = match got {
+                Payload::C64(v) => v,
+                Payload::C32(v) => v.into_iter().map(|z| z.to_c64()).collect(),
+                _ => panic!("bcast type mismatch"),
+            };
+            self.stats.add(&self.stats.bcast_bytes, self.c64_wire_bytes(data.len()));
+        }
+        // send phase: forward to children r + mask for mask < lsb(r)
+        let lsb = if r == 0 { p.next_power_of_two() } else { r & r.wrapping_neg() };
+        let mut mask = 1usize;
+        while mask < p {
+            if mask < lsb && r + mask < p {
+                let child = (r + mask + root) % p;
+                match self.wire {
+                    Wire::F64 => self.send_payload(child, TAG_BCAST, Payload::C64(data.clone())),
+                    Wire::F32 => self.send_payload(
+                        child,
+                        TAG_BCAST,
+                        Payload::C32(data.iter().map(|z| z.to_c32()).collect()),
+                    ),
+                }
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// Allreduce (sum) of f64 data: binomial reduce to rank 0 + broadcast.
+    pub fn allreduce_sum_f64(&mut self, data: &mut [f64]) {
+        self.stats.add(&self.stats.allreduce_calls, 1);
+        let p = self.size;
+        if p == 1 {
+            return;
+        }
+        let bytes = 8 * data.len() as u64;
+        // reduce to 0 along a binomial tree
+        let mut mask = 1usize;
+        while mask < p {
+            if self.rank & mask != 0 {
+                let dst = self.rank & !mask;
+                self.send_payload(dst, TAG_REDUCE, Payload::F64(data.to_vec()));
+                self.stats.add(&self.stats.allreduce_bytes, bytes);
+                break;
+            } else if (self.rank | mask) < p {
+                let src = self.rank | mask;
+                match self.recv_payload(src, TAG_REDUCE) {
+                    Payload::F64(v) => {
+                        for (d, s) in data.iter_mut().zip(v) {
+                            *d += s;
+                        }
+                    }
+                    _ => panic!("allreduce type mismatch"),
+                }
+            }
+            mask <<= 1;
+        }
+        // broadcast result (counted as allreduce traffic, matching how the
+        // paper lumps the whole MPI_Allreduce in one class)
+        let mut tmp = if self.rank == 0 { data.to_vec() } else { Vec::new() };
+        self.bcast_f64_internal(0, &mut tmp, TAG_REDUCE_BC, bytes);
+        data.copy_from_slice(&tmp);
+    }
+
+    fn bcast_f64_internal(&mut self, root: usize, data: &mut Vec<f64>, tag: u64, bytes: u64) {
+        let p = self.size;
+        if p == 1 {
+            return;
+        }
+        let r = (self.rank + p - root) % p;
+        if r != 0 {
+            let lsb = r & r.wrapping_neg();
+            let parent = (r - lsb + root) % p;
+            match self.recv_payload(parent, tag) {
+                Payload::F64(v) => *data = v,
+                _ => panic!("bcast type mismatch"),
+            }
+            self.stats.add(&self.stats.allreduce_bytes, bytes);
+        }
+        let lsb = if r == 0 { p.next_power_of_two() } else { r & r.wrapping_neg() };
+        let mut mask = 1usize;
+        while mask < p {
+            if mask < lsb && r + mask < p {
+                let child = (r + mask + root) % p;
+                self.send_payload(child, tag, Payload::F64(data.clone()));
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// Allreduce (sum) of complex data (overlap matrices, Alg. 3 line 3).
+    pub fn allreduce_sum_c64(&mut self, data: &mut [c64]) {
+        // reuse the f64 path over the interleaved representation
+        let mut flat: Vec<f64> = Vec::with_capacity(2 * data.len());
+        for z in data.iter() {
+            flat.push(z.re);
+            flat.push(z.im);
+        }
+        self.allreduce_sum_f64(&mut flat);
+        for (z, ch) in data.iter_mut().zip(flat.chunks_exact(2)) {
+            *z = c64::new(ch[0], ch[1]);
+        }
+    }
+
+    /// Pairwise `MPI_Alltoallv` for complex data: `send[j]` goes to rank
+    /// `j`; returns the received blocks indexed by source rank. Used for
+    /// the band-index ↔ G-space layout flips (Alg. 3 lines 1 and 6).
+    pub fn alltoallv_c64(&mut self, send: Vec<Vec<c64>>) -> Vec<Vec<c64>> {
+        assert_eq!(send.len(), self.size);
+        self.stats.add(&self.stats.alltoallv_calls, 1);
+        let p = self.size;
+        let mut recv: Vec<Vec<c64>> = (0..p).map(|_| Vec::new()).collect();
+        recv[self.rank] = send[self.rank].clone();
+        for round in 1..p {
+            let dst = (self.rank + round) % p;
+            let src = (self.rank + p - round) % p;
+            let bytes = self.c64_wire_bytes(send[dst].len());
+            self.stats.add(&self.stats.alltoallv_bytes, bytes);
+            match self.wire {
+                Wire::F64 => {
+                    self.send_payload(dst, TAG_A2A + round as u64, Payload::C64(send[dst].clone()))
+                }
+                Wire::F32 => self.send_payload(
+                    dst,
+                    TAG_A2A + round as u64,
+                    Payload::C32(send[dst].iter().map(|z| z.to_c32()).collect()),
+                ),
+            }
+            let got = self.recv_payload(src, TAG_A2A + round as u64);
+            recv[src] = match got {
+                Payload::C64(v) => v,
+                Payload::C32(v) => v.into_iter().map(|z| z.to_c64()).collect(),
+                _ => panic!("alltoallv type mismatch"),
+            };
+        }
+        recv
+    }
+
+    /// `MPI_Allgatherv` for f64 data: every rank contributes a block, all
+    /// ranks receive all blocks (used after the XC potential evaluation,
+    /// §3.4 / Table 2).
+    pub fn allgatherv_f64(&mut self, mine: &[f64]) -> Vec<Vec<f64>> {
+        self.stats.add(&self.stats.allgatherv_calls, 1);
+        let p = self.size;
+        let mut out: Vec<Vec<f64>> = (0..p).map(|_| Vec::new()).collect();
+        out[self.rank] = mine.to_vec();
+        for round in 1..p {
+            let dst = (self.rank + round) % p;
+            let src = (self.rank + p - round) % p;
+            self.stats.add(&self.stats.allgatherv_bytes, 8 * mine.len() as u64);
+            self.send_payload(dst, TAG_AGV + round as u64, Payload::F64(mine.to_vec()));
+            match self.recv_payload(src, TAG_AGV + round as u64) {
+                Payload::F64(v) => out[src] = v,
+                _ => panic!("allgatherv type mismatch"),
+            }
+        }
+        out
+    }
+
+    /// Full barrier (reduce + broadcast of an empty token).
+    pub fn barrier(&mut self) {
+        let mut token = [0.0f64; 1];
+        self.allreduce_sum_f64(&mut token);
+    }
+}
+
+const TAG_BCAST: u64 = 1 << 32;
+const TAG_REDUCE: u64 = 2 << 32;
+const TAG_REDUCE_BC: u64 = 3 << 32;
+const TAG_A2A: u64 = 4 << 32;
+const TAG_AGV: u64 = 5 << 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bcast_delivers_to_all_ranks() {
+        for np in [1usize, 2, 3, 4, 5, 8] {
+            for root in [0, np - 1] {
+                let (out, stats) = run_ranks(np, Wire::F64, |comm| {
+                    let mut data = if comm.rank() == root {
+                        vec![c64::new(1.5, -2.5); 100]
+                    } else {
+                        Vec::new()
+                    };
+                    comm.bcast_c64(root, &mut data);
+                    data
+                });
+                for v in &out {
+                    assert_eq!(v.len(), 100);
+                    assert_eq!(v[0], c64::new(1.5, -2.5));
+                }
+                // received volume: (np − 1) receivers × 1600 bytes
+                assert_eq!(stats.bcast_bytes, (np as u64 - 1) * 1600, "np={np}");
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_f32_wire_halves_volume_and_loses_little() {
+        let (out, stats) = run_ranks(4, Wire::F32, |comm| {
+            let mut data = if comm.rank() == 0 {
+                vec![c64::new(0.123456789, 9.87654321); 50]
+            } else {
+                Vec::new()
+            };
+            comm.bcast_c64(0, &mut data);
+            data
+        });
+        assert_eq!(stats.bcast_bytes, 3 * 50 * 8);
+        for v in out {
+            assert!((v[0] - c64::new(0.123456789, 9.87654321)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        for np in [1usize, 2, 3, 5, 7] {
+            let (out, _) = run_ranks(np, Wire::F64, |comm| {
+                let mut data = vec![comm.rank() as f64 + 1.0, 10.0];
+                comm.allreduce_sum_f64(&mut data);
+                data
+            });
+            let want0 = (1..=np).sum::<usize>() as f64;
+            for v in out {
+                assert_eq!(v[0], want0);
+                assert_eq!(v[1], 10.0 * np as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_c64_matches_serial_sum() {
+        let (out, _) = run_ranks(6, Wire::F64, |comm| {
+            let r = comm.rank() as f64;
+            let mut data = vec![c64::new(r, -r), c64::new(1.0, 1.0)];
+            comm.allreduce_sum_c64(&mut data);
+            data
+        });
+        for v in out {
+            assert_eq!(v[0], c64::new(15.0, -15.0));
+            assert_eq!(v[1], c64::new(6.0, 6.0));
+        }
+    }
+
+    #[test]
+    fn alltoallv_transposes_blocks() {
+        let np = 5;
+        let (out, _) = run_ranks(np, Wire::F64, |comm| {
+            let r = comm.rank();
+            let send: Vec<Vec<c64>> = (0..np)
+                .map(|j| vec![c64::new(r as f64, j as f64); j + 1])
+                .collect();
+            comm.alltoallv_c64(send)
+        });
+        for (r, recv) in out.iter().enumerate() {
+            for (src, block) in recv.iter().enumerate() {
+                assert_eq!(block.len(), r + 1, "rank {r} from {src}");
+                assert_eq!(block[0], c64::new(src as f64, r as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_collects_everything() {
+        let (out, _) = run_ranks(4, Wire::F64, |comm| {
+            let mine = vec![comm.rank() as f64; comm.rank() + 1];
+            comm.allgatherv_f64(&mine)
+        });
+        for recv in out {
+            for (src, block) in recv.iter().enumerate() {
+                assert_eq!(block.len(), src + 1);
+                assert!(block.iter().all(|&v| v == src as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_and_out_of_order_tags() {
+        // ranks exchange p2p messages in a crossing pattern while using
+        // collectives, exercising the stash
+        let (out, _) = run_ranks(3, Wire::F64, |comm| {
+            let r = comm.rank();
+            let next = (r + 1) % 3;
+            let prev = (r + 2) % 3;
+            comm.send_c64(next, 7, &[c64::real(r as f64)]);
+            comm.barrier();
+            let v = comm.recv_c64(prev, 7);
+            v[0].re
+        });
+        assert_eq!(out, vec![2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn rank_failure_aborts_job() {
+        let _ = run_ranks(3, Wire::F64, |comm| {
+            if comm.rank() == 1 {
+                panic!("injected rank failure");
+            }
+            // others would block forever waiting on the dead rank if the
+            // scope didn't propagate; they return immediately here.
+            comm.rank()
+        });
+    }
+}

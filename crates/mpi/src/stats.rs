@@ -1,0 +1,77 @@
+//! Per-operation-class communication counters.
+//!
+//! Table 2 of the paper breaks total time into `MPI_Bcast`, `MPI_Alltoallv`,
+//! `MPI_Allreduce`, `MPI_AllGatherv` and memcpy classes; these counters
+//! collect the corresponding *volumes* (bytes) and call counts so that
+//! integration tests can check the closed-form communication model the
+//! paper states in §3.2 and §7.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters (one instance per communicator world).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Bytes moved by broadcast operations (summed over receivers).
+    pub bcast_bytes: AtomicU64,
+    /// Broadcast call count (per-rank calls).
+    pub bcast_calls: AtomicU64,
+    /// Bytes moved by allreduce (summed over the reduce+bcast tree).
+    pub allreduce_bytes: AtomicU64,
+    /// Allreduce call count.
+    pub allreduce_calls: AtomicU64,
+    /// Bytes moved by alltoallv.
+    pub alltoallv_bytes: AtomicU64,
+    /// Alltoallv call count.
+    pub alltoallv_calls: AtomicU64,
+    /// Bytes moved by allgatherv.
+    pub allgatherv_bytes: AtomicU64,
+    /// Allgatherv call count.
+    pub allgatherv_calls: AtomicU64,
+    /// Bytes moved by raw point-to-point sends.
+    pub p2p_bytes: AtomicU64,
+}
+
+/// A plain-old-data copy of the counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Bcast bytes.
+    pub bcast_bytes: u64,
+    /// Bcast calls.
+    pub bcast_calls: u64,
+    /// Allreduce bytes.
+    pub allreduce_bytes: u64,
+    /// Allreduce calls.
+    pub allreduce_calls: u64,
+    /// Alltoallv bytes.
+    pub alltoallv_bytes: u64,
+    /// Alltoallv calls.
+    pub alltoallv_calls: u64,
+    /// Allgatherv bytes.
+    pub allgatherv_bytes: u64,
+    /// Allgatherv calls.
+    pub allgatherv_calls: u64,
+    /// Point-to-point bytes.
+    pub p2p_bytes: u64,
+}
+
+impl CommStats {
+    /// Read all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            bcast_bytes: self.bcast_bytes.load(Ordering::Relaxed),
+            bcast_calls: self.bcast_calls.load(Ordering::Relaxed),
+            allreduce_bytes: self.allreduce_bytes.load(Ordering::Relaxed),
+            allreduce_calls: self.allreduce_calls.load(Ordering::Relaxed),
+            alltoallv_bytes: self.alltoallv_bytes.load(Ordering::Relaxed),
+            alltoallv_calls: self.alltoallv_calls.load(Ordering::Relaxed),
+            allgatherv_bytes: self.allgatherv_bytes.load(Ordering::Relaxed),
+            allgatherv_calls: self.allgatherv_calls.load(Ordering::Relaxed),
+            p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Add `n` bytes to a class counter.
+    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,425 @@
+//! Complex scalar types.
+//!
+//! [`c64`] is a plain `#[repr(C)]` pair of `f64` with the arithmetic the
+//! plane-wave stack needs. We deliberately implement it ourselves rather
+//! than pulling `num-complex`: the operation set is small, we control
+//! inlining, and the layout guarantee lets the FFT and the virtual-MPI wire
+//! format reinterpret buffers safely.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Double-precision complex number (the workhorse scalar).
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct c64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Single-precision complex number, used only as a communication wire
+/// format (paper §3.2: single-precision MPI halves the broadcast volume of
+/// the Fock exchange wavefunctions).
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct c32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl c64 {
+    /// Zero.
+    pub const ZERO: c64 = c64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: c64 = c64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: c64 = c64 { re: 0.0, im: 1.0 };
+
+    /// Build from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64 { re, im }
+    }
+
+    /// Purely real value.
+    #[inline(always)]
+    pub const fn real(re: f64) -> Self {
+        c64 { re, im: 0.0 }
+    }
+
+    /// `exp(i theta)` — a point on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        c64 { re: c, im: s }
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|^2`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        c64 { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Scale by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        c64 { re: self.re * s, im: self.im * s }
+    }
+
+    /// Complex exponential `exp(z)`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        c64::cis(self.im).scale(r)
+    }
+
+    /// `self * i` without a full complex multiply.
+    #[inline(always)]
+    pub fn mul_i(self) -> Self {
+        c64 { re: -self.im, im: self.re }
+    }
+
+    /// `self * (-i)` without a full complex multiply.
+    #[inline(always)]
+    pub fn mul_neg_i(self) -> Self {
+        c64 { re: self.im, im: -self.re }
+    }
+
+    /// Fused multiply-add: `self + a * b`.
+    #[inline(always)]
+    pub fn mul_add(self, a: c64, b: c64) -> Self {
+        c64 {
+            re: self.re + a.re * b.re - a.im * b.im,
+            im: self.im + a.re * b.im + a.im * b.re,
+        }
+    }
+
+    /// Round-trip to single precision (the MPI wire conversion of §3.2).
+    #[inline(always)]
+    pub fn to_c32(self) -> c32 {
+        c32 { re: self.re as f32, im: self.im as f32 }
+    }
+
+    /// True if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        if r == 0.0 {
+            return c64::ZERO;
+        }
+        let theta = self.arg() * 0.5;
+        c64::cis(theta).scale(r.sqrt())
+    }
+}
+
+impl c32 {
+    /// Zero.
+    pub const ZERO: c32 = c32 { re: 0.0, im: 0.0 };
+
+    /// Build from parts.
+    #[inline(always)]
+    pub const fn new(re: f32, im: f32) -> Self {
+        c32 { re, im }
+    }
+
+    /// Widen back to double precision.
+    #[inline(always)]
+    pub fn to_c64(self) -> c64 {
+        c64 { re: self.re as f64, im: self.im as f64 }
+    }
+}
+
+impl fmt::Debug for c64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for c64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for c32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.re, self.im)
+    }
+}
+
+impl Add for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn add(self, o: c64) -> c64 {
+        c64 { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl Sub for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn sub(self, o: c64) -> c64 {
+        c64 { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn mul(self, o: c64) -> c64 {
+        c64 {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl Div for c64 {
+    type Output = c64;
+    #[inline]
+    fn div(self, o: c64) -> c64 {
+        self * o.inv()
+    }
+}
+
+impl Neg for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn neg(self) -> c64 {
+        c64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl Mul<f64> for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn mul(self, s: f64) -> c64 {
+        self.scale(s)
+    }
+}
+
+impl Mul<c64> for f64 {
+    type Output = c64;
+    #[inline(always)]
+    fn mul(self, z: c64) -> c64 {
+        z.scale(self)
+    }
+}
+
+impl Div<f64> for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn div(self, s: f64) -> c64 {
+        c64 { re: self.re / s, im: self.im / s }
+    }
+}
+
+impl AddAssign for c64 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: c64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl SubAssign for c64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, o: c64) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl MulAssign for c64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, o: c64) {
+        *self = *self * o;
+    }
+}
+
+impl MulAssign<f64> for c64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, s: f64) {
+        self.re *= s;
+        self.im *= s;
+    }
+}
+
+impl DivAssign<f64> for c64 {
+    #[inline(always)]
+    fn div_assign(&mut self, s: f64) {
+        self.re /= s;
+        self.im /= s;
+    }
+}
+
+impl Sum for c64 {
+    fn sum<I: Iterator<Item = c64>>(iter: I) -> c64 {
+        iter.fold(c64::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for c64 {
+    #[inline(always)]
+    fn from(re: f64) -> c64 {
+        c64::real(re)
+    }
+}
+
+/// Conjugated dot product `sum_k conj(a_k) b_k` of two equal-length slices.
+#[inline]
+pub fn zdotc(a: &[c64], b: &[c64]) -> c64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = c64::ZERO;
+    for (x, y) in a.iter().zip(b) {
+        acc = acc.mul_add(x.conj(), *y);
+    }
+    acc
+}
+
+/// `y += alpha * x` over slices.
+#[inline]
+pub fn zaxpy(alpha: c64, x: &[c64], y: &mut [c64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = yi.mul_add(alpha, *xi);
+    }
+}
+
+/// Euclidean norm of a complex slice.
+#[inline]
+pub fn znrm2(a: &[c64]) -> f64 {
+    a.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = c64::new(1.0, 2.0);
+        let b = c64::new(-3.0, 0.5);
+        assert_eq!(a + b, c64::new(-2.0, 2.5));
+        assert_eq!(a - b, c64::new(4.0, 1.5));
+        assert_eq!(a * b, c64::new(1.0 * -3.0 - 2.0 * 0.5, 1.0 * 0.5 + 2.0 * -3.0));
+        let q = a / b;
+        let back = q * b;
+        assert!(close(back.re, a.re, 1e-14) && close(back.im, a.im, 1e-14));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = c64::new(3.0, -4.0);
+        assert_eq!(a.conj(), c64::new(3.0, 4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!(close((a * a.conj()).re, 25.0, 1e-14));
+    }
+
+    #[test]
+    fn cis_is_unit_circle() {
+        for k in 0..16 {
+            let t = k as f64 * 0.7;
+            let z = c64::cis(t);
+            assert!(close(z.norm_sqr(), 1.0, 1e-14));
+            assert!(close(z.arg(), t.sin().atan2(t.cos()), 1e-12));
+        }
+    }
+
+    #[test]
+    fn mul_i_shortcuts() {
+        let a = c64::new(1.5, -0.25);
+        assert_eq!(a.mul_i(), a * c64::I);
+        assert_eq!(a.mul_neg_i(), a * -c64::I);
+    }
+
+    #[test]
+    fn exp_matches_euler() {
+        let z = c64::new(0.3, 1.2);
+        let e = z.exp();
+        let expect = c64::cis(1.2).scale(0.3f64.exp());
+        assert!(close(e.re, expect.re, 1e-14));
+        assert!(close(e.im, expect.im, 1e-14));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (-1.0, 0.0), (3.0, -4.0), (0.0, 2.0)] {
+            let z = c64::new(re, im);
+            let s = z.sqrt();
+            let b = s * s;
+            assert!(close(b.re, re, 1e-12) && close(b.im, im, 1e-12));
+        }
+    }
+
+    #[test]
+    fn single_precision_roundtrip_loses_little() {
+        let z = c64::new(0.123456789012345, -9.87654321e-3);
+        let w = z.to_c32().to_c64();
+        assert!((z - w).abs() < 1e-7 * z.abs().max(1.0));
+    }
+
+    #[test]
+    fn blas1_helpers() {
+        let x = vec![c64::new(1.0, 1.0), c64::new(2.0, 0.0)];
+        let mut y = vec![c64::new(0.0, 1.0), c64::new(1.0, -1.0)];
+        let d = zdotc(&x, &y);
+        // conj(1+i)(i) + conj(2)(1-i) = (1-i)(i) + 2 - 2i = i + 1 + 2 - 2i = 3 - i
+        assert_eq!(d, c64::new(3.0, -1.0));
+        zaxpy(c64::new(0.0, 1.0), &x, &mut y);
+        assert_eq!(y[0], c64::new(-1.0, 2.0));
+        assert!(close(znrm2(&x), (1.0f64 + 1.0 + 4.0).sqrt(), 1e-14));
+    }
+}

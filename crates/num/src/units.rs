@@ -1,0 +1,72 @@
+//! Physical constants and unit conversions.
+//!
+//! The whole stack works in Hartree atomic units (ħ = m_e = e = 4πε₀ = 1):
+//! energies in Hartree, lengths in bohr, time in ħ/Hₐ. The paper quotes time
+//! steps in attoseconds (50 as for PT-CN, 0.5 as for RK4) and the silicon
+//! lattice constant in Å; these constants do the translation.
+
+/// Bohr radii per Ångström.
+pub const BOHR_PER_ANGSTROM: f64 = 1.889_726_124_626_18;
+
+/// Electron-volts per Hartree.
+pub const EV_PER_HARTREE: f64 = 27.211_386_245_988;
+
+/// Attoseconds per atomic unit of time (ħ / Hₐ).
+pub const AS_PER_AU_TIME: f64 = 24.188_843_265_857;
+
+/// Femtoseconds per atomic unit of time.
+pub const FS_PER_AU_TIME: f64 = AS_PER_AU_TIME * 1e-3;
+
+/// Speed of light in atomic units (1/α).
+pub const C_AU: f64 = 137.035_999_084;
+
+/// Silicon conventional (simple-cubic, 8-atom) lattice constant used in the
+/// paper's test systems: 5.43 Å.
+pub const SI_LATTICE_ANGSTROM: f64 = 5.43;
+
+/// Same, in bohr.
+pub const SI_LATTICE_BOHR: f64 = SI_LATTICE_ANGSTROM * BOHR_PER_ANGSTROM;
+
+/// Convert a laser wavelength in nm to the photon energy in Hartree.
+/// The paper's pulse is 380 nm → ħω ≈ 3.26 eV ≈ 0.12 Ha.
+pub fn wavelength_nm_to_hartree(lambda_nm: f64) -> f64 {
+    // E = h c / λ ; with hc = 1239.841984 eV·nm
+    const HC_EV_NM: f64 = 1239.841_984_332_002_6;
+    (HC_EV_NM / lambda_nm) / EV_PER_HARTREE
+}
+
+/// Convert attoseconds to atomic units of time.
+pub fn attosecond_to_au(t_as: f64) -> f64 {
+    t_as / AS_PER_AU_TIME
+}
+
+/// Convert atomic units of time to attoseconds.
+pub fn au_to_attosecond(t_au: f64) -> f64 {
+    t_au * AS_PER_AU_TIME
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_lattice_in_bohr() {
+        assert!((SI_LATTICE_BOHR - 10.261_212_856_72).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_laser_photon_energy() {
+        // 380 nm should be ~3.263 eV = 0.1199 Ha
+        let e = wavelength_nm_to_hartree(380.0);
+        assert!((e * EV_PER_HARTREE - 3.2627).abs() < 1e-3, "{e}");
+    }
+
+    #[test]
+    fn paper_time_steps_in_au() {
+        // PT-CN: 50 as ≈ 2.067 a.u.; RK4: 0.5 as ≈ 0.0207 a.u.
+        assert!((attosecond_to_au(50.0) - 2.0671).abs() < 1e-3);
+        assert!((attosecond_to_au(0.5) - 0.020671).abs() < 1e-5);
+        let t = 123.4;
+        assert!((au_to_attosecond(attosecond_to_au(t)) - t).abs() < 1e-12);
+    }
+}

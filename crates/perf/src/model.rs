@@ -1,0 +1,361 @@
+//! The anchored component cost model.
+
+use crate::reference::*;
+use pt_summit::Summit;
+
+/// A PT-CN + hybrid-functional problem instance.
+#[derive(Clone, Copy, Debug)]
+pub struct Problem {
+    /// Number of silicon atoms.
+    pub n_atoms: usize,
+    /// Occupied wavefunctions N_e (2 per Si atom).
+    pub n_bands: usize,
+    /// Plane waves per wavefunction N_G.
+    pub ng: usize,
+    /// Average SCF iterations per PT-CN step.
+    pub n_scf: usize,
+}
+
+impl Problem {
+    /// A silicon system with the paper's §4 parameters (E_cut = 10 Ha:
+    /// N_G and N_e scale linearly with atom count from the 1536-atom
+    /// reference with N_G = 648 000, N_e = 3072).
+    pub fn silicon(n_atoms: usize) -> Self {
+        Problem {
+            n_atoms,
+            n_bands: 2 * n_atoms,
+            ng: (648_000 * n_atoms) / 1536,
+            n_scf: PAPER_SCF_PER_STEP,
+        }
+    }
+
+    /// The paper's headline system.
+    pub fn paper_1536() -> Self {
+        Problem::silicon(1536)
+    }
+}
+
+/// One modelled component: anchored power law in P times physical size
+/// scaling.
+#[derive(Clone, Copy, Debug)]
+struct Component {
+    t36: f64,
+    gamma: f64,
+    /// physical size exponents (relative to the 1536-atom reference):
+    /// t ∝ ne^a · ng^b · (extra log ng factor if `log_ng`)
+    a_ne: f64,
+    b_ng: f64,
+    log_ng: bool,
+}
+
+impl Component {
+    fn anchored(t36: f64, t3072: f64, a_ne: f64, b_ng: f64, log_ng: bool) -> Self {
+        let gamma = (t3072 / t36).ln() / (3072.0f64 / 36.0).ln();
+        Component { t36, gamma, a_ne, b_ng, log_ng }
+    }
+
+    /// Time (s) at `p` GPUs for problem `pr`.
+    fn time(&self, p: usize, pr: &Problem) -> f64 {
+        let reference = Problem::paper_1536();
+        let ne_ratio = pr.n_bands as f64 / reference.n_bands as f64;
+        let ng_ratio = pr.ng as f64 / reference.ng as f64;
+        let log_ratio = if self.log_ng {
+            (pr.ng as f64).ln() / (reference.ng as f64).ln()
+        } else {
+            1.0
+        };
+        // size scaling is applied at fixed GPUs-per-work ratio; the
+        // P-dependence uses the effective P normalized by problem size so
+        // that weak scaling (P ∝ N) stays anchored
+        let size = ne_ratio.powf(self.a_ne) * ng_ratio.powf(self.b_ng) * log_ratio;
+        self.t36 * size * (p as f64 / 36.0).powf(self.gamma)
+    }
+}
+
+/// Names of the per-SCF components, in Table 1 order.
+pub const COMPONENT_NAMES: [&str; 11] = [
+    "fock_mpi",
+    "fock_comp",
+    "local_semilocal",
+    "residual_alltoallv",
+    "residual_allreduce",
+    "residual_comp",
+    "anderson_memcpy",
+    "anderson_comp",
+    "density_comp",
+    "density_allreduce",
+    "others",
+];
+
+/// The assembled cost model.
+pub struct CostModel {
+    /// Machine description (power, bandwidths — used by Fig. 3/6 logic).
+    pub machine: Summit,
+    components: Vec<(String, Component)>,
+    table2: Vec<(String, Component)>,
+}
+
+impl CostModel {
+    /// Build the model anchored to the paper's Table 1/Table 2.
+    pub fn new() -> Self {
+        // physical size exponents per component:
+        //   fock comp: N_e²/P pair solves of N_G log N_G      → a=2, b=1(log)
+        //   fock mpi: each rank receives N_e·N_G·4 B           → a=1, b=1
+        //   local/semilocal, density, anderson, residual comp: N_e·N_G(log)
+        //   overlap allreduce: N_e² matrix                     → a=2, b=0
+        //   density allreduce: density grid ∝ N_G              → a=0, b=1
+        //   alltoallv: N_e·N_G/P per rank                      → a=1, b=1
+        //   others: density-grid work ∝ N_G                    → a=0, b=1
+        let spec: [(&str, f64, f64, f64, f64, bool); 11] = [
+            ("fock_mpi", 0.71, 8.074, 1.0, 1.0, false),
+            ("fock_comp", 90.99, 1.43, 2.0, 1.0, true),
+            ("local_semilocal", 0.337, 0.00404, 1.0, 1.0, true),
+            ("residual_alltoallv", 0.884, 0.056, 1.0, 1.0, false),
+            ("residual_allreduce", 0.354, 0.5243, 2.0, 0.0, false),
+            ("residual_comp", 1.43, 0.023, 2.0, 0.0, false),
+            ("anderson_memcpy", 1.64235, 0.0202, 1.0, 1.0, false),
+            ("anderson_comp", 2.3, 0.04, 1.0, 1.0, false),
+            ("density_comp", 0.1349, 0.0016, 1.0, 1.0, true),
+            ("density_allreduce", 0.123, 0.171, 0.0, 1.0, false),
+            ("others", 2.66, 1.85, 0.0, 1.0, false),
+        ];
+        let components = spec
+            .iter()
+            .map(|&(n, t36, t3072, a, b, lg)| {
+                (n.to_string(), Component::anchored(t36, t3072, a, b, lg))
+            })
+            .collect();
+        let t2spec: [(&str, f64, f64, f64, f64, bool); 6] = [
+            ("memcpy", 60.80, 2.24, 1.0, 1.0, false),
+            ("alltoallv", 20.97, 0.68, 1.0, 1.0, false),
+            ("allreduce", 11.50, 16.62, 2.0, 0.0, false),
+            ("bcast", 18.78, 193.89, 1.0, 1.0, false),
+            ("allgatherv", 0.44, 1.24, 0.0, 1.0, false),
+            ("computation", 2341.40, 71.96, 2.0, 1.0, true),
+        ];
+        let table2 = t2spec
+            .iter()
+            .map(|&(n, t36, t3072, a, b, lg)| {
+                (n.to_string(), Component::anchored(t36, t3072, a, b, lg))
+            })
+            .collect();
+        CostModel { machine: Summit::default(), components, table2 }
+    }
+
+    /// Per-SCF time of one named component.
+    pub fn component(&self, name: &str, p: usize, pr: &Problem) -> f64 {
+        self.components
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("unknown component {name}"))
+            .1
+            .time(p, pr)
+    }
+
+    /// Per-SCF HΨ time (Fock mpi + comp + local/semilocal).
+    pub fn h_psi(&self, p: usize, pr: &Problem) -> f64 {
+        self.component("fock_mpi", p, pr)
+            + self.component("fock_comp", p, pr)
+            + self.component("local_semilocal", p, pr)
+    }
+
+    /// Per-SCF residual-related time (Alg. 3).
+    pub fn residual(&self, p: usize, pr: &Problem) -> f64 {
+        self.component("residual_alltoallv", p, pr)
+            + self.component("residual_allreduce", p, pr)
+            + self.component("residual_comp", p, pr)
+    }
+
+    /// Per-SCF Anderson mixing time.
+    pub fn anderson(&self, p: usize, pr: &Problem) -> f64 {
+        self.component("anderson_memcpy", p, pr) + self.component("anderson_comp", p, pr)
+    }
+
+    /// Per-SCF density evaluation time.
+    pub fn density(&self, p: usize, pr: &Problem) -> f64 {
+        self.component("density_comp", p, pr) + self.component("density_allreduce", p, pr)
+    }
+
+    /// Per-SCF "others" (§3.4 CPU-side) time.
+    pub fn others(&self, p: usize, pr: &Problem) -> f64 {
+        self.component("others", p, pr)
+    }
+
+    /// Full per-SCF time (Table 1 "per SCF time").
+    pub fn per_scf(&self, p: usize, pr: &Problem) -> f64 {
+        self.h_psi(p, pr) + self.residual(p, pr) + self.anderson(p, pr) + self.density(p, pr)
+            + self.others(p, pr)
+    }
+
+    /// Full PT-CN step time (Table 1 "Total time"): n_scf SCF iterations
+    /// plus the two extra exchange applications (initial residual R_n and
+    /// the energy evaluation, §7) and the once-per-step orthogonalization.
+    pub fn step_total(&self, p: usize, pr: &Problem) -> f64 {
+        let ortho = 0.017 + 0.05; // Cholesky (§7) + rotation/transposes
+        self.per_scf(p, pr) * pr.n_scf as f64 + 2.0 * self.h_psi(p, pr) + ortho
+    }
+
+    /// RK4 50 as wall time (Fig. 6): 100 explicit steps of 0.5 as, each
+    /// with 4 HΨ stages; the data-dependent stages cannot overlap the
+    /// wavefunction broadcast, so each stage pays the *full* bcast
+    /// (per-rank volume / contended NIC bandwidth) plus the density and
+    /// CPU-side potential updates.
+    pub fn rk4_50as(&self, p: usize, pr: &Problem) -> f64 {
+        let wire_bytes = 8.0; // f32 complex
+        let full_bcast =
+            pr.n_bands as f64 * pr.ng as f64 * wire_bytes / self.machine.bcast_rank_bw(p);
+        let comp = self.component("fock_comp", p, pr) + self.component("local_semilocal", p, pr);
+        let stage = comp + full_bcast + self.density(p, pr) + self.others(p, pr);
+        100.0 * 4.0 * stage
+    }
+
+    /// Table 2 class time per step.
+    pub fn table2_class(&self, name: &str, p: usize, pr: &Problem) -> f64 {
+        self.table2
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("unknown table2 class {name}"))
+            .1
+            .time(p, pr)
+    }
+
+    /// CPU-baseline step time at `cores` cores (§6: 8874 s at 3072; the
+    /// band-parallel CPU code scales to at most N_e cores).
+    pub fn cpu_step(&self, cores: usize, pr: &Problem) -> f64 {
+        let cores = cores.min(pr.n_bands);
+        let ref_pr = Problem::paper_1536();
+        let size = (pr.n_bands as f64 / ref_pr.n_bands as f64).powi(2)
+            * (pr.ng as f64 / ref_pr.ng as f64)
+            * ((pr.ng as f64).ln() / (ref_pr.ng as f64).ln());
+        PAPER_CPU_STEP_SECONDS * size * 3072.0 / cores as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_are_exact_at_endpoints() {
+        let m = CostModel::new();
+        let pr = Problem::paper_1536();
+        for (name, t36, t3072) in PAPER_COMPONENT_ANCHORS {
+            let a = m.component(name, 36, &pr);
+            let b = m.component(name, 3072, &pr);
+            assert!((a - t36).abs() < 1e-9 * t36, "{name} @36: {a} vs {t36}");
+            assert!((b - t3072).abs() < 1e-9 * t3072, "{name} @3072: {b} vs {t3072}");
+        }
+    }
+
+    #[test]
+    fn per_scf_matches_paper_within_band() {
+        let m = CostModel::new();
+        let pr = Problem::paper_1536();
+        for (i, &p) in PAPER_GPU_COUNTS.iter().enumerate() {
+            let t = m.per_scf(p, &pr);
+            let want = PAPER_TABLE1_PER_SCF_TOTAL[i];
+            let rel = (t - want).abs() / want;
+            assert!(rel < 0.25, "per-SCF @{p}: model {t:.2} vs paper {want} ({rel:.2})");
+        }
+    }
+
+    #[test]
+    fn step_total_matches_paper_within_band() {
+        let m = CostModel::new();
+        let pr = Problem::paper_1536();
+        for (i, &p) in PAPER_GPU_COUNTS.iter().enumerate() {
+            let t = m.step_total(p, &pr);
+            let want = PAPER_TABLE1_TOTAL[i];
+            let rel = (t - want).abs() / want;
+            assert!(rel < 0.25, "total @{p}: model {t:.1} vs paper {want} ({rel:.2})");
+        }
+    }
+
+    #[test]
+    fn speedup_shape_peaks_near_768() {
+        // who wins, by what factor, where scaling stalls (§6)
+        let m = CostModel::new();
+        let pr = Problem::paper_1536();
+        let cpu = m.cpu_step(3072, &pr);
+        assert!((cpu - 8874.0).abs() < 1.0);
+        let sp: Vec<f64> = PAPER_GPU_COUNTS
+            .iter()
+            .map(|&p| cpu / m.step_total(p, &pr))
+            .collect();
+        // grows up to 768, then flattens/declines — the MPI_Bcast wall
+        assert!(sp[0] > 3.0 && sp[0] < 5.0, "36 GPUs: {:.1}", sp[0]);
+        let peak = sp.iter().cloned().fold(0.0, f64::max);
+        let idx_peak = sp.iter().position(|&v| v == peak).unwrap();
+        assert!(
+            (4..=6).contains(&idx_peak),
+            "peak at index {idx_peak} ({:?})",
+            sp
+        );
+        assert!(peak > 25.0 && peak < 45.0, "peak speedup {peak:.1}");
+        assert!(sp[7] < peak, "3072 GPUs must be past the scaling stall");
+    }
+
+    #[test]
+    fn ptcn_vs_rk4_ratio_20_to_30() {
+        let m = CostModel::new();
+        let pr = Problem::paper_1536();
+        let r36 = m.rk4_50as(36, &pr) / m.step_total(36, &pr);
+        let r768 = m.rk4_50as(768, &pr) / m.step_total(768, &pr);
+        assert!(r36 > 10.0 && r36 < 30.0, "ratio @36 = {r36:.1}");
+        assert!(r768 > 15.0 && r768 < 40.0, "ratio @768 = {r768:.1}");
+        assert!(r768 > r36, "speedup must grow with GPU count (Fig. 6)");
+    }
+
+    #[test]
+    fn weak_scaling_beats_the_quadratic_ideal() {
+        // Fig. 8: the ideal is O(N²); the paper's own measurements beat it
+        // (192 atoms @96 GPUs: 16 s; 1536 @768: 260.9 s → exponent ≈ 1.34,
+        // "for small systems … scales even better than the ideal scaling").
+        let m = CostModel::new();
+        let t = |n: usize| m.step_total(n / 2, &Problem::silicon(n));
+        let slope = (t(1536) / t(96)).ln() / (1536.0f64 / 96.0).ln();
+        assert!(
+            slope > 1.1 && slope < 2.1,
+            "weak-scaling exponent {slope:.2} (paper ≈ 1.3, ideal 2.0)"
+        );
+        // absolute check against the paper's quoted 192-atom point (16 s)
+        let t192 = t(192);
+        assert!(t192 > 5.0 && t192 < 35.0, "192 atoms: {t192:.1} s (paper: 16 s)");
+        // and the 1536-atom anchor is exact by construction
+        assert!((t(1536) - m.step_total(768, &Problem::paper_1536())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fock_dominates_h_psi() {
+        // §2: the exchange application is ~95 % of HΨ on CPUs and still
+        // dominates on GPUs (74-90 % of the per-SCF total, Table 1)
+        let m = CostModel::new();
+        let pr = Problem::paper_1536();
+        for &p in &PAPER_GPU_COUNTS {
+            let frac = m.h_psi(p, &pr) / m.per_scf(p, &pr);
+            assert!(frac > 0.6 && frac < 0.97, "HΨ fraction @{p}: {frac:.2}");
+        }
+    }
+
+    #[test]
+    fn table2_bcast_row_tracks_paper() {
+        let m = CostModel::new();
+        let pr = Problem::paper_1536();
+        for (i, &p) in PAPER_GPU_COUNTS.iter().enumerate() {
+            let t = m.table2_class("bcast", p, &pr);
+            let want = PAPER_TABLE2_BCAST[i];
+            // endpoint-anchored power law vs the paper's (fluctuating, §7)
+            // mid-range measurements: demand the shape within ±45 %
+            assert!(
+                (t - want).abs() / want < 0.45,
+                "bcast @{p}: {t:.1} vs {want}"
+            );
+        }
+    }
+}

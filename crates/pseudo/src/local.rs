@@ -1,0 +1,217 @@
+//! Crystal local pseudopotential on the density grid.
+
+use crate::gth::gth_parameters;
+use pt_lattice::{GridGVectors, Structure};
+use pt_num::c64;
+
+/// The structure's total local pseudopotential, assembled in reciprocal
+/// space: `V_loc(G) = (1/Ω) Σ_a v_a(|G|) e^{−iG·τ_a}`.
+///
+/// The caller turns the coefficient array into a real-space potential with
+/// one inverse FFT on the density grid.
+#[derive(Clone, Debug)]
+pub struct LocalPotential {
+    /// Fourier coefficients c_G on the full density grid, such that
+    /// `V(r) = Σ_G c_G e^{iG·r}` (c_0 holds the αZ neutrality term).
+    pub coeffs: Vec<c64>,
+    /// Σ_a ∫(v_a(r)+Z_a/r)d³r — the G = 0 "alpha" term (before 1/Ω).
+    pub alpha_z_total: f64,
+}
+
+impl LocalPotential {
+    /// Assemble the coefficients for `structure` on `grid`.
+    pub fn new(structure: &Structure, grid: &GridGVectors) -> Self {
+        let vol = structure.cell.volume();
+        let positions = structure.cart_positions();
+        let params: Vec<_> = structure
+            .atoms
+            .iter()
+            .map(|a| gth_parameters(a.species))
+            .collect();
+        let mut coeffs = vec![c64::ZERO; grid.len()];
+        let mut alpha_total = 0.0;
+        for p in &params {
+            alpha_total += p.v_loc_g0();
+        }
+        // G = 0: the Coulomb divergences cancel against Hartree + Ewald;
+        // keep only the α-term average.
+        coeffs[0] = c64::real(alpha_total / vol);
+        for (idx, c) in coeffs.iter_mut().enumerate().skip(1) {
+            let g2 = grid.g2[idx];
+            if g2 < 1e-14 {
+                continue; // only idx 0 has G = 0 on our grids
+            }
+            let g = g2.sqrt();
+            let gv = grid.g_cart[idx];
+            let mut acc = c64::ZERO;
+            for (p, tau) in params.iter().zip(&positions) {
+                let vg = p.v_loc_g(g) / vol;
+                let phase = -(gv[0] * tau[0] + gv[1] * tau[1] + gv[2] * tau[2]);
+                acc += c64::cis(phase).scale(vg);
+            }
+            *c = acc;
+        }
+        LocalPotential { coeffs, alpha_z_total: alpha_total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_fft::Fft3;
+    use pt_lattice::{fft_dims_for_cutoff, silicon_cubic_supercell, Atom, Species, Structure};
+
+    #[test]
+    fn potential_is_real_in_real_space() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let dims = fft_dims_for_cutoff(&s.cell, 16.0);
+        let grid = GridGVectors::new(&s.cell, dims);
+        let vloc = LocalPotential::new(&s, &grid);
+        // V(r) = Σ c_G e^{iGr}: inverse FFT of (N · c_G)
+        let fft = Fft3::new(dims.0, dims.1, dims.2);
+        let n = grid.len() as f64;
+        let mut arr = vloc.coeffs.clone();
+        for z in &mut arr {
+            *z = z.scale(n);
+        }
+        fft.inverse(&mut arr);
+        let max_im = arr.iter().map(|z| z.im.abs()).fold(0.0, f64::max);
+        assert!(max_im < 1e-9, "imaginary residue {max_im}");
+    }
+
+    #[test]
+    fn short_range_potential_matches_image_sum() {
+        // Validate phases/conventions of the G-space assembly using only
+        // the Gaussian-polynomial (short-range) part of the GTH local
+        // potential, whose periodic image sum is absolutely convergent.
+        // (The Coulomb part's Fourier transform is covered by the erf/FT
+        // identity test in gth.rs.)
+        let l = 12.0;
+        let cell = pt_lattice::Cell::cubic(l);
+        let s = Structure {
+            cell,
+            atoms: vec![Atom { species: Species::Si, frac: [0.3, 0.5, 0.6] }],
+        };
+        // r_loc = 0.44 bohr: the Gaussian's Fourier tail needs E_cut ≈ 100
+        // for 1e-5 pointwise convergence of the real-space values
+        let dims = fft_dims_for_cutoff(&s.cell, 100.0);
+        let grid = GridGVectors::new(&s.cell, dims);
+        let p = gth_parameters(Species::Si);
+        let vol = s.cell.volume();
+        let tau = s.cell.frac_to_cart([0.3, 0.5, 0.6]);
+        // G-space: only the polynomial term of v_loc_g
+        let mut coeffs = vec![c64::ZERO; grid.len()];
+        let pref = (8.0 * std::f64::consts::PI.powi(3)).sqrt() * p.r_loc.powi(3);
+        for (idx, c) in coeffs.iter_mut().enumerate() {
+            let g2 = grid.g2[idx];
+            let gv = grid.g_cart[idx];
+            let x2 = g2 * p.r_loc * p.r_loc;
+            let vg = pref * (-0.5 * x2).exp() * (p.c[0] + p.c[1] * (3.0 - x2)) / vol;
+            let phase = -(gv[0] * tau[0] + gv[1] * tau[1] + gv[2] * tau[2]);
+            *c = c64::cis(phase).scale(vg);
+        }
+        let fft = Fft3::new(dims.0, dims.1, dims.2);
+        let n = grid.len() as f64;
+        for z in &mut coeffs {
+            *z = z.scale(n);
+        }
+        fft.inverse(&mut coeffs);
+        // direct image sum of the short-range real-space part
+        let short = |r: f64| {
+            let x = r / p.r_loc;
+            (-0.5 * x * x).exp() * (p.c[0] + p.c[1] * x * x)
+        };
+        for &(fx, fy, fz) in &[(0.3, 0.5, 0.6), (0.25, 0.5, 0.5), (0.0, 0.0, 0.0)] {
+            let ix = (fx * dims.0 as f64).round() as usize % dims.0;
+            let iy = (fy * dims.1 as f64).round() as usize % dims.1;
+            let iz = (fz * dims.2 as f64).round() as usize % dims.2;
+            let r = s.cell.frac_to_cart([
+                ix as f64 / dims.0 as f64,
+                iy as f64 / dims.1 as f64,
+                iz as f64 / dims.2 as f64,
+            ]);
+            let mut v = 0.0;
+            for mx in -2i32..=2 {
+                for my in -2i32..=2 {
+                    for mz in -2i32..=2 {
+                        let d = [
+                            r[0] - tau[0] + l * mx as f64,
+                            r[1] - tau[1] + l * my as f64,
+                            r[2] - tau[2] + l * mz as f64,
+                        ];
+                        v += short((d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt());
+                    }
+                }
+            }
+            let got = coeffs[ix + dims.0 * (iy + dims.1 * iz)].re;
+            assert!(
+                (got - v).abs() < 1e-5 * (1.0 + v.abs()),
+                "at ({fx},{fy},{fz}): grid {got} vs sum {v}"
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "conditionally convergent bare-Coulomb image sum; kept for manual study"]
+    fn single_atom_potential_matches_realspace_sum() {
+        // One H in a box: V(r) from the G sum must equal the periodic sum of
+        // the real-space GTH potential over images.
+        let cell = pt_lattice::Cell::cubic(12.0);
+        let s = Structure {
+            cell,
+            atoms: vec![Atom { species: Species::H, frac: [0.5, 0.5, 0.5] }],
+        };
+        let dims = fft_dims_for_cutoff(&s.cell, 30.0);
+        let grid = GridGVectors::new(&s.cell, dims);
+        let vloc = LocalPotential::new(&s, &grid);
+        let fft = Fft3::new(dims.0, dims.1, dims.2);
+        let n = grid.len() as f64;
+        let mut arr = vloc.coeffs.clone();
+        for z in &mut arr {
+            *z = z.scale(n);
+        }
+        fft.inverse(&mut arr);
+        // compare at a few grid points against the direct image sum,
+        // shifted by the average (the G=0 conventions differ by a constant)
+        let p = gth_parameters(Species::H);
+        let tau = s.cell.frac_to_cart([0.5, 0.5, 0.5]);
+        let probe = |fx: f64, fy: f64, fz: f64| -> (usize, f64) {
+            let ix = (fx * dims.0 as f64).round() as usize % dims.0;
+            let iy = (fy * dims.1 as f64).round() as usize % dims.1;
+            let iz = (fz * dims.2 as f64).round() as usize % dims.2;
+            let r = s.cell.frac_to_cart([
+                ix as f64 / dims.0 as f64,
+                iy as f64 / dims.1 as f64,
+                iz as f64 / dims.2 as f64,
+            ]);
+            let mut v = 0.0;
+            for mx in -3i32..=3 {
+                for my in -3i32..=3 {
+                    for mz in -3i32..=3 {
+                        let d = [
+                            r[0] - tau[0] + 12.0 * mx as f64,
+                            r[1] - tau[1] + 12.0 * my as f64,
+                            r[2] - tau[2] + 12.0 * mz as f64,
+                        ];
+                        let rr = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+                        v += p.v_loc_real(rr) + p.z_ion / rr.max(1e-12);
+                        v -= p.z_ion / rr.max(1e-12); // keep the bare sum
+                    }
+                }
+            }
+            (ix + dims.0 * (iy + dims.1 * iz), v)
+        };
+        // The image sum of the full (−Z/r-tailed) potential diverges like a
+        // Madelung constant; compare *differences* between two points, where
+        // the constant (and the conditionally convergent part) cancels to
+        // good accuracy at this box size.
+        let (i1, v1) = probe(0.25, 0.5, 0.5);
+        let (i2, v2) = probe(0.33, 0.5, 0.5);
+        let dv_grid = arr[i1].re - arr[i2].re;
+        let dv_direct = v1 - v2;
+        assert!(
+            (dv_grid - dv_direct).abs() < 2e-3,
+            "ΔV grid {dv_grid} vs direct {dv_direct}"
+        );
+    }
+}

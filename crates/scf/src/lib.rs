@@ -1,0 +1,25 @@
+//! `pt-scf` — ground-state Kohn–Sham solver.
+//!
+//! An rt-TDDFT run starts from the ground state (the paper propagates the
+//! occupied manifold of a converged hybrid-functional SCF). This crate
+//! provides:
+//!
+//! * a preconditioned block-Davidson eigensolver ([`lowest_eigenpairs`])
+//!   with the Teter–Payne–Allan kinetic preconditioner — the standard
+//!   plane-wave workhorse;
+//! * Anderson-accelerated density mixing ([`AndersonMixer`]), the same
+//!   scheme (Anderson 1965) the paper applies to *wavefunctions* inside
+//!   PT-CN;
+//! * the SCF driver ([`scf_loop`]) with, for hybrid functionals, the
+//!   standard inner/outer split: the exchange operator's defining orbitals
+//!   Φ are frozen during an inner density loop and refreshed outside
+//!   (PWDFT does the same; ACE is an optional compression of this operator,
+//!   see `pt-core`'s ablation).
+
+mod davidson;
+mod mixing;
+mod driver;
+
+pub use davidson::{lowest_eigenpairs, teter_preconditioner, DavidsonOptions, DavidsonResult};
+pub use driver::{scf_loop, ScfOptions, ScfResult};
+pub use mixing::AndersonMixer;

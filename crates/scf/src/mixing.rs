@@ -1,0 +1,144 @@
+//! Anderson-accelerated fixed-point mixing (Anderson 1965 — reference [2]
+//! of the paper).
+//!
+//! Used here for the SCF density; `pt-core` applies the same scheme to the
+//! PT-CN wavefunction fixed point with history depth up to 20 (§3.4).
+
+use pt_linalg::{lstsq, CMat};
+use pt_num::c64;
+
+/// Anderson mixer over real vectors (density mixing).
+pub struct AndersonMixer {
+    depth: usize,
+    beta: f64,
+    xs: Vec<Vec<f64>>,
+    fs: Vec<Vec<f64>>,
+}
+
+impl AndersonMixer {
+    /// `depth` = history size (m), `beta` = underlying linear-mixing step.
+    pub fn new(depth: usize, beta: f64) -> Self {
+        assert!(depth >= 1);
+        AndersonMixer { depth, beta, xs: Vec::new(), fs: Vec::new() }
+    }
+
+    /// History currently stored.
+    pub fn history_len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Propose the next iterate given the current `x` and its residual
+    /// `f = g(x) − x`.
+    pub fn step(&mut self, x: &[f64], f: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), f.len());
+        self.xs.push(x.to_vec());
+        self.fs.push(f.to_vec());
+        if self.xs.len() > self.depth + 1 {
+            self.xs.remove(0);
+            self.fs.remove(0);
+        }
+        let m = self.xs.len() - 1; // number of difference pairs
+        let n = x.len();
+        if m == 0 {
+            return x.iter().zip(f).map(|(a, b)| a + self.beta * b).collect();
+        }
+        // least squares: min_γ ‖f_n − Σ_j γ_j (f_n − f_{n−1−j})‖
+        let fn_ = &self.fs[m];
+        let mut a = CMat::zeros(n, m);
+        for j in 0..m {
+            let fj = &self.fs[m - 1 - j];
+            for i in 0..n {
+                a[(i, j)] = c64::real(fn_[i] - fj[i]);
+            }
+        }
+        let b: Vec<c64> = fn_.iter().map(|&v| c64::real(v)).collect();
+        let gamma = lstsq(&a, &b, 1e-12);
+        let mut out: Vec<f64> = self.xs[m]
+            .iter()
+            .zip(fn_)
+            .map(|(xv, fv)| xv + self.beta * fv)
+            .collect();
+        for (j, g) in gamma.iter().enumerate() {
+            let gj = g.re;
+            let xj = &self.xs[m - 1 - j];
+            let fj = &self.fs[m - 1 - j];
+            for i in 0..n {
+                let dx = self.xs[m][i] - xj[i];
+                let df = fn_[i] - fj[i];
+                out[i] -= gj * (dx + self.beta * df);
+            }
+        }
+        out
+    }
+
+    /// Drop all history (used when the outer hybrid loop refreshes Φ).
+    pub fn reset(&mut self) {
+        self.xs.clear();
+        self.fs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// On a linear fixed point x* = M x + b with ‖M‖ < 1, Anderson with
+    /// enough history converges in ~rank(M)+1 steps — far faster than the
+    /// plain linear mixing it accelerates.
+    #[test]
+    fn solves_linear_fixed_point_fast() {
+        let n = 12;
+        // diagonal contraction with a few distinct rates
+        let rates: Vec<f64> = (0..n).map(|i| 0.9 - 0.05 * (i % 4) as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let g = |x: &[f64]| -> Vec<f64> {
+            x.iter()
+                .zip(&rates)
+                .zip(&b)
+                .map(|((xv, r), bv)| r * xv + bv)
+                .collect()
+        };
+        // exact solution
+        let xstar: Vec<f64> = rates.iter().zip(&b).map(|(r, bv)| bv / (1.0 - r)).collect();
+        let mut mixer = AndersonMixer::new(8, 0.5);
+        let mut x = vec![0.0; n];
+        let mut it_converged = None;
+        for it in 0..50 {
+            let gx = g(&x);
+            let f: Vec<f64> = gx.iter().zip(&x).map(|(a, b)| a - b).collect();
+            let err = f.iter().map(|v| v.abs()).fold(0.0, f64::max);
+            if err < 1e-12 {
+                it_converged = Some(it);
+                break;
+            }
+            x = mixer.step(&x, &f);
+        }
+        let it = it_converged.expect("did not converge");
+        // 4 distinct rates → Anderson needs only a handful of iterations
+        assert!(it <= 20, "took {it} iterations (linear mixing alone needs ~250)");
+        for (a, b) in x.iter().zip(&xstar) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn plain_mixing_first_step() {
+        let mut m = AndersonMixer::new(3, 0.25);
+        let x = vec![1.0, 2.0];
+        let f = vec![0.4, -0.8];
+        let out = m.step(&x, &f);
+        assert!((out[0] - 1.1).abs() < 1e-15);
+        assert!((out[1] - 1.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut m = AndersonMixer::new(2, 0.5);
+        let x = vec![0.0; 3];
+        for i in 0..10 {
+            let f = vec![1.0 / (i + 1) as f64; 3];
+            let _ = m.step(&x, &f);
+            assert!(m.history_len() <= 3);
+        }
+    }
+}

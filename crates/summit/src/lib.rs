@@ -1,0 +1,195 @@
+//! `pt-summit` — a model of the Summit supercomputer (§5 of the paper).
+//!
+//! Machine constants are taken directly from the paper's §5/Fig. 5:
+//! 4608 nodes, each with 2 POWER9 sockets + 6 V100 GPUs (3 per socket,
+//! NVLink 50 GB/s), 512 GB host DRAM, dual-rail EDR NICs at 12.5 GB/s per
+//! socket, non-blocking fat tree, V100: 7.8 TFLOPS double precision and
+//! 900 GB/s HBM.
+//!
+//! Cost primitives follow the paper's own measured characterization (§7):
+//! the Fock-exchange FFT work is **HBM-bandwidth-bound** (≈ 90 % sustained
+//! bandwidth utilization, CUFFT at ≈ 11 % of peak FLOPS), broadcast
+//! throughput is NIC-limited with contention growing ≈ √P on the fat tree
+//! (fitted to Table 2), and CPU-GPU copies ride NVLink.
+
+/// V100 GPU characteristics.
+#[derive(Clone, Copy, Debug)]
+pub struct Gpu {
+    /// Peak double-precision FLOPS.
+    pub peak_flops: f64,
+    /// Peak HBM bandwidth (B/s).
+    pub hbm_bw: f64,
+    /// Sustained fraction of HBM bandwidth achieved by the batched FFT
+    /// pipeline (paper §7: ≈ 0.9).
+    pub sustained_bw_frac: f64,
+    /// HBM capacity (B).
+    pub memory: f64,
+    /// Board power (W).
+    pub power: f64,
+}
+
+/// POWER9 socket characteristics.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuSocket {
+    /// Physical cores.
+    pub cores: usize,
+    /// Socket power (W).
+    pub power: f64,
+    /// NIC share per socket (B/s) — 12.5 GB/s of the dual-rail EDR.
+    pub nic_bw: f64,
+    /// DRAM capacity per socket (B).
+    pub memory: f64,
+}
+
+/// One Summit node: 2 sockets × (1 CPU + 3 GPUs).
+#[derive(Clone, Copy, Debug)]
+pub struct SummitNode {
+    /// GPU model.
+    pub gpu: Gpu,
+    /// CPU socket model.
+    pub cpu: CpuSocket,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Sockets per node.
+    pub sockets_per_node: usize,
+    /// NVLink CPU↔GPU bandwidth (B/s).
+    pub nvlink_bw: f64,
+    /// X-Bus socket↔socket bandwidth (B/s).
+    pub xbus_bw: f64,
+}
+
+/// The machine.
+#[derive(Clone, Copy, Debug)]
+pub struct Summit {
+    /// Node description.
+    pub node: SummitNode,
+    /// Total nodes (4608).
+    pub nodes: usize,
+}
+
+impl Default for Summit {
+    fn default() -> Self {
+        Summit {
+            node: SummitNode {
+                gpu: Gpu {
+                    peak_flops: 7.8e12,
+                    hbm_bw: 900.0e9,
+                    sustained_bw_frac: 0.90,
+                    memory: 16.0e9,
+                    power: 300.0,
+                },
+                cpu: CpuSocket {
+                    cores: 22,
+                    power: 190.0,
+                    nic_bw: 12.5e9,
+                    memory: 256.0e9,
+                },
+                gpus_per_node: 6,
+                sockets_per_node: 2,
+                nvlink_bw: 50.0e9,
+                xbus_bw: 64.0e9,
+            },
+            nodes: 4608,
+        }
+    }
+}
+
+impl Summit {
+    /// Power draw (W) of a run using `n_gpus` GPUs, 6 per node (§6: a GPU
+    /// node draws 2180 W).
+    pub fn gpu_run_power(&self, n_gpus: usize) -> f64 {
+        let nodes = n_gpus.div_ceil(self.node.gpus_per_node);
+        nodes as f64
+            * (self.node.gpus_per_node as f64 * self.node.gpu.power
+                + self.node.sockets_per_node as f64 * self.node.cpu.power)
+    }
+
+    /// Power draw (W) of a CPU-only run on `n_cores` cores (§6: 73 nodes
+    /// for 3072 cores → 27 740 W).
+    pub fn cpu_run_power(&self, n_cores: usize) -> f64 {
+        let cores_per_node = self.node.cpu.cores * self.node.sockets_per_node;
+        // the paper provisions ~42 usable cores/node (3072 cores ≈ 73 nodes)
+        let usable = (cores_per_node - 2) as f64;
+        let nodes = (n_cores as f64 / usable).round().max(1.0);
+        nodes * self.node.sockets_per_node as f64 * self.node.cpu.power
+    }
+
+    /// Time (s) for one batched 3-D FFT of `n` complex-f64 points on a
+    /// V100, bandwidth-bound: `passes` full-array traversals at sustained
+    /// HBM bandwidth. The effective pass count (read+write over three
+    /// axis sweeps plus pointwise kernels) is calibrated in `pt-perf`
+    /// against Table 1.
+    pub fn gpu_fft_time(&self, n: usize, passes: f64) -> f64 {
+        let bytes = passes * 16.0 * n as f64;
+        bytes / (self.node.gpu.hbm_bw * self.node.gpu.sustained_bw_frac)
+    }
+
+    /// Time (s) to move `bytes` across NVLink (CPU↔GPU staging copies).
+    pub fn memcpy_time(&self, bytes: f64) -> f64 {
+        bytes / self.node.nvlink_bw
+    }
+
+    /// Per-rank effective receive bandwidth (B/s) of a large-message
+    /// broadcast over the fat tree with `p` ranks: NIC share divided by
+    /// 3 ranks per socket, degraded by √(p/p₀) contention (fitted to the
+    /// MPI_Bcast row of Table 2; the paper measures 2.2 GB/s per rank at
+    /// 768 ranks ≈ 52.7 % NIC utilization per socket).
+    pub fn bcast_rank_bw(&self, p: usize) -> f64 {
+        let base = self.node.cpu.nic_bw / 3.0; // 3 ranks share a socket NIC
+        let p0 = 36.0;
+        base * 4.6 / (p as f64 / p0).sqrt().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_power_numbers() {
+        let s = Summit::default();
+        // §6: GPU node = 6×300 + 2×190 = 2180 W; 12 nodes = 26 160 W
+        assert_eq!(s.gpu_run_power(72) as i64, 26160);
+        // §6: 3072 cores ≈ 73 nodes → 27 740 W
+        assert_eq!(s.cpu_run_power(3072) as i64, 27740);
+        // the paper's headline: 72 GPUs draw slightly less power than the
+        // 3072-core CPU allocation
+        assert!(s.gpu_run_power(72) < s.cpu_run_power(3072));
+    }
+
+    #[test]
+    fn fft_time_is_bandwidth_bound() {
+        let s = Summit::default();
+        // one pass over the 1536-atom wavefunction grid (648 000 points)
+        let t1 = s.gpu_fft_time(648_000, 1.0);
+        assert!((t1 - 648_000.0 * 16.0 / 810.0e9).abs() < 1e-12);
+        // FLOPS implied by a full FFT at this speed must be far below peak
+        // (the paper: CUFFT at ~11 % of peak)
+        let t = s.gpu_fft_time(648_000, 6.0);
+        let flops = 5.0 * 648_000.0 * (648_000.0f64).log2() / t;
+        assert!(flops < 0.25 * s.node.gpu.peak_flops);
+    }
+
+    #[test]
+    fn bcast_bw_matches_paper_measurement() {
+        let s = Summit::default();
+        // §7: ≈ 2.2 GB/s per rank received at 768 ranks
+        let bw = s.bcast_rank_bw(768);
+        assert!((bw / 1e9 - 2.2).abs() < 2.0, "bw = {bw}");
+        // and it degrades with scale
+        assert!(s.bcast_rank_bw(3072) < s.bcast_rank_bw(768));
+        assert!(s.bcast_rank_bw(36) > s.bcast_rank_bw(288));
+    }
+
+    #[test]
+    fn memory_capacities() {
+        let s = Summit::default();
+        // Anderson mixing at 36 GPUs: < 100 wavefunctions × 10 MB × 20
+        // copies per rank < 20 GB, × 6 ranks < 120 GB < 512 GB node DRAM
+        let per_rank = 100.0 * 10.0e6 * 20.0;
+        let per_node = 6.0 * per_rank;
+        assert!(per_node < 2.0 * s.node.cpu.memory);
+        // but far beyond a single V100's HBM — hence the host-RAM parking
+        assert!(per_rank > s.node.gpu.memory);
+    }
+}

@@ -1,0 +1,229 @@
+//! Grid evaluation of the XC energy and potential.
+//!
+//! The paper's "others" component (§3.4) includes exactly this work: FFTs
+//! for the gradient of the electron density, the semi-local XC evaluation
+//! (via Libxc there, in-crate here), and the assembly of the potential.
+
+use crate::functional::{lda_exc_vxc, pbe_derivatives, pbe_exc, XcKind};
+use pt_fft::Fft3;
+use pt_lattice::GridGVectors;
+use pt_num::c64;
+
+/// Evaluator bound to one density grid.
+pub struct XcGridEvaluator {
+    kind: XcKind,
+    fft: Fft3,
+    g: GridGVectors,
+    volume: f64,
+}
+
+impl XcGridEvaluator {
+    /// Create an evaluator for `kind` on the density grid described by `g`.
+    pub fn new(kind: XcKind, g: GridGVectors, volume: f64) -> Self {
+        let (n1, n2, n3) = g.dims;
+        XcGridEvaluator { kind, fft: Fft3::new(n1, n2, n3), g, volume }
+    }
+
+    /// Which functional this evaluator computes.
+    pub fn kind(&self) -> XcKind {
+        self.kind
+    }
+
+    /// Gradient of a real field via G-space: ∂f/∂x_d = IFFT(i G_d FFT(f)).
+    fn gradient(&self, field: &[f64]) -> [Vec<f64>; 3] {
+        let n = field.len();
+        let mut fg: Vec<c64> = field.iter().map(|&v| c64::real(v)).collect();
+        self.fft.forward(&mut fg);
+        let mut out = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+        for d in 0..3 {
+            let mut tmp: Vec<c64> = fg
+                .iter()
+                .enumerate()
+                .map(|(idx, &v)| v.mul_i().scale(self.g.g_cart[idx][d]))
+                .collect();
+            self.fft.inverse(&mut tmp);
+            for (o, z) in out[d].iter_mut().zip(&tmp) {
+                *o = z.re;
+            }
+        }
+        out
+    }
+
+    /// Divergence of a real vector field via G-space.
+    fn divergence(&self, field: &[Vec<f64>; 3]) -> Vec<f64> {
+        let n = field[0].len();
+        let mut acc = vec![c64::ZERO; n];
+        for (d, comp) in field.iter().enumerate() {
+            let mut fg: Vec<c64> = comp.iter().map(|&v| c64::real(v)).collect();
+            self.fft.forward(&mut fg);
+            for (idx, (a, v)) in acc.iter_mut().zip(&fg).enumerate() {
+                *a += v.mul_i().scale(self.g.g_cart[idx][d]);
+            }
+        }
+        self.fft.inverse(&mut acc);
+        acc.iter().map(|z| z.re).collect()
+    }
+
+    /// Evaluate `(E_xc, v_xc(r))` for the density `rho` (real grid values).
+    pub fn evaluate(&self, rho: &[f64]) -> (f64, Vec<f64>) {
+        assert_eq!(rho.len(), self.g.len());
+        let n = rho.len();
+        let dv = self.volume / n as f64;
+        match self.kind {
+            XcKind::Lda => {
+                let mut e = 0.0;
+                let mut v = vec![0.0; n];
+                for (i, &r) in rho.iter().enumerate() {
+                    let (eps, vi) = lda_exc_vxc(r.max(0.0));
+                    e += r.max(0.0) * eps;
+                    v[i] = vi;
+                }
+                (e * dv, v)
+            }
+            XcKind::Pbe => {
+                let grad = self.gradient(rho);
+                let mut e = 0.0;
+                let mut dfdr = vec![0.0; n];
+                let mut w = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+                for i in 0..n {
+                    let r = rho[i].max(0.0);
+                    let sigma = grad[0][i] * grad[0][i]
+                        + grad[1][i] * grad[1][i]
+                        + grad[2][i] * grad[2][i];
+                    e += r * pbe_exc(r, sigma);
+                    let (dr, ds) = pbe_derivatives(r, sigma);
+                    dfdr[i] = dr;
+                    for d in 0..3 {
+                        w[d][i] = 2.0 * ds * grad[d][i];
+                    }
+                }
+                let div = self.divergence(&w);
+                let v: Vec<f64> = dfdr.iter().zip(&div).map(|(a, b)| a - b).collect();
+                (e * dv, v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_lattice::{Cell, GridGVectors};
+
+    fn setup(kind: XcKind, n: usize, l: f64) -> XcGridEvaluator {
+        let cell = Cell::cubic(l);
+        let g = GridGVectors::new(&cell, (n, n, n));
+        XcGridEvaluator::new(kind, g, cell.volume())
+    }
+
+    fn smooth_density(n: usize, l: f64) -> Vec<f64> {
+        // strictly positive, periodic, non-trivial
+        let mut rho = vec![0.0; n * n * n];
+        for iz in 0..n {
+            for iy in 0..n {
+                for ix in 0..n {
+                    let (x, y, z) = (
+                        ix as f64 / n as f64 * 2.0 * std::f64::consts::PI,
+                        iy as f64 / n as f64 * 2.0 * std::f64::consts::PI,
+                        iz as f64 / n as f64 * 2.0 * std::f64::consts::PI,
+                    );
+                    rho[ix + n * (iy + n * iz)] =
+                        0.2 + 0.1 * x.sin() * y.cos() + 0.05 * (z.sin() * x.cos());
+                }
+            }
+        }
+        let _ = l;
+        rho
+    }
+
+    #[test]
+    fn uniform_density_lda_closed_form() {
+        let n = 8;
+        let ev = setup(XcKind::Lda, n, 10.0);
+        let rho = vec![0.3; n * n * n];
+        let (e, v) = ev.evaluate(&rho);
+        let (eps, vv) = lda_exc_vxc(0.3);
+        let want_e = 0.3 * eps * 1000.0;
+        assert!((e - want_e).abs() < 1e-10 * want_e.abs());
+        for &vi in &v {
+            assert!((vi - vv).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_density_pbe_equals_lda() {
+        let n = 8;
+        let ev_p = setup(XcKind::Pbe, n, 10.0);
+        let ev_l = setup(XcKind::Lda, n, 10.0);
+        let rho = vec![0.25; n * n * n];
+        let (ep, vp) = ev_p.evaluate(&rho);
+        let (el, vl) = ev_l.evaluate(&rho);
+        assert!((ep - el).abs() < 1e-8 * el.abs(), "{ep} vs {el}");
+        for (a, b) in vp.iter().zip(&vl) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn functional_derivative_consistency() {
+        // The fundamental test of the GGA potential assembly:
+        // dE[ρ + λ δρ]/dλ |_{λ=0} == ∫ v_xc δρ dr, including the
+        // ∇·(∂f/∂∇ρ) term.
+        for kind in [XcKind::Lda, XcKind::Pbe] {
+            let n = 10;
+            let l = 8.0;
+            let ev = setup(kind, n, l);
+            let rho = smooth_density(n, l);
+            let m = n * n * n;
+            let dv = l * l * l / m as f64;
+            // smooth perturbation
+            let drho: Vec<f64> = (0..m)
+                .map(|i| {
+                    let ix = i % n;
+                    let iy = (i / n) % n;
+                    0.01 * ((ix as f64 / n as f64 * 2.0 * std::f64::consts::PI).cos()
+                        + (iy as f64 / n as f64 * 2.0 * std::f64::consts::PI).sin())
+                })
+                .collect();
+            let lam = 1e-5;
+            let rp: Vec<f64> = rho.iter().zip(&drho).map(|(a, b)| a + lam * b).collect();
+            let rm: Vec<f64> = rho.iter().zip(&drho).map(|(a, b)| a - lam * b).collect();
+            let (ep, _) = ev.evaluate(&rp);
+            let (em, _) = ev.evaluate(&rm);
+            let dnum = (ep - em) / (2.0 * lam);
+            let (_, v) = ev.evaluate(&rho);
+            let dan: f64 = v.iter().zip(&drho).map(|(a, b)| a * b).sum::<f64>() * dv;
+            assert!(
+                (dnum - dan).abs() < 2e-6 * (1.0 + dan.abs()),
+                "{kind:?}: {dnum} vs {dan}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_of_plane_wave_is_exact() {
+        let n = 12;
+        let l = 6.0;
+        let ev = setup(XcKind::Pbe, n, l);
+        let k = 2.0 * std::f64::consts::PI / l;
+        let mut f = vec![0.0; n * n * n];
+        for iz in 0..n {
+            for iy in 0..n {
+                for ix in 0..n {
+                    f[ix + n * (iy + n * iz)] = (k * (ix as f64) * l / n as f64).sin();
+                }
+            }
+        }
+        let g = ev.gradient(&f);
+        for iz in 0..n {
+            for iy in 0..n {
+                for ix in 0..n {
+                    let want = k * (k * ix as f64 * l / n as f64).cos();
+                    let got = g[0][ix + n * (iy + n * iz)];
+                    assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+                    assert!(g[1][ix + n * (iy + n * iz)].abs() < 1e-10);
+                }
+            }
+        }
+    }
+}

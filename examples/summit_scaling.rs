@@ -1,0 +1,34 @@
+//! Regenerate the paper's Summit evaluation from the Layer-B model:
+//! Table 1's strong scaling, the RK4/PT-CN ratio and the weak scaling.
+//!
+//! Run with: `cargo run --release --example summit_scaling`
+
+fn main() {
+    let model = pwdft_rt::perf::CostModel::new();
+    let pr = pwdft_rt::perf::Problem::paper_1536();
+    println!("1536-atom Si, PT-CN step totals (model vs paper):");
+    for (i, &p) in pwdft_rt::perf::PAPER_GPU_COUNTS.iter().enumerate() {
+        println!(
+            "  {:>5} GPUs: {:>8.1} s (paper {:>7.1} s)",
+            p,
+            model.step_total(p, &pr),
+            pwdft_rt::perf::PAPER_TABLE1_TOTAL[i]
+        );
+    }
+    let best = model.step_total(768, &pr);
+    println!(
+        "\ntime per femtosecond at 768 GPUs: {:.2} h (paper: ~1.5 h)",
+        best * 20.0 / 3600.0
+    );
+    let machine = pwdft_rt::summit::Summit::default();
+    println!(
+        "power: 72 GPUs = {:.0} W vs 3072 CPU cores = {:.0} W, GPU {:.1}x faster",
+        machine.gpu_run_power(72),
+        machine.cpu_run_power(3072),
+        model.cpu_step(3072, &pr) / model.step_total(72, &pr)
+    );
+    println!("\nweak scaling (50 as step):");
+    for r in pwdft_rt::perf::fig8_rows(&model) {
+        println!("  {:>5} atoms on {:>4} GPUs: {:>8.2} s", r.atoms, r.gpus, r.seconds);
+    }
+}

@@ -1,0 +1,36 @@
+//! # pwdft-rt
+//!
+//! A from-scratch Rust reproduction of *"Parallel Transport Time-Dependent
+//! Density Functional Theory Calculations with Hybrid Functional on Summit"*
+//! (Jia, Wang, Lin — SC'19, arXiv:1905.01348).
+//!
+//! Two layers:
+//!
+//! * **Layer A (real numerics)** — a complete plane-wave Kohn–Sham DFT +
+//!   rt-TDDFT stack: own FFTs ([`fft`]), complex dense linear algebra
+//!   ([`linalg`]), periodic cells and G-spheres ([`lattice`]), GTH
+//!   pseudopotentials ([`pseudo`]), LDA/PBE ([`xc`]), the screened Fock
+//!   exchange operator and full Hamiltonian ([`ham`]), ground-state SCF
+//!   ([`scf`]), and the parallel-transport PT-CN propagator with its RK4
+//!   baseline ([`core`]). A virtual MPI runtime ([`mpi`]) runs the paper's
+//!   distributed algorithms (Alg. 2/3) across in-process rank threads with
+//!   real data movement and byte accounting.
+//! * **Layer B (Summit model)** — machine constants ([`summit`]) and the
+//!   anchored performance model ([`perf`]) that regenerate every table and
+//!   figure of the paper's evaluation.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour, `DESIGN.md` for
+//! the system inventory, and `EXPERIMENTS.md` for paper-vs-model records.
+
+pub use pt_core as core;
+pub use pt_fft as fft;
+pub use pt_ham as ham;
+pub use pt_lattice as lattice;
+pub use pt_linalg as linalg;
+pub use pt_mpi as mpi;
+pub use pt_num as num;
+pub use pt_perf as perf;
+pub use pt_pseudo as pseudo;
+pub use pt_scf as scf;
+pub use pt_summit as summit;
+pub use pt_xc as xc;
