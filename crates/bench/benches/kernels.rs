@@ -15,21 +15,7 @@ use pt_num::c64;
 use std::hint::black_box;
 
 fn rand_block(ng: usize, nb: usize, seed: u64) -> CMat {
-    let mut s = seed | 1;
-    let mut rnd = move || {
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-    };
-    let mut m = CMat::from_fn(ng, nb, |_, _| c64::new(rnd(), rnd()));
-    for j in 0..nb {
-        let nrm = pt_num::complex::znrm2(m.col(j));
-        for z in m.col_mut(j) {
-            *z = z.scale(1.0 / nrm);
-        }
-    }
-    m
+    CMat::rand_normalized(ng, nb, seed)
 }
 
 fn bench_fft(c: &mut Criterion) {
@@ -96,7 +82,15 @@ fn bench_gemm_overlap(c: &mut Criterion) {
     g.bench_function("psi_h_hpsi_16", |b| {
         b.iter(|| {
             let mut s = CMat::zeros(16, 16);
-            gemm(c64::ONE, black_box(&psi), Op::ConjTrans, &hpsi, Op::None, c64::ZERO, &mut s);
+            gemm(
+                c64::ONE,
+                black_box(&psi),
+                Op::ConjTrans,
+                &hpsi,
+                Op::None,
+                c64::ZERO,
+                &mut s,
+            );
             s
         })
     });
@@ -120,7 +114,6 @@ fn bench_anderson(c: &mut Criterion) {
     });
     g.finish();
 }
-
 
 fn bench_ace(c: &mut Criterion) {
     // The paper's §1 finding: with fast GPU FFTs, plain PT beats PT+ACE
@@ -157,5 +150,12 @@ fn bench_ace(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fft, bench_fock, bench_gemm_overlap, bench_anderson, bench_ace);
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_fock,
+    bench_gemm_overlap,
+    bench_anderson,
+    bench_ace
+);
 criterion_main!(benches);

@@ -18,11 +18,20 @@ fn artifacts(c: &mut Criterion) {
     }
     println!("\nFig. 6 (RK4 vs PT-CN, 50 as):");
     for r in pt_perf::fig6_rows(&model) {
-        println!("  {:>5} GPUs: RK4 {:>9.1}s  PT-CN {:>7.1}s  ({:.1}x)", r.gpus, r.rk4, r.ptcn, r.rk4 / r.ptcn);
+        println!(
+            "  {:>5} GPUs: RK4 {:>9.1}s  PT-CN {:>7.1}s  ({:.1}x)",
+            r.gpus,
+            r.rk4,
+            r.ptcn,
+            r.rk4 / r.ptcn
+        );
     }
     println!("\nFig. 8 (weak scaling):");
     for r in pt_perf::fig8_rows(&model) {
-        println!("  {:>5} atoms / {:>4} GPUs: {:>8.2}s (ideal N²: {:>8.2}s)", r.atoms, r.gpus, r.seconds, r.ideal);
+        println!(
+            "  {:>5} atoms / {:>4} GPUs: {:>8.2}s (ideal N²: {:>8.2}s)",
+            r.atoms, r.gpus, r.seconds, r.ideal
+        );
     }
     println!("=========================================================================\n");
 

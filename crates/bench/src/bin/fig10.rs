@@ -2,8 +2,10 @@
 fn main() {
     let model = pt_perf::CostModel::new();
     println!("Fig. 10 — per-step operation classes (seconds)");
-    println!("{:>6} {:>9} {:>9} {:>10} {:>10} {:>12}",
-             "GPUs", "bcast", "memcpy", "alltoallv", "allreduce", "computation");
+    println!(
+        "{:>6} {:>9} {:>9} {:>10} {:>10} {:>12}",
+        "GPUs", "bcast", "memcpy", "alltoallv", "allreduce", "computation"
+    );
     for (p, classes) in pt_perf::fig10_rows(&model) {
         print!("{p:>6}");
         for (_, t) in &classes {

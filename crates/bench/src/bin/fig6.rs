@@ -4,7 +4,13 @@ fn main() {
     println!("Fig. 6 — 50 as of dynamics, 1536-atom Si (seconds)");
     println!("{:>6} {:>12} {:>12} {:>9}", "GPUs", "RK4", "PT-CN", "ratio");
     for r in pt_perf::fig6_rows(&model) {
-        println!("{:>6} {:>12.1} {:>12.1} {:>8.1}x", r.gpus, r.rk4, r.ptcn, r.rk4 / r.ptcn);
+        println!(
+            "{:>6} {:>12.1} {:>12.1} {:>8.1}x",
+            r.gpus,
+            r.rk4,
+            r.ptcn,
+            r.rk4 / r.ptcn
+        );
     }
     println!("(paper: PT-CN is ~20x faster at 36 GPUs, ~30x at 768)");
 }

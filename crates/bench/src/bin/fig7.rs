@@ -3,15 +3,25 @@
 fn main() {
     let model = pt_perf::CostModel::new();
     println!("Fig. 7(a) — strong scaling incl. MPI/memcpy (per-SCF seconds)");
-    println!("{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-             "GPUs", "total", "HΨ", "resid", "density", "anderson", "others");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "GPUs", "total", "HΨ", "resid", "density", "anderson", "others"
+    );
     for (p, a, _) in pt_perf::fig7_rows(&model) {
-        println!("{:>6} {:>9.2} {:>9.2} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
-                 p, a[0], a[1], a[2], a[3], a[4], a[5]);
+        println!(
+            "{:>6} {:>9.2} {:>9.2} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            p, a[0], a[1], a[2], a[3], a[4], a[5]
+        );
     }
     println!("\nFig. 7(b) — computation only (per-SCF seconds)");
-    println!("{:>6} {:>9} {:>9} {:>9} {:>9}", "GPUs", "HΨcomp", "resid", "density", "anderson");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9}",
+        "GPUs", "HΨcomp", "resid", "density", "anderson"
+    );
     for (p, _, b) in pt_perf::fig7_rows(&model) {
-        println!("{:>6} {:>9.3} {:>9.4} {:>9.4} {:>9.4}", p, b[0], b[1], b[2], b[3]);
+        println!(
+            "{:>6} {:>9.3} {:>9.4} {:>9.4} {:>9.4}",
+            p, b[0], b[1], b[2], b[3]
+        );
     }
 }

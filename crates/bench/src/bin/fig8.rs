@@ -2,9 +2,15 @@
 fn main() {
     let model = pt_perf::CostModel::new();
     println!("Fig. 8 — weak scaling, 50 as wall time (seconds)");
-    println!("{:>7} {:>6} {:>10} {:>12}", "atoms", "GPUs", "model", "N² ideal");
+    println!(
+        "{:>7} {:>6} {:>10} {:>12}",
+        "atoms", "GPUs", "model", "N² ideal"
+    );
     for r in pt_perf::fig8_rows(&model) {
-        println!("{:>7} {:>6} {:>10.2} {:>12.2}", r.atoms, r.gpus, r.seconds, r.ideal);
+        println!(
+            "{:>7} {:>6} {:>10.2} {:>12.2}",
+            r.atoms, r.gpus, r.seconds, r.ideal
+        );
     }
     println!("(paper: 192 atoms on 96 GPUs take ~16 s per 50 as → ~5 min/fs)");
 }

@@ -2,10 +2,14 @@
 fn main() {
     let model = pt_perf::CostModel::new();
     println!("Fig. 9 — per-SCF component stack (seconds)");
-    println!("{:>6} {:>9} {:>9} {:>9} {:>9} {:>9}",
-             "GPUs", "HΨ", "resid", "density", "anderson", "others");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "GPUs", "HΨ", "resid", "density", "anderson", "others"
+    );
     for (p, parts) in pt_perf::fig9_rows(&model) {
-        println!("{:>6} {:>9.2} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
-                 p, parts[0], parts[1], parts[2], parts[3], parts[4]);
+        println!(
+            "{:>6} {:>9.2} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            p, parts[0], parts[1], parts[2], parts[3], parts[4]
+        );
     }
 }

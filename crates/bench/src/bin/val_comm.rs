@@ -9,9 +9,15 @@ fn main() {
     let ng = grids.ng();
     let nb = 8;
     let kernel = pt_ham::ScreenedKernel::new(&grids, 0.11);
-    for (wire, label, bytes) in [(pt_mpi::Wire::F64, "f64", 16u64), (pt_mpi::Wire::F32, "f32", 8u64)] {
+    for (wire, label, bytes) in [
+        (pt_mpi::Wire::F64, "f64", 16u64),
+        (pt_mpi::Wire::F32, "f32", 8u64),
+    ] {
         for np in [2usize, 4] {
-            let dist = pt_ham::BandDistribution { n_bands: nb, n_ranks: np };
+            let dist = pt_ham::BandDistribution {
+                n_bands: nb,
+                n_ranks: np,
+            };
             let (g, k) = (&grids, &kernel);
             let (_, stats) = pt_mpi::run_ranks(np, wire, move |comm| {
                 let mine = dist.local_bands(comm.rank());
@@ -27,7 +33,11 @@ fn main() {
                 "wire={label} np={np}: bcast {} B (closed form {} B) — {}",
                 stats.bcast_bytes,
                 want,
-                if stats.bcast_bytes == want { "MATCH" } else { "MISMATCH" }
+                if stats.bcast_bytes == want {
+                    "MATCH"
+                } else {
+                    "MISMATCH"
+                }
             );
         }
     }

@@ -1,23 +1,37 @@
 //! Validation (Layer A): PT-CN takes 50 as steps; RK4's stability ceiling
 //! is sub-attosecond at realistic cutoffs (§6, Fig. 6 rationale).
+use pt_core::Propagator;
 use pt_num::units::{attosecond_to_au, au_to_attosecond};
 
-fn main() {
+fn main() -> Result<(), pt_ham::PtError> {
     let s = pt_lattice::silicon_cubic_supercell(1, 1, 1);
-    let sys = pt_ham::KsSystem::new(s, 3.0, pt_xc::XcKind::Lda, None);
-    let mut opts = pt_scf::ScfOptions::default();
-    opts.rho_tol = 1e-7;
-    let gs = pt_scf::scf_loop(&sys, opts);
-    println!("ground state: E = {:.6} Ha, {} SCF iterations", gs.energies.total(), gs.scf_iterations);
+    let sys = pt_ham::KsSystem::builder(s)
+        .ecut(3.0)
+        .xc(pt_xc::XcKind::Lda)
+        .build()?;
+    let opts = pt_scf::ScfOptions {
+        rho_tol: 1e-7,
+        ..Default::default()
+    };
+    let gs = pt_scf::scf_loop(&sys, opts)?;
+    println!(
+        "ground state: E = {:.6} Ha, {} SCF iterations",
+        gs.energies.total(),
+        gs.scf_iterations
+    );
 
-    let dt_max = pt_core::max_stable_rk4_dt(&sys, &gs.orbitals, 10, 0.05, 4.0);
-    println!("RK4 stability ceiling: {:.3} a.u. = {:.2} as", dt_max, au_to_attosecond(dt_max));
+    let dt_max = pt_core::max_stable_rk4_dt(&sys, &gs.orbitals, 10, 0.05, 4.0)?;
+    println!(
+        "RK4 stability ceiling: {:.3} a.u. = {:.2} as",
+        dt_max,
+        au_to_attosecond(dt_max)
+    );
     println!("(at the paper's E_cut = 10 Ha the ceiling shrinks ~4x further → sub-attosecond)");
 
-    let prop = pt_core::PtCnPropagator { sys: &sys, laser: None, opts: pt_core::PtCnOptions::default() };
-    let mut st = pt_core::TdState { psi: gs.orbitals.clone(), t: 0.0 };
+    let mut prop = pt_core::PtCnPropagator::default();
+    let mut st = pt_core::TdState::new(gs.orbitals.clone());
     let dt = attosecond_to_au(50.0);
-    let stats = prop.step(&mut st, dt);
+    let stats = prop.step(&sys, None, &mut st, dt)?;
     println!(
         "PT-CN 50 as step: {} SCF iterations, density residual {:.2e}, orthonormality {:.2e}",
         stats.scf_iterations,
@@ -28,4 +42,5 @@ fn main() {
         "PT-CN step / RK4 ceiling = {:.0}x larger time step",
         dt / dt_max
     );
+    Ok(())
 }

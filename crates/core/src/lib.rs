@@ -1,5 +1,5 @@
 //! `pt-core` — parallel-transport rt-TDDFT propagation (the paper's
-//! primary contribution).
+//! primary contribution), packaged behind a unified simulation API.
 //!
 //! The parallel transport (PT) gauge (§2, Eq. 4) evolves the orbitals by
 //!
@@ -13,23 +13,44 @@
 //! explicit RK4 needs ~0.5 as — a 20–30× end-to-end win on Summit (Fig. 6)
 //! because each Fock exchange application is so expensive.
 //!
-//! Provided here:
-//! * [`PtCnPropagator`] — Alg. 1, with SCF statistics (iteration counts,
-//!   Fock applications) matching the bookkeeping of the paper (§7: 24
-//!   exchange applications per 50 as step at the 1e-6 density tolerance);
-//! * [`Rk4Propagator`] — the explicit baseline of Fig. 6;
-//! * [`LaserPulse`] — the 380 nm velocity-gauge pulse of §4;
-//! * observables (energy, current, density-matrix invariants) and a
-//!   stability probe used to demonstrate the RK4 step-size ceiling.
+//! # The simulation API
+//!
+//! * [`Propagator`] — the object-safe one-step abstraction. Implementations:
+//!   [`PtCnPropagator`] (Alg. 1, options [`PtCnOptions`]) and
+//!   [`Rk4Propagator`] (the Fig. 6 baseline, options [`Rk4Options`]).
+//!   Select at runtime via `Box<dyn Propagator>`.
+//! * [`SimulationBuilder`] / [`Simulation`] — configure system, laser,
+//!   `dt`, step count and propagator, then [`Simulation::run`] owns the
+//!   time loop, drives the [`Observer`] pipeline and returns a
+//!   [`TimeSeries`].
+//! * [`Observer`] — composable per-step measurements. Built-ins:
+//!   [`EnergyObserver`], [`CurrentObserver`], [`DipoleNormObserver`],
+//!   [`OrthonormalityObserver`]; per-step [`StepStats`] are always
+//!   recorded.
+//! * Misuse returns the typed [`PtError`] (re-exported from `pt-ham`) —
+//!   nothing on the public setup path panics.
+//!
+//! Also provided: [`LaserPulse`] — the 380 nm velocity-gauge pulse of §4;
+//! gauge-invariant observables (energy, current, density-matrix
+//! invariants) and a stability probe used to demonstrate the RK4
+//! step-size ceiling.
 
 mod anderson_c;
 mod laser;
 mod observables;
 mod propagator;
+mod simulation;
 mod stability;
 
 pub use anderson_c::BandAndersonMixer;
 pub use laser::LaserPulse;
 pub use observables::{current_density, density_matrix_distance, orthonormality_error};
-pub use propagator::{PtCnOptions, PtCnPropagator, Rk4Propagator, StepStats, TdState};
+pub use propagator::{
+    Propagator, PtCnOptions, PtCnPropagator, Rk4Options, Rk4Propagator, StepStats, TdState,
+};
+pub use pt_ham::PtError;
+pub use simulation::{
+    CurrentObserver, DipoleNormObserver, EnergyObserver, Observer, ObserverContext,
+    OrthonormalityObserver, Simulation, SimulationBuilder, TimeSeries,
+};
 pub use stability::max_stable_rk4_dt;

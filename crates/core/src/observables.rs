@@ -12,7 +12,15 @@ use pt_num::c64;
 pub fn orthonormality_error(psi: &CMat) -> f64 {
     let nb = psi.ncols();
     let mut s = CMat::zeros(nb, nb);
-    gemm(c64::ONE, psi, Op::ConjTrans, psi, Op::None, c64::ZERO, &mut s);
+    gemm(
+        c64::ONE,
+        psi,
+        Op::ConjTrans,
+        psi,
+        Op::None,
+        c64::ZERO,
+        &mut s,
+    );
     s.max_diff(&CMat::eye(nb))
 }
 
@@ -23,7 +31,15 @@ pub fn density_matrix_distance(psi1: &CMat, psi2: &CMat) -> f64 {
     assert_eq!(psi1.ncols(), psi2.ncols());
     let nb = psi1.ncols();
     let mut o = CMat::zeros(nb, nb);
-    gemm(c64::ONE, psi1, Op::ConjTrans, psi2, Op::None, c64::ZERO, &mut o);
+    gemm(
+        c64::ONE,
+        psi1,
+        Op::ConjTrans,
+        psi2,
+        Op::None,
+        c64::ZERO,
+        &mut o,
+    );
     let cross: f64 = o.data().iter().map(|z| z.norm_sqr()).sum();
     (2.0 * nb as f64 - 2.0 * cross).max(0.0).sqrt()
 }
@@ -49,19 +65,8 @@ mod tests {
     use super::*;
 
     fn rand_orthonormal(ng: usize, nb: usize, seed: u64) -> CMat {
-        let mut s = seed | 1;
-        let mut rnd = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let mut m = CMat::from_fn(ng, nb, |_, _| c64::new(rnd(), rnd()));
-        let mut o = CMat::zeros(nb, nb);
-        gemm(c64::ONE, &m, Op::ConjTrans, &m, Op::None, c64::ZERO, &mut o);
-        let mut l = o;
-        pt_linalg::cholesky_in_place(&mut l);
-        pt_linalg::trsm_right_lh(&mut m, &l);
+        let mut m = CMat::rand_normalized(ng, nb, seed);
+        pt_linalg::orthonormalize_columns(&mut m, 0.0);
         m
     }
 
@@ -87,7 +92,15 @@ mod tests {
         };
         let (_w, u) = pt_linalg::eigh(&h);
         let mut rotated = CMat::zeros(30, 4);
-        gemm(c64::ONE, &m, Op::None, &u, Op::None, c64::ZERO, &mut rotated);
+        gemm(
+            c64::ONE,
+            &m,
+            Op::None,
+            &u,
+            Op::None,
+            c64::ZERO,
+            &mut rotated,
+        );
         assert!(density_matrix_distance(&m, &rotated) < 1e-10);
         // and two random subspaces are far apart
         let other = rand_orthonormal(30, 4, 99);

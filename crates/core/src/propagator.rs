@@ -1,9 +1,16 @@
-//! Time propagators: PT-CN (Alg. 1) and the RK4 baseline.
+//! Time propagators behind one trait: PT-CN (Alg. 1) and the RK4 baseline.
+//!
+//! [`Propagator`] is the object-safe abstraction the [`crate::Simulation`]
+//! driver works against: a propagator is an *algorithm plus its options* —
+//! the physical problem ([`KsSystem`]) and the drive ([`LaserPulse`]) are
+//! passed into every [`Propagator::step`], so one propagator value can be
+//! reused across systems and boxed for runtime selection
+//! (`Box<dyn Propagator>`).
 
 use crate::anderson_c::BandAndersonMixer;
 use crate::laser::LaserPulse;
-use pt_ham::KsSystem;
-use pt_linalg::{cholesky_in_place, gemm, trsm_right_lh, CMat, Op};
+use pt_ham::{density_residual, KsSystem, PtError};
+use pt_linalg::{gemm, orthonormalize_columns, CMat, Op};
 use pt_num::c64;
 
 /// The propagated state.
@@ -13,6 +20,14 @@ pub struct TdState {
     pub psi: CMat,
     /// Current time (a.u.).
     pub t: f64,
+}
+
+impl TdState {
+    /// State at `t = 0` from an orbital block (usually SCF ground-state
+    /// orbitals).
+    pub fn new(psi: CMat) -> Self {
+        TdState { psi, t: 0.0 }
+    }
 }
 
 /// Per-step diagnostics (the quantities §7 accounts for).
@@ -25,6 +40,28 @@ pub struct StepStats {
     pub h_applications: usize,
     /// Final fixed-point density residual.
     pub rho_residual: f64,
+    /// Whether the step's implicit solve reached its tolerance (always
+    /// `true` for explicit propagators).
+    pub converged: bool,
+}
+
+/// One step of a time-dependent Kohn–Sham propagation.
+///
+/// Object-safe: the `ptcn_vs_rk4` example picks the implementation at
+/// runtime through `Box<dyn Propagator>`. Implementations must advance
+/// `state.t` by exactly `dt` on success.
+pub trait Propagator {
+    /// Short human-readable identifier (for logs and series metadata).
+    fn name(&self) -> &'static str;
+
+    /// Advance `state` by `dt` under `sys` (+ optional laser coupling).
+    fn step(
+        &mut self,
+        sys: &KsSystem,
+        laser: Option<&LaserPulse>,
+        state: &mut TdState,
+        dt: f64,
+    ) -> Result<StepStats, PtError>;
 }
 
 /// PT-CN options (§4 settings as defaults).
@@ -38,52 +75,123 @@ pub struct PtCnOptions {
     pub anderson_depth: usize,
     /// Anderson relaxation β.
     pub beta: f64,
+    /// When `true`, a step whose fixed point stays above `rho_tol` after
+    /// `max_scf` iterations returns [`PtError::NotConverged`] instead of
+    /// the best-effort state (default: `false`, the paper's behavior —
+    /// accept the step and report the residual in [`StepStats`]).
+    pub strict: bool,
 }
 
 impl Default for PtCnOptions {
     fn default() -> Self {
-        PtCnOptions { rho_tol: 1e-6, max_scf: 40, anderson_depth: 20, beta: 1.0 }
+        PtCnOptions {
+            rho_tol: 1e-6,
+            max_scf: 40,
+            anderson_depth: 20,
+            beta: 1.0,
+            strict: false,
+        }
     }
 }
 
+/// RK4 options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Rk4Options {
+    /// Re-orthonormalize (Cholesky + TRSM) after every step. Off by
+    /// default: plain RK4 is the paper's Fig. 6 baseline, and its norm
+    /// drift is exactly what the stability probe measures.
+    pub reorthonormalize: bool,
+}
+
 /// The implicit parallel-transport Crank–Nicolson propagator (Alg. 1).
-pub struct PtCnPropagator<'a> {
-    /// The Kohn–Sham problem.
-    pub sys: &'a KsSystem,
-    /// Laser coupling (None = field-free).
-    pub laser: Option<LaserPulse>,
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PtCnPropagator {
     /// Options.
     pub opts: PtCnOptions,
 }
 
-/// `out = H Ψ − Ψ (Ψ* H Ψ)` — the PT residual RHS; returns (out, HΨ).
+impl PtCnPropagator {
+    /// Propagator with the given options.
+    pub fn new(opts: PtCnOptions) -> Self {
+        PtCnPropagator { opts }
+    }
+}
+
+/// `out = H Ψ − Ψ (Ψ* H Ψ)` — the PT residual RHS.
 fn pt_rhs(hpsi: &CMat, psi: &CMat) -> CMat {
     let nb = psi.ncols();
     let mut s = CMat::zeros(nb, nb);
-    gemm(c64::ONE, psi, Op::ConjTrans, hpsi, Op::None, c64::ZERO, &mut s);
+    gemm(
+        c64::ONE,
+        psi,
+        Op::ConjTrans,
+        hpsi,
+        Op::None,
+        c64::ZERO,
+        &mut s,
+    );
     let mut out = hpsi.clone();
     gemm(-c64::ONE, psi, Op::None, &s, Op::None, c64::ONE, &mut out);
     out
 }
 
-fn a_field(laser: &Option<LaserPulse>, t: f64) -> [f64; 3] {
-    laser.as_ref().map(|l| l.a_field(t)).unwrap_or([0.0; 3])
+pub(crate) fn a_field(laser: Option<&LaserPulse>, t: f64) -> [f64; 3] {
+    laser.map(|l| l.a_field(t)).unwrap_or([0.0; 3])
 }
 
-impl<'a> PtCnPropagator<'a> {
+/// Cholesky + TRSM re-orthonormalization (§3.4). No ridge: the block is
+/// near-orthonormal after a step, so the overlap is well conditioned.
+fn reorthonormalize(psi: &mut CMat) {
+    orthonormalize_columns(psi, 0.0);
+}
+
+impl Propagator for PtCnPropagator {
+    fn name(&self) -> &'static str {
+        "pt-cn"
+    }
+
     /// One PT-CN step of size `dt` (Alg. 1).
-    pub fn step(&self, state: &mut TdState, dt: f64) -> StepStats {
-        let sys = self.sys;
+    fn step(
+        &mut self,
+        sys: &KsSystem,
+        laser: Option<&LaserPulse>,
+        state: &mut TdState,
+        dt: f64,
+    ) -> Result<StepStats, PtError> {
+        if !self.opts.rho_tol.is_finite() || self.opts.rho_tol <= 0.0 {
+            return Err(PtError::InvalidConfig(format!(
+                "PT-CN density tolerance must be positive and finite, got {}",
+                self.opts.rho_tol
+            )));
+        }
+        if self.opts.max_scf == 0 {
+            return Err(PtError::InvalidConfig(
+                "PT-CN max_scf must be at least 1".into(),
+            ));
+        }
+        if self.opts.anderson_depth == 0 {
+            return Err(PtError::InvalidConfig(
+                "PT-CN Anderson history depth must be at least 1".into(),
+            ));
+        }
+        if !self.opts.beta.is_finite() {
+            return Err(PtError::InvalidConfig(format!(
+                "PT-CN mixing parameter beta must be finite, got {}",
+                self.opts.beta
+            )));
+        }
         let nb = state.psi.ncols();
         let ng = state.psi.nrows();
         let mut stats = StepStats::default();
-        let nd = sys.grids.n_dense();
-        let dv = sys.grids.volume / nd as f64;
 
         // line 1: initial residual R_n at time t_n
         let rho_n = sys.density(&state.psi);
-        let phi = if sys.hybrid.is_some() { Some(&state.psi) } else { None };
-        let h_n = sys.hamiltonian(&rho_n, phi, a_field(&self.laser, state.t));
+        let phi = if sys.hybrid.is_some() {
+            Some(&state.psi)
+        } else {
+            None
+        };
+        let h_n = sys.hamiltonian(&rho_n, phi, a_field(laser, state.t))?;
         let mut hpsi = CMat::zeros(ng, nb);
         h_n.apply_block(&state.psi, &mut hpsi);
         stats.h_applications += 1;
@@ -102,8 +210,12 @@ impl<'a> PtCnPropagator<'a> {
         let t_next = state.t + dt;
         for _ in 0..self.opts.max_scf {
             stats.scf_iterations += 1;
-            let phi_f = if sys.hybrid.is_some() { Some(&psi_f) } else { None };
-            let h_f = sys.hamiltonian(&rho_f, phi_f, a_field(&self.laser, t_next));
+            let phi_f = if sys.hybrid.is_some() {
+                Some(&psi_f)
+            } else {
+                None
+            };
+            let h_f = sys.hamiltonian(&rho_f, phi_f, a_field(laser, t_next))?;
             let mut hpsi_f = CMat::zeros(ng, nb);
             h_f.apply_block(&psi_f, &mut hpsi_f);
             stats.h_applications += 1;
@@ -111,8 +223,8 @@ impl<'a> PtCnPropagator<'a> {
             let rhs = pt_rhs(&hpsi_f, &psi_f);
             let mut resid = CMat::zeros(ng, nb);
             for i in 0..ng * nb {
-                resid.data_mut()[i] = psi_f.data()[i] + rhs.data()[i].mul_i().scale(0.5 * dt)
-                    - psi_half.data()[i];
+                resid.data_mut()[i] =
+                    psi_f.data()[i] + rhs.data()[i].mul_i().scale(0.5 * dt) - psi_half.data()[i];
             }
             // Anderson mixing on the fixed point Ψ = Ψ − R(Ψ): residual −R
             for z in resid.data_mut().iter_mut() {
@@ -120,48 +232,61 @@ impl<'a> PtCnPropagator<'a> {
             }
             psi_f = mixer.step(&psi_f, &resid);
             let rho_new = sys.density(&psi_f);
-            stats.rho_residual = rho_new
-                .iter()
-                .zip(&rho_f)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max)
-                * dv
-                * nd as f64;
+            stats.rho_residual = density_residual(&rho_new, &rho_f, sys.grids.volume);
             rho_f = rho_new;
             if stats.rho_residual < self.opts.rho_tol {
+                stats.converged = true;
                 break;
             }
         }
+        if self.opts.strict && !stats.converged {
+            return Err(PtError::NotConverged {
+                context: "PT-CN fixed point",
+                residual: stats.rho_residual,
+                tol: self.opts.rho_tol,
+                iterations: stats.scf_iterations,
+            });
+        }
 
         // line 11: re-orthogonalize (Cholesky + TRSM, §3.4)
-        let mut s = CMat::zeros(nb, nb);
-        gemm(c64::ONE, &psi_f, Op::ConjTrans, &psi_f, Op::None, c64::ZERO, &mut s);
-        let mut l = s;
-        cholesky_in_place(&mut l);
-        trsm_right_lh(&mut psi_f, &l);
+        reorthonormalize(&mut psi_f);
 
         state.psi = psi_f;
         state.t = t_next;
-        stats
+        Ok(stats)
     }
 }
 
 /// Explicit 4th-order Runge–Kutta on `i ∂t Ψ = H[ρ(Ψ), Ψ](t) Ψ` — the
 /// baseline of Fig. 6. The Hamiltonian (density, exchange orbitals, laser
 /// field) is rebuilt at every stage.
-pub struct Rk4Propagator<'a> {
-    /// The Kohn–Sham problem.
-    pub sys: &'a KsSystem,
-    /// Laser coupling.
-    pub laser: Option<LaserPulse>,
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Rk4Propagator {
+    /// Options.
+    pub opts: Rk4Options,
 }
 
-impl<'a> Rk4Propagator<'a> {
-    fn rhs(&self, psi: &CMat, t: f64, stats: &mut StepStats) -> CMat {
-        let sys = self.sys;
+impl Rk4Propagator {
+    /// Propagator with the given options.
+    pub fn new(opts: Rk4Options) -> Self {
+        Rk4Propagator { opts }
+    }
+
+    fn rhs(
+        &self,
+        sys: &KsSystem,
+        laser: Option<&LaserPulse>,
+        psi: &CMat,
+        t: f64,
+        stats: &mut StepStats,
+    ) -> Result<CMat, PtError> {
         let rho = sys.density(psi);
-        let phi = if sys.hybrid.is_some() { Some(psi) } else { None };
-        let h = sys.hamiltonian(&rho, phi, a_field(&self.laser, t));
+        let phi = if sys.hybrid.is_some() {
+            Some(psi)
+        } else {
+            None
+        };
+        let h = sys.hamiltonian(&rho, phi, a_field(laser, t))?;
         let mut hpsi = CMat::zeros(psi.nrows(), psi.ncols());
         h.apply_block(psi, &mut hpsi);
         stats.h_applications += 1;
@@ -169,38 +294,54 @@ impl<'a> Rk4Propagator<'a> {
         for z in hpsi.data_mut().iter_mut() {
             *z = z.mul_neg_i();
         }
-        hpsi
+        Ok(hpsi)
+    }
+}
+
+impl Propagator for Rk4Propagator {
+    fn name(&self) -> &'static str {
+        "rk4"
     }
 
     /// One RK4 step of size `dt`.
-    pub fn step(&self, state: &mut TdState, dt: f64) -> StepStats {
-        let mut stats = StepStats::default();
+    fn step(
+        &mut self,
+        sys: &KsSystem,
+        laser: Option<&LaserPulse>,
+        state: &mut TdState,
+        dt: f64,
+    ) -> Result<StepStats, PtError> {
+        let mut stats = StepStats {
+            converged: true,
+            ..StepStats::default()
+        };
         let psi0 = state.psi.clone();
         let n = psi0.data().len();
 
-        let k1 = self.rhs(&psi0, state.t, &mut stats);
+        let k1 = self.rhs(sys, laser, &psi0, state.t, &mut stats)?;
         let mut tmp = psi0.clone();
         for i in 0..n {
             tmp.data_mut()[i] = psi0.data()[i] + k1.data()[i].scale(0.5 * dt);
         }
-        let k2 = self.rhs(&tmp, state.t + 0.5 * dt, &mut stats);
+        let k2 = self.rhs(sys, laser, &tmp, state.t + 0.5 * dt, &mut stats)?;
         for i in 0..n {
             tmp.data_mut()[i] = psi0.data()[i] + k2.data()[i].scale(0.5 * dt);
         }
-        let k3 = self.rhs(&tmp, state.t + 0.5 * dt, &mut stats);
+        let k3 = self.rhs(sys, laser, &tmp, state.t + 0.5 * dt, &mut stats)?;
         for i in 0..n {
             tmp.data_mut()[i] = psi0.data()[i] + k3.data()[i].scale(dt);
         }
-        let k4 = self.rhs(&tmp, state.t + dt, &mut stats);
+        let k4 = self.rhs(sys, laser, &tmp, state.t + dt, &mut stats)?;
 
         for i in 0..n {
-            let incr = k1.data()[i]
-                + (k2.data()[i] + k3.data()[i]).scale(2.0)
-                + k4.data()[i];
+            let incr = k1.data()[i] + (k2.data()[i] + k3.data()[i]).scale(2.0) + k4.data()[i];
             state.psi.data_mut()[i] = psi0.data()[i] + incr.scale(dt / 6.0);
         }
+        if self.opts.reorthonormalize {
+            reorthonormalize(&mut state.psi);
+        }
         state.t += dt;
-        stats
+        Ok(stats)
     }
 }
 
@@ -208,6 +349,7 @@ impl<'a> Rk4Propagator<'a> {
 mod tests {
     use super::*;
     use crate::observables::{density_matrix_distance, orthonormality_error};
+    use pt_ham::HybridConfig;
     use pt_lattice::silicon_cubic_supercell;
     use pt_scf::{scf_loop, ScfOptions};
     use pt_xc::XcKind;
@@ -215,15 +357,64 @@ mod tests {
     fn ground_state(hybrid: bool) -> (KsSystem, CMat) {
         let s = silicon_cubic_supercell(1, 1, 1);
         let sys = if hybrid {
-            KsSystem::new(s, 2.0, XcKind::Pbe, Some(pt_ham::HybridConfig::hse06()))
+            KsSystem::builder(s)
+                .ecut(2.0)
+                .xc(XcKind::Pbe)
+                .hybrid(HybridConfig::hse06())
+                .build()
+                .unwrap()
         } else {
-            KsSystem::new(s, 2.5, XcKind::Lda, None)
+            KsSystem::builder(s)
+                .ecut(2.5)
+                .xc(XcKind::Lda)
+                .build()
+                .unwrap()
         };
-        let mut o = ScfOptions::default();
-        o.rho_tol = 1e-7;
-        o.max_phi_updates = 3;
-        let r = scf_loop(&sys, o);
+        let o = ScfOptions {
+            rho_tol: 1e-7,
+            max_phi_updates: 3,
+            ..Default::default()
+        };
+        let r = scf_loop(&sys, o).expect("test ground state converges");
         (sys, r.orbitals)
+    }
+
+    #[test]
+    fn ptcn_rejects_malformed_options() {
+        // validation fires before any physics, so no SCF needed
+        let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+            .ecut(2.0)
+            .xc(XcKind::Lda)
+            .build()
+            .unwrap();
+        let psi = CMat::rand_normalized(sys.grids.ng(), sys.n_bands(), 7);
+        let bad = [
+            PtCnOptions {
+                rho_tol: -1.0,
+                ..Default::default()
+            },
+            PtCnOptions {
+                rho_tol: f64::NAN,
+                ..Default::default()
+            },
+            PtCnOptions {
+                max_scf: 0,
+                ..Default::default()
+            },
+            PtCnOptions {
+                anderson_depth: 0,
+                ..Default::default()
+            },
+            PtCnOptions {
+                beta: f64::INFINITY,
+                ..Default::default()
+            },
+        ];
+        for opts in bad {
+            let mut st = TdState::new(psi.clone());
+            let r = PtCnPropagator::new(opts).step(&sys, None, &mut st, 0.1);
+            assert!(matches!(r, Err(PtError::InvalidConfig(_))), "{opts:?}");
+        }
     }
 
     #[test]
@@ -231,10 +422,11 @@ mod tests {
         // At the ground state with no field, PT-CN must leave the density
         // matrix invariant for any dt (the PT gauge's selling point).
         let (sys, psi0) = ground_state(false);
-        let prop = PtCnPropagator { sys: &sys, laser: None, opts: PtCnOptions::default() };
-        let mut st = TdState { psi: psi0.clone(), t: 0.0 };
+        let mut prop = PtCnPropagator::default();
+        let mut st = TdState::new(psi0.clone());
         let dt = pt_num::units::attosecond_to_au(50.0);
-        let stats = prop.step(&mut st, dt);
+        let stats = prop.step(&sys, None, &mut st, dt).unwrap();
+        assert!(stats.converged);
         assert!(stats.rho_residual < 1e-6, "residual {}", stats.rho_residual);
         assert!(orthonormality_error(&st.psi) < 1e-9);
         let d = density_matrix_distance(&psi0, &st.psi);
@@ -248,24 +440,25 @@ mod tests {
         // propagate 2 as with a field; PT-CN (1 step) vs RK4 (40 × 0.05 as
         // reference): gauge-invariant observables must agree.
         let (sys, psi0) = ground_state(false);
-        let laser = Some(LaserPulse {
+        let laser = LaserPulse {
             a0: 0.08,
             omega: 0.3,
             t0: 0.0,
             sigma: 20.0,
             polarization: [0.0, 0.0, 1.0],
-        });
+        };
         let dt = pt_num::units::attosecond_to_au(2.0);
-        let mut st_pt = TdState { psi: psi0.clone(), t: 0.0 };
-        let mut opts = PtCnOptions::default();
-        opts.rho_tol = 1e-10;
-        let prop = PtCnPropagator { sys: &sys, laser, opts };
-        prop.step(&mut st_pt, dt);
+        let mut st_pt = TdState::new(psi0.clone());
+        let mut prop = PtCnPropagator::new(PtCnOptions {
+            rho_tol: 1e-10,
+            ..Default::default()
+        });
+        prop.step(&sys, Some(&laser), &mut st_pt, dt).unwrap();
 
-        let rk = Rk4Propagator { sys: &sys, laser };
-        let mut st_rk = TdState { psi: psi0, t: 0.0 };
+        let mut rk = Rk4Propagator::default();
+        let mut st_rk = TdState::new(psi0);
         for _ in 0..40 {
-            rk.step(&mut st_rk, dt / 40.0);
+            rk.step(&sys, Some(&laser), &mut st_rk, dt / 40.0).unwrap();
         }
         let d = density_matrix_distance(&st_pt.psi, &st_rk.psi);
         assert!(d < 2e-4, "PT-CN vs RK4 density-matrix distance {d}");
@@ -274,30 +467,113 @@ mod tests {
     #[test]
     fn rk4_conserves_norm_at_tiny_dt() {
         let (sys, psi0) = ground_state(false);
-        let rk = Rk4Propagator { sys: &sys, laser: None };
-        let mut st = TdState { psi: psi0, t: 0.0 };
+        let mut rk = Rk4Propagator::default();
+        let mut st = TdState::new(psi0);
         let dt = pt_num::units::attosecond_to_au(0.5);
         for _ in 0..5 {
-            rk.step(&mut st, dt);
+            rk.step(&sys, None, &mut st, dt).unwrap();
         }
         assert!(orthonormality_error(&st.psi) < 1e-8);
     }
 
     #[test]
+    fn rk4_reorthonormalize_option_restores_orthonormality() {
+        // at a dt where plain RK4 visibly drifts off the Stiefel manifold,
+        // the reorthonormalize option must pin the error to roundoff
+        let (sys, psi0) = ground_state(false);
+        let dt = pt_num::units::attosecond_to_au(10.0);
+        let mut plain = Rk4Propagator::default();
+        let mut st_plain = TdState::new(psi0.clone());
+        let mut reortho = Rk4Propagator::new(Rk4Options {
+            reorthonormalize: true,
+        });
+        let mut st_re = TdState::new(psi0);
+        for _ in 0..5 {
+            plain.step(&sys, None, &mut st_plain, dt).unwrap();
+            reortho.step(&sys, None, &mut st_re, dt).unwrap();
+        }
+        let e_plain = orthonormality_error(&st_plain.psi);
+        let e_re = orthonormality_error(&st_re.psi);
+        assert!(e_re < 1e-10, "re-orthonormalized RK4 error {e_re:.2e}");
+        assert!(
+            e_re < e_plain,
+            "flag should tighten orthonormality: {e_re:.2e} vs plain {e_plain:.2e}"
+        );
+    }
+
+    #[test]
     fn hybrid_ptcn_step_runs_and_counts_fock_applications() {
         let (sys, psi0) = ground_state(true);
-        let prop = PtCnPropagator {
-            sys: &sys,
-            laser: None,
-            opts: PtCnOptions { rho_tol: 1e-6, max_scf: 30, anderson_depth: 20, beta: 1.0 },
-        };
-        let mut st = TdState { psi: psi0, t: 0.0 };
+        let mut prop = PtCnPropagator::new(PtCnOptions {
+            rho_tol: 1e-6,
+            max_scf: 30,
+            ..PtCnOptions::default()
+        });
+        let mut st = TdState::new(psi0);
         let dt = pt_num::units::attosecond_to_au(50.0);
-        let stats = prop.step(&mut st, dt);
+        let stats = prop.step(&sys, None, &mut st, dt).unwrap();
         // H applications = 1 (residual) + SCF count — the paper's "24 per
         // step" bookkeeping is scf + residual + energy
         assert_eq!(stats.h_applications, stats.scf_iterations + 1);
         assert!(orthonormality_error(&st.psi) < 1e-9);
         assert!(stats.rho_residual < 1e-5, "residual {}", stats.rho_residual);
+    }
+
+    #[test]
+    fn strict_ptcn_reports_nonconvergence_as_error() {
+        let (sys, psi0) = ground_state(false);
+        // an unreachable tolerance with a starved iteration budget
+        let mut prop = PtCnPropagator::new(PtCnOptions {
+            rho_tol: 1e-30,
+            max_scf: 1,
+            strict: true,
+            ..PtCnOptions::default()
+        });
+        // kick the state off the stationary point so the residual is nonzero
+        let laser = LaserPulse {
+            a0: 0.1,
+            omega: 0.3,
+            t0: 0.0,
+            sigma: 20.0,
+            polarization: [0.0, 0.0, 1.0],
+        };
+        let mut st = TdState::new(psi0);
+        let dt = pt_num::units::attosecond_to_au(10.0);
+        match prop.step(&sys, Some(&laser), &mut st, dt) {
+            Err(PtError::NotConverged {
+                context,
+                iterations,
+                ..
+            }) => {
+                assert_eq!(context, "PT-CN fixed point");
+                assert_eq!(iterations, 1);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+        // non-strict mode accepts the same step and reports the residual
+        let mut lax = PtCnPropagator::new(PtCnOptions {
+            rho_tol: 1e-30,
+            max_scf: 1,
+            ..PtCnOptions::default()
+        });
+        let stats = lax.step(&sys, Some(&laser), &mut st, dt).unwrap();
+        assert!(!stats.converged);
+        assert!(stats.rho_residual > 0.0);
+    }
+
+    #[test]
+    fn propagators_are_object_safe_and_runtime_selectable() {
+        let (sys, psi0) = ground_state(false);
+        let dt = pt_num::units::attosecond_to_au(1.0);
+        for boxed in [
+            Box::new(PtCnPropagator::default()) as Box<dyn Propagator>,
+            Box::new(Rk4Propagator::default()) as Box<dyn Propagator>,
+        ] {
+            let mut prop = boxed;
+            let mut st = TdState::new(psi0.clone());
+            let stats = prop.step(&sys, None, &mut st, dt).unwrap();
+            assert!(stats.h_applications >= 1, "{}", prop.name());
+            assert!((st.t - dt).abs() < 1e-15);
+        }
     }
 }

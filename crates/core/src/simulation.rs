@@ -1,0 +1,694 @@
+//! The `Simulation` driver — one owner of the rt-TDDFT time loop.
+//!
+//! The paper's workflow is always the same pipeline: converge a ground
+//! state, then drive a laser-coupled propagation while recording
+//! gauge-invariant observables. [`SimulationBuilder`] configures the run
+//! (system, laser, `dt`, step count, propagator, observers);
+//! [`Simulation::run`] owns the loop, invokes the composable [`Observer`]
+//! pipeline after every step, and returns a [`TimeSeries`] — the columnar
+//! record the bench figure generators consume.
+//!
+//! ```no_run
+//! # use pt_core::{SimulationBuilder, PtCnOptions, PtCnPropagator, LaserPulse};
+//! # fn demo(sys: &pt_ham::KsSystem, psi0: pt_linalg::CMat) -> Result<(), pt_ham::PtError> {
+//! let series = SimulationBuilder::new(sys)
+//!     .initial_orbitals(psi0)
+//!     .laser(LaserPulse::paper_380nm(
+//!         0.02,
+//!         pt_num::units::attosecond_to_au(200.0),
+//!         pt_num::units::attosecond_to_au(100.0),
+//!     ))
+//!     .dt(pt_num::units::attosecond_to_au(25.0))
+//!     .steps(10)
+//!     .propagator(Box::new(PtCnPropagator::new(PtCnOptions::default())))
+//!     .standard_observers()
+//!     .build()?
+//!     .run()?;
+//! let j_z = series.channel("current_z").unwrap();
+//! # let _ = j_z; Ok(())
+//! # }
+//! ```
+
+use crate::laser::LaserPulse;
+use crate::observables::{current_density, orthonormality_error};
+use crate::propagator::{Propagator, PtCnPropagator, StepStats, TdState};
+use pt_ham::{integrate, KsSystem, PtError};
+use pt_linalg::CMat;
+use std::collections::BTreeMap;
+
+/// Everything an [`Observer`] may look at after one completed step.
+pub struct ObserverContext<'a> {
+    /// The Kohn–Sham problem.
+    pub sys: &'a KsSystem,
+    /// State after the step (`state.t` is the post-step time).
+    pub state: &'a TdState,
+    /// Vector potential at `state.t`.
+    pub a_field: [f64; 3],
+    /// Density of `state.psi`, precomputed once per step iff some observer
+    /// declares [`Observer::needs_density`].
+    pub rho: Option<&'a [f64]>,
+    /// 0-based index of the completed step.
+    pub step_index: usize,
+    /// The propagator's diagnostics for this step.
+    pub stats: &'a StepStats,
+}
+
+/// A composable per-step measurement.
+///
+/// Observers run in registration order after every accepted step and emit
+/// named scalar channels into the [`TimeSeries`]. Object-safe, so
+/// pipelines are `Vec<Box<dyn Observer>>`.
+pub trait Observer {
+    /// Identifier used in error messages.
+    fn name(&self) -> &'static str;
+
+    /// Whether this observer reads `ctx.rho`; the driver computes the
+    /// density once per step only if some observer asks for it.
+    fn needs_density(&self) -> bool {
+        false
+    }
+
+    /// Measure: return `(channel, value)` samples for this step. An
+    /// observer must emit the same channels every step.
+    fn observe(&mut self, ctx: &ObserverContext<'_>) -> Result<Vec<(String, f64)>, PtError>;
+}
+
+/// Records the total energy (channel `energy`).
+#[derive(Default)]
+pub struct EnergyObserver;
+
+impl Observer for EnergyObserver {
+    fn name(&self) -> &'static str {
+        "energy"
+    }
+    fn needs_density(&self) -> bool {
+        true
+    }
+    fn observe(&mut self, ctx: &ObserverContext<'_>) -> Result<Vec<(String, f64)>, PtError> {
+        let rho = ctx.rho.ok_or(PtError::InvalidConfig(
+            "EnergyObserver needs the step density".into(),
+        ))?;
+        let e = ctx.sys.energies(&ctx.state.psi, rho, ctx.a_field).total();
+        Ok(vec![("energy".into(), e)])
+    }
+}
+
+/// Records the macroscopic current density (channels `current_x`,
+/// `current_y`, `current_z`) — the primary observable of a velocity-gauge
+/// laser run.
+#[derive(Default)]
+pub struct CurrentObserver;
+
+impl Observer for CurrentObserver {
+    fn name(&self) -> &'static str {
+        "current"
+    }
+    fn observe(&mut self, ctx: &ObserverContext<'_>) -> Result<Vec<(String, f64)>, PtError> {
+        let j = current_density(ctx.sys, &ctx.state.psi, ctx.a_field);
+        Ok(vec![
+            ("current_x".into(), j[0]),
+            ("current_y".into(), j[1]),
+            ("current_z".into(), j[2]),
+        ])
+    }
+}
+
+/// Records the electron count `∫ρ` (channel `n_electrons`) and the
+/// electronic dipole moment `∫ r ρ(r) dr` (channels `dipole_x/y/z`) — the
+/// norm/dipole pair whose conservation and response diagnose a run.
+#[derive(Default)]
+pub struct DipoleNormObserver {
+    /// Cartesian coordinates of every dense-grid point, built lazily on
+    /// the first step (the grid never changes during a run).
+    coords: Option<Vec<[f64; 3]>>,
+}
+
+impl Observer for DipoleNormObserver {
+    fn name(&self) -> &'static str {
+        "dipole-norm"
+    }
+    fn needs_density(&self) -> bool {
+        true
+    }
+    fn observe(&mut self, ctx: &ObserverContext<'_>) -> Result<Vec<(String, f64)>, PtError> {
+        let rho = ctx.rho.ok_or(PtError::InvalidConfig(
+            "DipoleNormObserver needs the step density".into(),
+        ))?;
+        let g = &ctx.sys.grids;
+        let ne = integrate(g, rho);
+        let dv = g.volume / g.n_dense() as f64;
+        let coords = self.coords.get_or_insert_with(|| {
+            let (nx, ny, nz) = g.fft_dense.dims();
+            let cell = &ctx.sys.structure.cell;
+            let mut coords = Vec::with_capacity(g.n_dense());
+            for iz in 0..nz {
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        coords.push(cell.frac_to_cart([
+                            ix as f64 / nx as f64,
+                            iy as f64 / ny as f64,
+                            iz as f64 / nz as f64,
+                        ]));
+                    }
+                }
+            }
+            coords
+        });
+        let mut d = [0.0f64; 3];
+        for (w, r) in rho.iter().map(|&v| v * dv).zip(coords.iter()) {
+            d[0] += w * r[0];
+            d[1] += w * r[1];
+            d[2] += w * r[2];
+        }
+        Ok(vec![
+            ("n_electrons".into(), ne),
+            ("dipole_x".into(), d[0]),
+            ("dipole_y".into(), d[1]),
+            ("dipole_z".into(), d[2]),
+        ])
+    }
+}
+
+/// Records `max |Ψ*Ψ − I|` (channel `orthonormality_error`).
+#[derive(Default)]
+pub struct OrthonormalityObserver;
+
+impl Observer for OrthonormalityObserver {
+    fn name(&self) -> &'static str {
+        "orthonormality"
+    }
+    fn observe(&mut self, ctx: &ObserverContext<'_>) -> Result<Vec<(String, f64)>, PtError> {
+        Ok(vec![(
+            "orthonormality_error".into(),
+            orthonormality_error(&ctx.state.psi),
+        )])
+    }
+}
+
+/// Columnar record of a run: per-step times, fields, propagator stats and
+/// every observer channel. This is the interchange format between the
+/// simulation driver and the bench figure generators.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    /// Propagator name that produced this series.
+    pub propagator: String,
+    /// Post-step times (a.u.).
+    pub t: Vec<f64>,
+    /// Vector potential at each post-step time.
+    pub a_field: Vec<[f64; 3]>,
+    /// Per-step propagator diagnostics.
+    pub stats: Vec<StepStats>,
+    channels: BTreeMap<String, Vec<f64>>,
+}
+
+impl TimeSeries {
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// An observer channel by name (`"energy"`, `"current_z"`, …), one
+    /// value per step.
+    pub fn channel(&self, name: &str) -> Option<&[f64]> {
+        self.channels.get(name).map(Vec::as_slice)
+    }
+
+    /// Names of all recorded channels (sorted).
+    pub fn channel_names(&self) -> Vec<&str> {
+        self.channels.keys().map(String::as_str).collect()
+    }
+
+    fn push_sample(&mut self, name: String, value: f64, step: usize) -> Result<(), PtError> {
+        // check before inserting so a failed push never leaves a phantom
+        // empty channel behind (the partial series must stay whole-step)
+        let len = self.channels.get(&name).map_or(0, Vec::len);
+        if len != step {
+            return Err(PtError::InvalidConfig(format!(
+                "observer channel '{name}' emitted {len} values by step {step} — observers must emit the same channels every step"
+            )));
+        }
+        self.channels.entry(name).or_default().push(value);
+        Ok(())
+    }
+
+    fn close_step(&self, step: usize) -> Result<(), PtError> {
+        for (name, col) in &self.channels {
+            if col.len() != step + 1 {
+                return Err(PtError::InvalidConfig(format!(
+                    "observer channel '{name}' missing a value for step {step}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Configures a [`Simulation`]. See the module docs for the full example.
+pub struct SimulationBuilder<'a> {
+    sys: &'a KsSystem,
+    laser: Option<LaserPulse>,
+    dt: Option<f64>,
+    n_steps: Option<usize>,
+    t0: f64,
+    propagator: Option<Box<dyn Propagator>>,
+    observers: Vec<Box<dyn Observer>>,
+    initial: Option<CMat>,
+}
+
+impl<'a> SimulationBuilder<'a> {
+    /// Start configuring a run over `sys`.
+    pub fn new(sys: &'a KsSystem) -> Self {
+        SimulationBuilder {
+            sys,
+            laser: None,
+            dt: None,
+            n_steps: None,
+            t0: 0.0,
+            propagator: None,
+            observers: Vec::new(),
+            initial: None,
+        }
+    }
+
+    /// Couple a laser pulse (velocity gauge).
+    pub fn laser(mut self, laser: LaserPulse) -> Self {
+        self.laser = Some(laser);
+        self
+    }
+
+    /// Time step (a.u.). Required.
+    pub fn dt(mut self, dt: f64) -> Self {
+        self.dt = Some(dt);
+        self
+    }
+
+    /// Number of steps to take per [`Simulation::run`]. Required.
+    pub fn steps(mut self, n: usize) -> Self {
+        self.n_steps = Some(n);
+        self
+    }
+
+    /// Starting time (default 0).
+    pub fn start_time(mut self, t0: f64) -> Self {
+        self.t0 = t0;
+        self
+    }
+
+    /// Select the propagator (default: PT-CN with paper options). Boxed so
+    /// the choice can be made at runtime.
+    pub fn propagator(mut self, p: Box<dyn Propagator>) -> Self {
+        self.propagator = Some(p);
+        self
+    }
+
+    /// Append an observer to the pipeline (runs in registration order).
+    pub fn observer(mut self, o: Box<dyn Observer>) -> Self {
+        self.observers.push(o);
+        self
+    }
+
+    /// Append the standard pipeline: energy, current, dipole/norm,
+    /// orthonormality.
+    pub fn standard_observers(self) -> Self {
+        self.observer(Box::new(EnergyObserver))
+            .observer(Box::new(CurrentObserver))
+            .observer(Box::new(DipoleNormObserver::default()))
+            .observer(Box::new(OrthonormalityObserver))
+    }
+
+    /// Initial orbitals (usually SCF ground-state orbitals). Required.
+    pub fn initial_orbitals(mut self, psi: CMat) -> Self {
+        self.initial = Some(psi);
+        self
+    }
+
+    /// Validate and assemble the [`Simulation`]. Misuse returns
+    /// [`PtError`]; nothing on this path panics.
+    pub fn build(self) -> Result<Simulation<'a>, PtError> {
+        let dt = self
+            .dt
+            .ok_or_else(|| PtError::InvalidConfig("time step dt is required".into()))?;
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(PtError::InvalidConfig(format!(
+                "time step must be positive and finite, got {dt}"
+            )));
+        }
+        if !self.t0.is_finite() {
+            return Err(PtError::InvalidConfig(format!(
+                "start time must be finite, got {}",
+                self.t0
+            )));
+        }
+        let n_steps = self
+            .n_steps
+            .ok_or_else(|| PtError::InvalidConfig("step count is required".into()))?;
+        if n_steps == 0 {
+            return Err(PtError::InvalidConfig(
+                "step count must be at least 1".into(),
+            ));
+        }
+        let psi = self.initial.ok_or_else(|| {
+            PtError::InvalidConfig("initial orbitals are required (run an SCF first)".into())
+        })?;
+        if psi.nrows() != self.sys.grids.ng() {
+            return Err(PtError::ShapeMismatch {
+                context: "initial orbital rows (plane waves)",
+                expected: self.sys.grids.ng(),
+                got: psi.nrows(),
+            });
+        }
+        if psi.ncols() != self.sys.n_bands() {
+            return Err(PtError::ShapeMismatch {
+                context: "initial orbital columns (occupied bands)",
+                expected: self.sys.n_bands(),
+                got: psi.ncols(),
+            });
+        }
+        let propagator = self
+            .propagator
+            .unwrap_or_else(|| Box::new(PtCnPropagator::default()));
+        Ok(Simulation {
+            sys: self.sys,
+            laser: self.laser,
+            dt,
+            n_steps,
+            propagator,
+            observers: self.observers,
+            state: TdState { psi, t: self.t0 },
+            partial: None,
+        })
+    }
+}
+
+/// A configured rt-TDDFT run: owns the state, the propagator and the
+/// observer pipeline.
+pub struct Simulation<'a> {
+    sys: &'a KsSystem,
+    laser: Option<LaserPulse>,
+    dt: f64,
+    n_steps: usize,
+    propagator: Box<dyn Propagator>,
+    observers: Vec<Box<dyn Observer>>,
+    state: TdState,
+    partial: Option<TimeSeries>,
+}
+
+impl<'a> Simulation<'a> {
+    /// The current state (after `run`, the final state).
+    pub fn state(&self) -> &TdState {
+        &self.state
+    }
+
+    /// The configured step size (a.u.).
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The record of every step completed before the last [`Simulation::run`]
+    /// failed — the diagnostics leading up to the error, which are exactly
+    /// what a post-mortem needs (the state has already advanced past those
+    /// steps, so they cannot be re-recorded). Cleared when `run` is called
+    /// again; `None` after a successful run.
+    pub fn take_partial_series(&mut self) -> Option<TimeSeries> {
+        self.partial.take()
+    }
+
+    /// Advance the configured number of steps, invoking the observer
+    /// pipeline after each, and return the recorded series. Calling `run`
+    /// again continues from the final state for another window. On error,
+    /// the steps recorded so far stay retrievable via
+    /// [`Simulation::take_partial_series`].
+    pub fn run(&mut self) -> Result<TimeSeries, PtError> {
+        let mut series = TimeSeries {
+            propagator: self.propagator.name().to_string(),
+            ..TimeSeries::default()
+        };
+        self.partial = None;
+        let needs_rho = self.observers.iter().any(|o| o.needs_density());
+        for step_index in 0..self.n_steps {
+            let stats =
+                match self
+                    .propagator
+                    .step(self.sys, self.laser.as_ref(), &mut self.state, self.dt)
+                {
+                    Ok(s) => s,
+                    Err(e) => {
+                        self.partial = Some(series);
+                        return Err(e);
+                    }
+                };
+            let a = crate::propagator::a_field(self.laser.as_ref(), self.state.t);
+            let rho = if needs_rho {
+                Some(self.sys.density(&self.state.psi))
+            } else {
+                None
+            };
+            // gather this step's samples first, commit only if every
+            // observer succeeded — the partial series then always holds
+            // whole steps
+            let mut step_samples: Vec<(String, f64)> = Vec::new();
+            let mut failure: Option<PtError> = None;
+            {
+                let ctx = ObserverContext {
+                    sys: self.sys,
+                    state: &self.state,
+                    a_field: a,
+                    rho: rho.as_deref(),
+                    step_index,
+                    stats: &stats,
+                };
+                for obs in &mut self.observers {
+                    match obs.observe(&ctx) {
+                        Ok(samples) => step_samples.extend(samples),
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+            if failure.is_none() {
+                let mut committed: Vec<String> = Vec::new();
+                for (name, value) in step_samples {
+                    match series.push_sample(name.clone(), value, step_index) {
+                        Ok(()) => committed.push(name),
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if failure.is_none() {
+                    if let Err(e) = series.close_step(step_index) {
+                        failure = Some(e);
+                    }
+                }
+                if failure.is_some() {
+                    // roll back this step's samples so the partial series
+                    // holds only whole steps
+                    for n in &committed {
+                        if let Some(col) = series.channels.get_mut(n) {
+                            col.pop();
+                        }
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                self.partial = Some(series);
+                return Err(e);
+            }
+            series.t.push(self.state.t);
+            series.a_field.push(a);
+            series.stats.push(stats);
+        }
+        Ok(series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_lattice::silicon_cubic_supercell;
+    use pt_xc::XcKind;
+
+    fn small_sys() -> KsSystem {
+        KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+            .ecut(2.0)
+            .xc(XcKind::Lda)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_missing_and_malformed_configuration() {
+        let sys = small_sys();
+        let ng = sys.grids.ng();
+        let nb = sys.n_bands();
+        // missing dt
+        assert!(matches!(
+            SimulationBuilder::new(&sys)
+                .steps(1)
+                .initial_orbitals(CMat::zeros(ng, nb))
+                .build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        // bad dt
+        assert!(matches!(
+            SimulationBuilder::new(&sys)
+                .dt(-0.1)
+                .steps(1)
+                .initial_orbitals(CMat::zeros(ng, nb))
+                .build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        // zero steps
+        assert!(matches!(
+            SimulationBuilder::new(&sys)
+                .dt(0.1)
+                .steps(0)
+                .initial_orbitals(CMat::zeros(ng, nb))
+                .build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        // missing orbitals
+        assert!(matches!(
+            SimulationBuilder::new(&sys).dt(0.1).steps(1).build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        // non-finite start time
+        assert!(matches!(
+            SimulationBuilder::new(&sys)
+                .start_time(f64::NAN)
+                .dt(0.1)
+                .steps(1)
+                .initial_orbitals(CMat::zeros(ng, nb))
+                .build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        // wrong orbital shape
+        assert!(matches!(
+            SimulationBuilder::new(&sys)
+                .dt(0.1)
+                .steps(1)
+                .initial_orbitals(CMat::zeros(3, nb))
+                .build(),
+            Err(PtError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            SimulationBuilder::new(&sys)
+                .dt(0.1)
+                .steps(1)
+                .initial_orbitals(CMat::zeros(ng, nb + 1))
+                .build(),
+            Err(PtError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_run_keeps_the_partial_series() {
+        // an observer that errors on the third step: the two completed
+        // steps' diagnostics must survive on the Simulation
+        struct FailAt(usize);
+        impl Observer for FailAt {
+            fn name(&self) -> &'static str {
+                "fail-at"
+            }
+            fn observe(
+                &mut self,
+                ctx: &ObserverContext<'_>,
+            ) -> Result<Vec<(String, f64)>, PtError> {
+                if ctx.step_index == self.0 {
+                    Err(PtError::InvalidConfig("injected observer failure".into()))
+                } else {
+                    Ok(vec![("probe".into(), ctx.step_index as f64)])
+                }
+            }
+        }
+        let sys = small_sys();
+        // identity-block initial orbitals are fine: we only exercise the
+        // bookkeeping, and RK4 steps on any state
+        let psi = CMat::from_fn(sys.grids.ng(), sys.n_bands(), |i, j| {
+            if i == j {
+                pt_num::c64::ONE
+            } else {
+                pt_num::c64::ZERO
+            }
+        });
+        let mut sim = SimulationBuilder::new(&sys)
+            .dt(0.01)
+            .steps(5)
+            .propagator(Box::new(crate::propagator::Rk4Propagator::default()))
+            .observer(Box::new(FailAt(2)))
+            .initial_orbitals(psi)
+            .build()
+            .unwrap();
+        assert!(matches!(sim.run(), Err(PtError::InvalidConfig(_))));
+        let partial = sim.take_partial_series().expect("partial series kept");
+        assert_eq!(partial.len(), 2);
+        assert_eq!(partial.channel("probe"), Some(&[0.0, 1.0][..]));
+        // taking it drains it; a new run clears any stale partial
+        assert!(sim.take_partial_series().is_none());
+    }
+
+    #[test]
+    fn partial_series_stays_whole_when_a_channel_goes_missing() {
+        // an observer that stops emitting one of its channels: close_step
+        // errors, and the rollback must leave only whole steps behind
+        struct Flaky;
+        impl Observer for Flaky {
+            fn name(&self) -> &'static str {
+                "flaky"
+            }
+            fn observe(
+                &mut self,
+                ctx: &ObserverContext<'_>,
+            ) -> Result<Vec<(String, f64)>, PtError> {
+                let mut out = vec![("x".to_string(), 1.0)];
+                if ctx.step_index == 0 {
+                    out.push(("w".to_string(), 2.0));
+                }
+                Ok(out)
+            }
+        }
+        let sys = small_sys();
+        let psi = CMat::from_fn(sys.grids.ng(), sys.n_bands(), |i, j| {
+            if i == j {
+                pt_num::c64::ONE
+            } else {
+                pt_num::c64::ZERO
+            }
+        });
+        let mut sim = SimulationBuilder::new(&sys)
+            .dt(0.01)
+            .steps(3)
+            .propagator(Box::new(crate::propagator::Rk4Propagator::default()))
+            .observer(Box::new(Flaky))
+            .initial_orbitals(psi)
+            .build()
+            .unwrap();
+        assert!(matches!(sim.run(), Err(PtError::InvalidConfig(_))));
+        let partial = sim.take_partial_series().unwrap();
+        assert_eq!(partial.len(), 1);
+        assert_eq!(partial.channel("x").map(<[f64]>::len), Some(1));
+        assert_eq!(partial.channel("w").map(<[f64]>::len), Some(1));
+    }
+
+    #[test]
+    fn time_series_channels_are_queryable() {
+        let mut ts = TimeSeries::default();
+        ts.push_sample("energy".into(), -1.0, 0).unwrap();
+        ts.close_step(0).unwrap();
+        ts.t.push(0.1);
+        assert_eq!(ts.channel("energy"), Some(&[-1.0][..]));
+        assert_eq!(ts.channel("missing"), None);
+        assert_eq!(ts.channel_names(), vec!["energy"]);
+        assert_eq!(ts.len(), 1);
+        // inconsistent emission is a typed error
+        assert!(ts.push_sample("late".into(), 0.0, 1).is_err());
+    }
+}

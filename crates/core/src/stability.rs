@@ -7,47 +7,55 @@
 //! kinetic cutoff, so dt_max ≈ 2.8 / E_cut-ish — sub-attosecond for real
 //! cutoffs. This probe measures it by bisection on norm blow-up.
 
-use crate::propagator::{Rk4Propagator, TdState};
-use pt_ham::KsSystem;
+use crate::propagator::{Propagator, Rk4Propagator, TdState};
+use pt_ham::{KsSystem, PtError};
 use pt_linalg::CMat;
 
 /// Largest RK4 step (a.u.) that keeps the orbital-block Frobenius norm
 /// within `1 + tol` after `n_steps` field-free steps, found by bisection
-/// over `[lo, hi]`.
+/// over `[lo, hi]`. An unstable lower bracket is reported as
+/// [`PtError::InvalidConfig`].
 pub fn max_stable_rk4_dt(
     sys: &KsSystem,
     psi0: &CMat,
     n_steps: usize,
     lo: f64,
     hi: f64,
-) -> f64 {
+) -> Result<f64, PtError> {
     let norm0 = psi0.norm_fro();
-    let stable = |dt: f64| -> bool {
-        let rk = Rk4Propagator { sys, laser: None };
-        let mut st = TdState { psi: psi0.clone(), t: 0.0 };
+    let stable = |dt: f64| -> Result<bool, PtError> {
+        let mut rk = Rk4Propagator::default();
+        let mut st = TdState {
+            psi: psi0.clone(),
+            t: 0.0,
+        };
         for _ in 0..n_steps {
-            rk.step(&mut st, dt);
+            rk.step(sys, None, &mut st, dt)?;
             let n = st.psi.norm_fro();
             if !n.is_finite() || (n / norm0 - 1.0).abs() > 0.02 {
-                return false;
+                return Ok(false);
             }
         }
-        true
+        Ok(true)
     };
     let (mut lo, mut hi) = (lo, hi);
-    assert!(stable(lo), "lower bracket must be stable");
-    if stable(hi) {
-        return hi;
+    if !stable(lo)? {
+        return Err(PtError::InvalidConfig(format!(
+            "stability bisection needs a stable lower bracket; dt = {lo} already blows up"
+        )));
+    }
+    if stable(hi)? {
+        return Ok(hi);
     }
     for _ in 0..12 {
         let mid = 0.5 * (lo + hi);
-        if stable(mid) {
+        if stable(mid)? {
             lo = mid;
         } else {
             hi = mid;
         }
     }
-    lo
+    Ok(lo)
 }
 
 #[cfg(test)]
@@ -62,12 +70,18 @@ mod tests {
     #[test]
     fn rk4_ceiling_tracks_spectral_radius() {
         let s = silicon_cubic_supercell(1, 1, 1);
-        let sys = KsSystem::new(s, 2.5, XcKind::Lda, None);
-        let mut o = ScfOptions::default();
-        o.rho_tol = 1e-6;
-        let gs = scf_loop(&sys, o);
+        let sys = KsSystem::builder(s)
+            .ecut(2.5)
+            .xc(XcKind::Lda)
+            .build()
+            .unwrap();
+        let o = ScfOptions {
+            rho_tol: 1e-6,
+            ..Default::default()
+        };
+        let gs = scf_loop(&sys, o).unwrap();
         // λ_max ≈ E_cut + |V| terms; at E_cut = 2.5 Ha expect dt_max ≈ 1 au
-        let dt_max = max_stable_rk4_dt(&sys, &gs.orbitals, 12, 0.05, 4.0);
+        let dt_max = max_stable_rk4_dt(&sys, &gs.orbitals, 12, 0.05, 4.0).unwrap();
         let lam_est = sys.grids.ecut + 1.0; // kinetic ceiling + potential slack
         let dt_theory = 2.8 / lam_est;
         assert!(

@@ -23,7 +23,7 @@ pub enum Direction {
 pub fn next_smooth(n: usize) -> usize {
     fn is_smooth(mut m: usize) -> bool {
         for p in [2usize, 3, 5] {
-            while m % p == 0 {
+            while m.is_multiple_of(p) {
                 m /= p;
             }
         }
@@ -40,12 +40,12 @@ pub fn next_smooth(n: usize) -> usize {
 /// halve recursion depth). Returns `None` if a different prime remains.
 fn factorize_smooth(mut n: usize) -> Option<Vec<usize>> {
     let mut f = Vec::new();
-    while n % 4 == 0 {
+    while n.is_multiple_of(4) {
         f.push(4);
         n /= 4;
     }
     for p in [2usize, 3, 5] {
-        while n % p == 0 {
+        while n.is_multiple_of(p) {
             f.push(p);
             n /= p;
         }
@@ -115,7 +115,12 @@ impl Plan1d {
             }
             let mut scratch = vec![c64::ZERO; m];
             inner.process(&mut kernel, &mut scratch, Direction::Forward);
-            Kind::Bluestein { inner, chirp, kernel_fft: kernel, m }
+            Kind::Bluestein {
+                inner,
+                chirp,
+                kernel_fft: kernel,
+                m,
+            }
         };
         Plan1d { n, roots, kind }
     }
@@ -167,7 +172,12 @@ impl Plan1d {
                     data.copy_from_slice(out);
                 }
             }
-            Kind::Bluestein { inner, chirp, kernel_fft, m } => {
+            Kind::Bluestein {
+                inner,
+                chirp,
+                kernel_fft,
+                m,
+            } => {
                 let m = *m;
                 let conj_in = dir == Direction::Inverse;
                 let (a, rest) = scratch.split_at_mut(m);
@@ -182,7 +192,7 @@ impl Plan1d {
                 }
                 inner.process(a, inner_scratch, Direction::Forward);
                 for (aj, kj) in a.iter_mut().zip(kernel_fft.iter()) {
-                    *aj = *aj * *kj;
+                    *aj *= *kj;
                 }
                 inner.process(a, inner_scratch, Direction::Inverse);
                 let inv_n = 1.0 / self.n as f64;
@@ -205,6 +215,7 @@ impl Plan1d {
     /// Transforms `n` elements read from `src` with stride `src_stride` into
     /// `dst[..n]` (contiguous). `root_stride = N / n` indexes the global
     /// forward root table.
+    #[allow(clippy::too_many_arguments)] // recursion carries the full plan state
     fn rec(
         &self,
         src: &[c64],

@@ -20,31 +20,37 @@ fn naive_dft(x: &[c64], dir: Direction) -> Vec<c64> {
             let phase = sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
             acc += xj * c64::cis(phase);
         }
-        *o = if dir == Direction::Inverse { acc / n as f64 } else { acc };
+        *o = if dir == Direction::Inverse {
+            acc / n as f64
+        } else {
+            acc
+        };
     }
     out
 }
 
 fn random_signal(n: usize, seed: u64) -> Vec<c64> {
     // Deterministic xorshift so tests are reproducible without rand.
-    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-    let mut next = move || {
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-    };
-    (0..n).map(|_| c64::new(next(), next())).collect()
+    let mut rng =
+        pt_num::rng::XorShift64::new(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1));
+    (0..n)
+        .map(|_| c64::new(rng.next_centered(), rng.next_centered()))
+        .collect()
 }
 
 fn max_err(a: &[c64], b: &[c64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[test]
 fn matches_naive_dft_many_sizes() {
     // smooth sizes take the mixed-radix path, primes the Bluestein path
-    for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 17, 20, 24, 25, 30, 31, 36, 45, 60] {
+    for n in [
+        1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 17, 20, 24, 25, 30, 31, 36, 45, 60,
+    ] {
         let plan = Plan1d::new(n);
         let x = random_signal(n, n as u64);
         let mut y = x.clone();
@@ -103,7 +109,10 @@ fn plane_wave_transforms_to_delta() {
     plan.transform(&mut x, Direction::Forward);
     for (k, v) in x.iter().enumerate() {
         let want = if k == k0 { n as f64 } else { 0.0 };
-        assert!((v.re - want).abs() < 1e-10 && v.im.abs() < 1e-10, "k={k} v={v:?}");
+        assert!(
+            (v.re - want).abs() < 1e-10 && v.im.abs() < 1e-10,
+            "k={k} v={v:?}"
+        );
     }
 }
 
@@ -215,7 +224,7 @@ proptest! {
         let m = next_smooth(n);
         prop_assert!(m >= n);
         let mut q = m;
-        for p in [2usize, 3, 5] { while q % p == 0 { q /= p; } }
+        for p in [2usize, 3, 5] { while q.is_multiple_of(p) { q /= p; } }
         prop_assert_eq!(q, 1);
     }
 

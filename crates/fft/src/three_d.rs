@@ -89,7 +89,11 @@ impl Fft3 {
 
     fn batch(&self, data: &mut [c64], dir: Direction) {
         let n = self.len();
-        assert_eq!(data.len() % n, 0, "batch length must be a multiple of grid size");
+        assert_eq!(
+            data.len() % n,
+            0,
+            "batch length must be a multiple of grid size"
+        );
         data.par_chunks_mut(n)
             .for_each(|grid| self.process_serial(grid, dir));
     }

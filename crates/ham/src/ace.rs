@@ -32,7 +32,15 @@ impl AceOperator {
         fock.apply_block(grids, phi, &mut w);
         // M = −Φ^H W is Hermitian positive semi-definite (V_X ⪯ 0)
         let mut m = CMat::zeros(nb, nb);
-        gemm(-c64::ONE, phi, Op::ConjTrans, &w, Op::None, c64::ZERO, &mut m);
+        gemm(
+            -c64::ONE,
+            phi,
+            Op::ConjTrans,
+            &w,
+            Op::None,
+            c64::ZERO,
+            &mut m,
+        );
         // tiny ridge for rank-deficient Φ (e.g. orbitals outside the
         // screened interaction range)
         for i in 0..nb {
@@ -51,8 +59,24 @@ impl AceOperator {
     pub fn apply_block(&self, psi: &CMat, out: &mut CMat) {
         let nb = self.xi.ncols();
         let mut proj = CMat::zeros(nb, psi.ncols());
-        gemm(c64::ONE, &self.xi, Op::ConjTrans, psi, Op::None, c64::ZERO, &mut proj);
-        gemm(-c64::ONE, &self.xi, Op::None, &proj, Op::None, c64::ONE, out);
+        gemm(
+            c64::ONE,
+            &self.xi,
+            Op::ConjTrans,
+            psi,
+            Op::None,
+            c64::ZERO,
+            &mut proj,
+        );
+        gemm(
+            -c64::ONE,
+            &self.xi,
+            Op::None,
+            &proj,
+            Op::None,
+            c64::ONE,
+            out,
+        );
     }
 
     /// Exchange energy of orbitals under the compressed operator.
@@ -81,20 +105,11 @@ mod tests {
         let grids = PwGrids::new(&s, 2.0);
         let ng = grids.ng();
         let nb = 4;
-        let mut seed = 11u64;
-        let mut rnd = move || {
-            seed ^= seed << 13;
-            seed ^= seed >> 7;
-            seed ^= seed << 17;
-            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let mut phi = CMat::from_fn(ng, nb, |_, _| c64::new(rnd(), rnd()));
-        // orthonormalize
-        let mut s_ = CMat::zeros(nb, nb);
-        gemm(c64::ONE, &phi, Op::ConjTrans, &phi, Op::None, c64::ZERO, &mut s_);
-        let mut l = s_;
-        cholesky_in_place(&mut l);
-        pt_linalg::trsm_right_lh(&mut phi, &l);
+        let mut rng = pt_num::rng::XorShift64::new(11u64);
+        let mut phi = CMat::from_fn(ng, nb, |_, _| {
+            c64::new(rng.next_centered(), rng.next_centered())
+        });
+        pt_linalg::orthonormalize_columns(&mut phi, 0.0);
         let kern = ScreenedKernel::new(&grids, 0.11);
         let fock = FockOperator::new(&grids, &phi, 0.25, kern, FockMode::Batched);
         (grids, phi, fock)
@@ -133,15 +148,11 @@ mod tests {
         let (grids, phi, fock) = setup();
         let ace = AceOperator::new(&grids, &fock, &phi);
         let ng = grids.ng();
-        let mut seed = 99u64;
-        let mut rnd = move || {
-            seed ^= seed << 13;
-            seed ^= seed >> 7;
-            seed ^= seed << 17;
-            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
+        let mut rng = pt_num::rng::XorShift64::new(99u64);
         for trial in 0..5 {
-            let v = CMat::from_fn(ng, 1, |_, _| c64::new(rnd(), rnd()));
+            let v = CMat::from_fn(ng, 1, |_, _| {
+                c64::new(rng.next_centered(), rng.next_centered())
+            });
             let mut out = CMat::zeros(ng, 1);
             ace.apply_block(&v, &mut out);
             let q = pt_num::complex::zdotc(v.col(0), out.col(0)).re;

@@ -45,6 +45,21 @@ pub fn integrate(grids: &PwGrids, rho: &[f64]) -> f64 {
     rho.iter().sum::<f64>() * grids.volume / grids.n_dense() as f64
 }
 
+/// The convergence metric used throughout the stack (PT-CN fixed point,
+/// ground-state SCF, Φ-stationarity): `max_r |ρ_new(r) − ρ_old(r)| · Ω`,
+/// i.e. the max pointwise density change scaled to electron units
+/// (`Ω = dv · N_dense`). One definition, shared, so every loop converges
+/// against the same number.
+pub fn density_residual(rho_new: &[f64], rho_old: &[f64], volume: f64) -> f64 {
+    debug_assert_eq!(rho_new.len(), rho_old.len());
+    rho_new
+        .iter()
+        .zip(rho_old)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+        * volume
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,18 +72,12 @@ mod tests {
         let ng = g.ng();
         let nb = 4;
         // random orthonormal-ish block: normalize each column
-        let mut seed = 3u64;
-        let mut rnd = move || {
-            seed ^= seed << 13;
-            seed ^= seed >> 7;
-            seed ^= seed << 17;
-            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
+        let mut rng = pt_num::rng::XorShift64::new(3u64);
         let mut orb = CMat::zeros(ng, nb);
         for j in 0..nb {
             let col = orb.col_mut(j);
             for z in col.iter_mut() {
-                *z = c64::new(rnd(), rnd());
+                *z = c64::new(rng.next_centered(), rng.next_centered());
             }
             let n = pt_num::complex::znrm2(col);
             for z in col.iter_mut() {
@@ -79,7 +88,10 @@ mod tests {
         let rho = density_from_orbitals(&g, &orb, &occ);
         let ne = integrate(&g, &rho);
         assert!((ne - 8.0).abs() < 1e-10, "{ne}");
-        assert!(rho.iter().all(|&v| v >= -1e-12), "density must be nonnegative");
+        assert!(
+            rho.iter().all(|&v| v >= -1e-12),
+            "density must be nonnegative"
+        );
     }
 
     #[test]

@@ -34,7 +34,9 @@ impl BandDistribution {
 
     /// Bands owned by `rank`, in ascending order.
     pub fn local_bands(&self, rank: usize) -> Vec<usize> {
-        (0..self.n_bands).filter(|i| self.owner(*i) == rank).collect()
+        (0..self.n_bands)
+            .filter(|i| self.owner(*i) == rank)
+            .collect()
     }
 }
 
@@ -69,7 +71,9 @@ pub fn distributed_fock_apply(
             r
         })
         .collect();
-    let mut acc: Vec<Vec<c64>> = (0..psi_local.ncols()).map(|_| vec![c64::ZERO; nw]).collect();
+    let mut acc: Vec<Vec<c64>> = (0..psi_local.ncols())
+        .map(|_| vec![c64::ZERO; nw])
+        .collect();
 
     // Alg. 2: for every band i, the owner broadcasts φ_i, everyone
     // accumulates onto its local (V_X ψ_j).
@@ -162,7 +166,8 @@ pub fn distributed_residual(
         for (src, blk) in recv.iter().enumerate() {
             let src_bands = dist.local_bands(src);
             for (bj, &b) in src_bands.iter().enumerate() {
-                out.col_mut(b).copy_from_slice(&blk[bj * nrows..(bj + 1) * nrows]);
+                out.col_mut(b)
+                    .copy_from_slice(&blk[bj * nrows..(bj + 1) * nrows]);
             }
         }
         out
@@ -174,14 +179,30 @@ pub fn distributed_residual(
     // lines 2-3: local overlap + allreduce
     let nb = dist.n_bands;
     let mut s_local = CMat::zeros(nb, nb);
-    gemm(c64::ONE, &gp, Op::ConjTrans, &gh, Op::None, c64::ZERO, &mut s_local);
+    gemm(
+        c64::ONE,
+        &gp,
+        Op::ConjTrans,
+        &gh,
+        Op::None,
+        c64::ZERO,
+        &mut s_local,
+    );
     let mut s_data = s_local.data().to_vec();
     comm.allreduce_sum_c64(&mut s_data);
     let s_global = CMat::from_vec(nb, nb, s_data);
 
     // lines 4-5: rotation and residual on my rows
     let mut rot = CMat::zeros(gp.nrows(), nb);
-    gemm(c64::ONE, &gp, Op::None, &s_global, Op::None, c64::ZERO, &mut rot);
+    gemm(
+        c64::ONE,
+        &gp,
+        Op::None,
+        &s_global,
+        Op::None,
+        c64::ZERO,
+        &mut rot,
+    );
     let mut resid_g = CMat::zeros(gp.nrows(), nb);
     for j in 0..nb {
         for i in 0..gp.nrows() {
@@ -215,11 +236,7 @@ pub fn distributed_residual(
 
 /// Serial reference: apply a [`FockOperator`] built from the full Φ to the
 /// full Ψ (used by tests to validate the distributed path).
-pub fn serial_fock_reference(
-    grids: &PwGrids,
-    fock: &FockOperator,
-    psi: &CMat,
-) -> CMat {
+pub fn serial_fock_reference(grids: &PwGrids, fock: &FockOperator, psi: &CMat) -> CMat {
     let mut out = CMat::zeros(psi.nrows(), psi.ncols());
     fock.apply_block(grids, psi, &mut out);
     out
@@ -233,27 +250,16 @@ mod tests {
     use pt_mpi::{run_ranks, Wire};
 
     fn rand_block(ng: usize, nb: usize, seed: u64) -> CMat {
-        let mut s = seed | 1;
-        let mut rnd = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let mut m = CMat::from_fn(ng, nb, |_, _| c64::new(rnd(), rnd()));
-        for j in 0..nb {
-            let nrm = pt_num::complex::znrm2(m.col(j));
-            for z in m.col_mut(j) {
-                *z = z.scale(1.0 / nrm);
-            }
-        }
-        m
+        CMat::rand_normalized(ng, nb, seed)
     }
 
     #[test]
     fn block_cyclic_distribution_covers_all_bands() {
-        let d = BandDistribution { n_bands: 7, n_ranks: 3 };
-        let mut seen = vec![false; 7];
+        let d = BandDistribution {
+            n_bands: 7,
+            n_ranks: 3,
+        };
+        let mut seen = [false; 7];
         for r in 0..3 {
             for b in d.local_bands(r) {
                 assert!(!seen[b]);
@@ -278,7 +284,10 @@ mod tests {
         let want = serial_fock_reference(&grids, &fock, &psi);
         // distributed over 3 ranks
         let np = 3;
-        let dist = BandDistribution { n_bands: nb, n_ranks: np };
+        let dist = BandDistribution {
+            n_bands: nb,
+            n_ranks: np,
+        };
         let grids_ref = &grids;
         let phi_ref = &phi;
         let psi_ref = &psi;
@@ -330,7 +339,10 @@ mod tests {
         let fock = FockOperator::new(&grids, &phi, 0.25, kernel.clone(), FockMode::Batched);
         let want = serial_fock_reference(&grids, &fock, &psi);
         let np = 2;
-        let dist = BandDistribution { n_bands: nb, n_ranks: np };
+        let dist = BandDistribution {
+            n_bands: nb,
+            n_ranks: np,
+        };
         let (grids_ref, phi_ref, psi_ref, kern_ref) = (&grids, &phi, &psi, &kernel);
         let (outs, stats) = run_ranks(np, Wire::F32, move |comm| {
             let mine = dist.local_bands(comm.rank());
@@ -342,12 +354,21 @@ mod tests {
                 lm
             };
             let out = distributed_fock_apply(
-                comm, grids_ref, dist, &take(phi_ref), &take(psi_ref), 0.25, kern_ref,
+                comm,
+                grids_ref,
+                dist,
+                &take(phi_ref),
+                &take(psi_ref),
+                0.25,
+                kern_ref,
             );
             (mine, out)
         });
         // volume is halved relative to f64
-        assert_eq!(stats.bcast_bytes, (np as u64 - 1) * nb as u64 * ng as u64 * 8);
+        assert_eq!(
+            stats.bcast_bytes,
+            (np as u64 - 1) * nb as u64 * ng as u64 * 8
+        );
         let mut err = 0.0f64;
         for (mine, out) in outs {
             for (lj, &b) in mine.iter().enumerate() {
@@ -375,7 +396,15 @@ mod tests {
         let dt = 0.7;
         // serial reference: R = Ψ + i dt/2 (HΨ − Ψ(Ψ^H HΨ)) − Ψ_half
         let mut sg = CMat::zeros(nb, nb);
-        gemm(c64::ONE, &psi, Op::ConjTrans, &hpsi, Op::None, c64::ZERO, &mut sg);
+        gemm(
+            c64::ONE,
+            &psi,
+            Op::ConjTrans,
+            &hpsi,
+            Op::None,
+            c64::ZERO,
+            &mut sg,
+        );
         let mut rot = CMat::zeros(ng, nb);
         gemm(c64::ONE, &psi, Op::None, &sg, Op::None, c64::ZERO, &mut rot);
         let mut want = CMat::zeros(ng, nb);
@@ -386,7 +415,10 @@ mod tests {
             }
         }
         for np in [2usize, 3] {
-            let dist = BandDistribution { n_bands: nb, n_ranks: np };
+            let dist = BandDistribution {
+                n_bands: nb,
+                n_ranks: np,
+            };
             let (p_, h_, f_) = (&psi, &hpsi, &half);
             let (outs, stats) = run_ranks(np, Wire::F64, move |comm| {
                 let mine = dist.local_bands(comm.rank());
@@ -397,9 +429,7 @@ mod tests {
                     }
                     lm
                 };
-                let r = distributed_residual(
-                    comm, dist, ng, &take(p_), &take(h_), &take(f_), dt,
-                );
+                let r = distributed_residual(comm, dist, ng, &take(p_), &take(h_), &take(f_), dt);
                 (mine, r)
             });
             // three forward flips + one backward per rank

@@ -1,0 +1,86 @@
+//! The workspace-wide typed error: every fallible public setup or solver
+//! path returns [`PtError`] instead of panicking.
+
+use std::fmt;
+
+/// Errors surfaced by the pwdft-rt public API.
+///
+/// The seed code panicked on misuse (`KsSystem::hamiltonian` on a hybrid
+/// system without defining orbitals, shape mismatches caught by `assert!`).
+/// Setup and solver entry points now report these as values so callers —
+/// services, batch drivers, parameter sweeps — can recover or log instead
+/// of unwinding.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PtError {
+    /// A hybrid-functional Hamiltonian was requested without the defining
+    /// orbitals Φ of the exchange operator `V_X[P]`, P = ΦΦ*.
+    MissingExchangeOrbitals,
+    /// An iterative solver (ground-state SCF, PT-CN fixed point) stopped
+    /// above its tolerance.
+    NotConverged {
+        /// What was iterating.
+        context: &'static str,
+        /// Final residual reached.
+        residual: f64,
+        /// Requested tolerance.
+        tol: f64,
+        /// Iterations spent.
+        iterations: usize,
+    },
+    /// A block or grid array had the wrong dimensions.
+    ShapeMismatch {
+        /// Which argument/operation mismatched.
+        context: &'static str,
+        /// Expected extent.
+        expected: usize,
+        /// Actual extent.
+        got: usize,
+    },
+    /// A builder or options struct was given an invalid value.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtError::MissingExchangeOrbitals => write!(
+                f,
+                "hybrid functional requires defining orbitals Phi for the exchange operator"
+            ),
+            PtError::NotConverged { context, residual, tol, iterations } => write!(
+                f,
+                "{context} did not converge: residual {residual:.3e} > tol {tol:.3e} after {iterations} iterations"
+            ),
+            PtError::ShapeMismatch { context, expected, got } => {
+                write!(f, "shape mismatch in {context}: expected {expected}, got {got}")
+            }
+            PtError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = PtError::NotConverged {
+            context: "SCF",
+            residual: 1e-3,
+            tol: 1e-6,
+            iterations: 60,
+        };
+        let s = e.to_string();
+        assert!(s.contains("SCF") && s.contains("60"));
+        assert!(PtError::MissingExchangeOrbitals.to_string().contains("Phi"));
+        let m = PtError::ShapeMismatch {
+            context: "orbitals",
+            expected: 16,
+            got: 8,
+        };
+        assert!(m.to_string().contains("16"));
+    }
+}

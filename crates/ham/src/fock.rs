@@ -80,7 +80,13 @@ pub struct FockOperator {
 impl FockOperator {
     /// Freeze `phi` (columns = orbitals, sphere coefficients) as the
     /// density-matrix factor of `V_X[P]`, P = Φ Φ*.
-    pub fn new(grids: &PwGrids, phi: &CMat, alpha: f64, kernel: ScreenedKernel, mode: FockMode) -> Self {
+    pub fn new(
+        grids: &PwGrids,
+        phi: &CMat,
+        alpha: f64,
+        kernel: ScreenedKernel,
+        mode: FockMode,
+    ) -> Self {
         assert_eq!(phi.nrows(), grids.ng());
         let phi_real: Vec<Vec<c64>> = (0..phi.ncols())
             .into_par_iter()
@@ -90,7 +96,12 @@ impl FockOperator {
                 r
             })
             .collect();
-        FockOperator { phi_real, alpha, kernel, mode }
+        FockOperator {
+            phi_real,
+            alpha,
+            kernel,
+            mode,
+        }
     }
 
     /// Number of defining orbitals N_φ.
@@ -202,6 +213,7 @@ impl FockOperator {
     pub fn energy(&self, grids: &PwGrids, psi: &CMat, occ: &[f64]) -> f64 {
         assert_eq!(psi.ncols(), occ.len());
         let mut e = 0.0;
+        #[allow(clippy::needless_range_loop)] // j indexes psi columns and occ together
         for j in 0..psi.ncols() {
             let mut v = vec![c64::ZERO; grids.ng()];
             self.apply(grids, psi.col(j), &mut v);
@@ -223,21 +235,7 @@ mod tests {
     }
 
     fn rand_block(ng: usize, nb: usize, seed: u64) -> CMat {
-        let mut s = seed | 1;
-        let mut rnd = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let mut m = CMat::from_fn(ng, nb, |_, _| c64::new(rnd(), rnd()));
-        for j in 0..nb {
-            let nrm = pt_num::complex::znrm2(m.col(j));
-            for z in m.col_mut(j) {
-                *z = z.scale(1.0 / nrm);
-            }
-        }
-        m
+        CMat::rand_normalized(ng, nb, seed)
     }
 
     #[test]
@@ -300,14 +298,8 @@ mod tests {
         // E_x depends only on the density matrix P = ΦΦ*, a gauge/rotation
         // invariant — the foundation of the parallel-transport idea.
         let (_s, g) = grids();
-        let phi = rand_block(g.ng(), 3, 66);
-        // orthonormalize
-        let mut s = CMat::zeros(3, 3);
-        pt_linalg::gemm(c64::ONE, &phi, pt_linalg::Op::ConjTrans, &phi, pt_linalg::Op::None, c64::ZERO, &mut s);
-        let mut l = s.clone();
-        pt_linalg::cholesky_in_place(&mut l);
-        let mut phi_o = phi.clone();
-        pt_linalg::trsm_right_lh(&mut phi_o, &l);
+        let mut phi_o = rand_block(g.ng(), 3, 66);
+        pt_linalg::orthonormalize_columns(&mut phi_o, 0.0);
         // random unitary from eigendecomposition of a Hermitian matrix
         let h = {
             let a = rand_block(3, 3, 77);
@@ -321,7 +313,15 @@ mod tests {
         };
         let (_w, u) = pt_linalg::eigh(&h);
         let mut phi_rot = CMat::zeros(g.ng(), 3);
-        pt_linalg::gemm(c64::ONE, &phi_o, pt_linalg::Op::None, &u, pt_linalg::Op::None, c64::ZERO, &mut phi_rot);
+        pt_linalg::gemm(
+            c64::ONE,
+            &phi_o,
+            pt_linalg::Op::None,
+            &u,
+            pt_linalg::Op::None,
+            c64::ZERO,
+            &mut phi_rot,
+        );
         let kern = ScreenedKernel::new(&g, 0.11);
         let occ = vec![2.0; 3];
         let f1 = FockOperator::new(&g, &phi_o, 0.25, kern.clone(), FockMode::Batched);
@@ -345,7 +345,11 @@ mod tests {
         let mut out = vec![c64::ZERO; g.ng()];
         f.apply(&g, phi.col(0), &mut out);
         let want = -0.25 * std::f64::consts::PI / (omega * omega) / g.volume;
-        assert!((out[0].re - want).abs() < 1e-10 * want.abs(), "{} vs {want}", out[0].re);
+        assert!(
+            (out[0].re - want).abs() < 1e-10 * want.abs(),
+            "{} vs {want}",
+            out[0].re
+        );
         for (k, z) in out.iter().enumerate().skip(1) {
             assert!(z.abs() < 1e-10, "G component {k} should vanish, got {z:?}");
         }

@@ -144,19 +144,7 @@ mod tests {
     use pt_lattice::silicon_cubic_supercell;
 
     fn norm_block(n: usize, seed: u64) -> Vec<c64> {
-        let mut s = seed | 1;
-        let mut rnd = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let mut v: Vec<c64> = (0..n).map(|_| c64::new(rnd(), rnd())).collect();
-        let nrm = pt_num::complex::znrm2(&v);
-        for z in &mut v {
-            *z = z.scale(1.0 / nrm);
-        }
-        v
+        pt_linalg::CMat::rand_normalized(n, 1, seed).col(0).to_vec()
     }
 
     #[test]
@@ -168,14 +156,22 @@ mod tests {
         g.to_real_wfc(&c, &mut real);
         let mut back = vec![c64::ZERO; g.ng()];
         g.to_coeffs_wfc(&mut real.clone(), &mut back);
-        let err = c.iter().zip(&back).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        let err = c
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-12, "wfc roundtrip {err}");
 
         let mut rd = vec![c64::ZERO; g.n_dense()];
         g.to_real_dense(&c, &mut rd);
         let mut back2 = vec![c64::ZERO; g.ng()];
         g.to_coeffs_dense(&mut rd.clone(), &mut back2);
-        let err2 = c.iter().zip(&back2).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        let err2 = c
+            .iter()
+            .zip(&back2)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max);
         assert!(err2 < 1e-12, "dense roundtrip {err2}");
     }
 
@@ -188,8 +184,8 @@ mod tests {
         let c = norm_block(g.ng(), 17);
         let mut real = vec![c64::ZERO; g.n_wfc()];
         g.to_real_wfc(&c, &mut real);
-        let int_w: f64 = real.iter().map(|z| z.norm_sqr()).sum::<f64>() * g.volume
-            / g.n_wfc() as f64;
+        let int_w: f64 =
+            real.iter().map(|z| z.norm_sqr()).sum::<f64>() * g.volume / g.n_wfc() as f64;
         assert!((int_w - 1.0).abs() < 1e-11, "wfc norm {int_w}");
         let mut rd = vec![c64::ZERO; g.n_dense()];
         g.to_real_dense(&c, &mut rd);

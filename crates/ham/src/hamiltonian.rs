@@ -154,7 +154,13 @@ mod tests {
         let fock = if with_fock {
             let phi = rand_block(grids.ng(), 2, 5);
             let kern = ScreenedKernel::new(&grids, 0.11);
-            Some(Arc::new(FockOperator::new(&grids, &phi, 0.25, kern, FockMode::Batched)))
+            Some(Arc::new(FockOperator::new(
+                &grids,
+                &phi,
+                0.25,
+                kern,
+                FockMode::Batched,
+            )))
         } else {
             None
         };
@@ -169,21 +175,7 @@ mod tests {
     }
 
     fn rand_block(ng: usize, nb: usize, seed: u64) -> CMat {
-        let mut s = seed | 1;
-        let mut rnd = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let mut m = CMat::from_fn(ng, nb, |_, _| c64::new(rnd(), rnd()));
-        for j in 0..nb {
-            let nrm = pt_num::complex::znrm2(m.col(j));
-            for z in m.col_mut(j) {
-                *z = z.scale(1.0 / nrm);
-            }
-        }
-        m
+        CMat::rand_normalized(ng, nb, seed)
     }
 
     #[test]
@@ -229,8 +221,8 @@ mod tests {
         h.a_field = [0.1, -0.2, 0.05];
         let kin = h.kinetic_diag();
         for (k, gc) in kin.iter().zip(&g.sphere.g_cart) {
-            let want = 0.5
-                * ((gc[0] + 0.1).powi(2) + (gc[1] - 0.2).powi(2) + (gc[2] + 0.05).powi(2));
+            let want =
+                0.5 * ((gc[0] + 0.1).powi(2) + (gc[1] - 0.2).powi(2) + (gc[2] + 0.05).powi(2));
             assert!((k - want).abs() < 1e-14);
         }
     }

@@ -19,6 +19,7 @@
 mod ace;
 mod density;
 mod distributed;
+mod error;
 mod fock;
 mod grids;
 mod hamiltonian;
@@ -26,12 +27,13 @@ mod hartree;
 mod system;
 
 pub use ace::AceOperator;
-pub use density::{density_from_orbitals, integrate};
+pub use density::{density_from_orbitals, density_residual, integrate};
 pub use distributed::{
     distributed_fock_apply, distributed_residual, serial_fock_reference, BandDistribution,
 };
+pub use error::PtError;
 pub use fock::{FockMode, FockOperator, ScreenedKernel};
 pub use grids::PwGrids;
 pub use hamiltonian::Hamiltonian;
 pub use hartree::hartree_potential;
-pub use system::{Energies, HybridConfig, KsSystem, Potentials};
+pub use system::{Energies, HybridConfig, KsSystem, KsSystemBuilder, Potentials};

@@ -2,6 +2,7 @@
 //! assembly from a density.
 
 use crate::density::density_from_orbitals;
+use crate::error::PtError;
 use crate::fock::{FockMode, FockOperator, ScreenedKernel};
 use crate::grids::PwGrids;
 use crate::hamiltonian::Hamiltonian;
@@ -25,7 +26,10 @@ pub struct HybridConfig {
 impl HybridConfig {
     /// The paper's functional: HSE06 (α = 0.25, ω = 0.11 bohr⁻¹).
     pub fn hse06() -> Self {
-        HybridConfig { alpha: 0.25, omega: 0.11 }
+        HybridConfig {
+            alpha: 0.25,
+            omega: 0.11,
+        }
     }
 }
 
@@ -65,7 +69,12 @@ pub struct Energies {
 impl Energies {
     /// Total energy.
     pub fn total(&self) -> f64 {
-        self.kinetic + self.local_ps + self.nonlocal + self.hartree + self.xc + self.fock
+        self.kinetic
+            + self.local_ps
+            + self.nonlocal
+            + self.hartree
+            + self.xc
+            + self.fock
             + self.ewald
     }
 }
@@ -93,10 +102,141 @@ pub struct KsSystem {
     pub occupations: Vec<f64>,
 }
 
-impl KsSystem {
-    /// Build the full problem for `structure` at cutoff `ecut`.
-    pub fn new(structure: Structure, ecut: f64, xc_kind: XcKind, hybrid: Option<HybridConfig>) -> Self {
-        let grids = Arc::new(PwGrids::new(&structure, ecut));
+/// Builder for [`KsSystem`] — the validated entry point of the setup path.
+///
+/// ```no_run
+/// # use pt_ham::{KsSystem, HybridConfig};
+/// # use pt_lattice::silicon_cubic_supercell;
+/// # use pt_xc::XcKind;
+/// let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+///     .ecut(2.5)
+///     .xc(XcKind::Pbe)
+///     .hybrid(HybridConfig::hse06())
+///     .build()
+///     .expect("valid configuration");
+/// ```
+///
+/// Misuse (non-positive cutoff, empty structure, bad occupations, out-of-
+/// range hybrid parameters) returns [`PtError`] instead of panicking.
+#[derive(Clone, Debug)]
+pub struct KsSystemBuilder {
+    structure: Structure,
+    ecut: f64,
+    xc_kind: XcKind,
+    hybrid: Option<HybridConfig>,
+    occupations: Option<Vec<f64>>,
+}
+
+impl KsSystemBuilder {
+    /// Start a builder for `structure` with the defaults: `ecut` 10 Ha (the
+    /// paper's production cutoff), PBE, no hybrid, closed-shell occupations.
+    pub fn new(structure: Structure) -> Self {
+        KsSystemBuilder {
+            structure,
+            ecut: 10.0,
+            xc_kind: XcKind::Pbe,
+            hybrid: None,
+            occupations: None,
+        }
+    }
+
+    /// Kinetic cutoff in Ha.
+    pub fn ecut(mut self, ecut: f64) -> Self {
+        self.ecut = ecut;
+        self
+    }
+
+    /// Semi-local XC functional.
+    pub fn xc(mut self, kind: XcKind) -> Self {
+        self.xc_kind = kind;
+        self
+    }
+
+    /// Enable hybrid exchange with `cfg` (e.g. [`HybridConfig::hse06`]).
+    pub fn hybrid(mut self, cfg: HybridConfig) -> Self {
+        self.hybrid = Some(cfg);
+        self
+    }
+
+    /// Override the closed-shell default occupations (one entry per band).
+    ///
+    /// The sum of `occ` *is* the electron count of the simulation. If it
+    /// differs from the structure's valence charge the cell is charged:
+    /// the Hartree term uses the jellium (neutralizing-background)
+    /// convention, while the Ewald ion–ion energy still assumes the full
+    /// ionic charges — total energies are then only comparable between
+    /// runs with the same occupations, not to the neutral cell.
+    pub fn occupations(mut self, occ: Vec<f64>) -> Self {
+        self.occupations = Some(occ);
+        self
+    }
+
+    /// Validate and assemble the [`KsSystem`].
+    pub fn build(self) -> Result<KsSystem, PtError> {
+        if self.structure.atoms.is_empty() {
+            return Err(PtError::InvalidConfig("structure has no atoms".into()));
+        }
+        if !self.ecut.is_finite() || self.ecut <= 0.0 {
+            return Err(PtError::InvalidConfig(format!(
+                "cutoff must be positive and finite, got {}",
+                self.ecut
+            )));
+        }
+        if let Some(h) = &self.hybrid {
+            if !(0.0..=1.0).contains(&h.alpha) || !h.alpha.is_finite() {
+                return Err(PtError::InvalidConfig(format!(
+                    "hybrid mixing fraction alpha must lie in [0, 1], got {}",
+                    h.alpha
+                )));
+            }
+            if !h.omega.is_finite() || h.omega < 0.0 {
+                return Err(PtError::InvalidConfig(format!(
+                    "screening parameter omega must be nonnegative, got {}",
+                    h.omega
+                )));
+            }
+        }
+        let occupations = match self.occupations {
+            Some(occ) => {
+                if occ.is_empty() {
+                    return Err(PtError::InvalidConfig(
+                        "occupations must be nonempty".into(),
+                    ));
+                }
+                if occ.iter().any(|&f| !f.is_finite() || f < 0.0) {
+                    return Err(PtError::InvalidConfig(
+                        "occupations must be finite and nonnegative".into(),
+                    ));
+                }
+                occ
+            }
+            None => {
+                // closed-shell default: requires an even electron count
+                // (Structure::n_occupied_bands would assert and panic)
+                let ne = self.structure.n_electrons();
+                let nb = (ne / 2.0).round() as usize;
+                if (ne - 2.0 * nb as f64).abs() > 1e-9 {
+                    return Err(PtError::InvalidConfig(format!(
+                        "default occupations need an even electron count, got N_elec = {ne}; \
+                         pass explicit .occupations(..) for open-shell or charged systems"
+                    )));
+                }
+                vec![2.0; nb]
+            }
+        };
+
+        let structure = self.structure;
+        let grids = Arc::new(PwGrids::new(&structure, self.ecut));
+        if occupations.len() > grids.ng() {
+            // more bands than basis vectors: the orbital block is singular
+            // by construction and every solver downstream breaks
+            return Err(PtError::InvalidConfig(format!(
+                "{} bands exceed the {} plane waves at cutoff {} Ha; raise ecut or trim occupations",
+                occupations.len(),
+                grids.ng(),
+                self.ecut
+            )));
+        }
         // local PS: G-space assembly → dense-grid real values
         let lp = LocalPotential::new(&structure, &grids.gv_dense);
         let n = grids.n_dense();
@@ -104,20 +244,54 @@ impl KsSystem {
         grids.fft_dense.inverse(&mut arr);
         let vps_loc_r: Vec<f64> = arr.iter().map(|z| z.re).collect();
         let nonlocal = Arc::new(NonlocalPs::new(&structure, &grids.sphere));
-        let xc = XcGridEvaluator::new(xc_kind, grids.gv_dense.clone(), structure.cell.volume());
-        let kernel = hybrid.map(|h| ScreenedKernel::new(&grids, h.omega));
+        let xc = XcGridEvaluator::new(
+            self.xc_kind,
+            grids.gv_dense.clone(),
+            structure.cell.volume(),
+        );
+        let kernel = self.hybrid.map(|h| ScreenedKernel::new(&grids, h.omega));
         let e_ewald = ewald_energy(&structure);
-        let nb = structure.n_occupied_bands();
-        KsSystem {
+        Ok(KsSystem {
             structure,
             grids,
             vps_loc_r,
             nonlocal,
             xc,
-            hybrid,
+            hybrid: self.hybrid,
             kernel,
             e_ewald,
-            occupations: vec![2.0; nb],
+            occupations,
+        })
+    }
+}
+
+impl KsSystem {
+    /// Start a [`KsSystemBuilder`] for `structure`.
+    pub fn builder(structure: Structure) -> KsSystemBuilder {
+        KsSystemBuilder::new(structure)
+    }
+
+    /// Build the full problem for `structure` at cutoff `ecut`.
+    ///
+    /// Thin shim over [`KsSystem::builder`] kept for one release so callers
+    /// can migrate; unlike the builder it panics on invalid input.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use KsSystem::builder(structure) and handle PtError"
+    )]
+    pub fn new(
+        structure: Structure,
+        ecut: f64,
+        xc_kind: XcKind,
+        hybrid: Option<HybridConfig>,
+    ) -> Self {
+        let mut b = KsSystemBuilder::new(structure).ecut(ecut).xc(xc_kind);
+        if let Some(h) = hybrid {
+            b = b.hybrid(h);
+        }
+        match b.build() {
+            Ok(sys) => sys,
+            Err(e) => panic!("KsSystem::new: {e}"),
         }
     }
 
@@ -151,26 +325,61 @@ impl KsSystem {
 
     /// Build a Hamiltonian from a density and (for hybrids) the orbitals Φ
     /// defining the exchange operator.
-    pub fn hamiltonian(&self, rho: &[f64], phi: Option<&CMat>, a_field: [f64; 3]) -> Hamiltonian {
+    ///
+    /// Misuse is reported as [`PtError`]: a hybrid system without `phi`
+    /// yields [`PtError::MissingExchangeOrbitals`]; a density or orbital
+    /// block of the wrong extent yields [`PtError::ShapeMismatch`].
+    pub fn hamiltonian(
+        &self,
+        rho: &[f64],
+        phi: Option<&CMat>,
+        a_field: [f64; 3],
+    ) -> Result<Hamiltonian, PtError> {
+        if rho.len() != self.grids.n_dense() {
+            return Err(PtError::ShapeMismatch {
+                context: "density on the dense grid",
+                expected: self.grids.n_dense(),
+                got: rho.len(),
+            });
+        }
+        if let Some(p) = phi {
+            if p.nrows() != self.grids.ng() {
+                return Err(PtError::ShapeMismatch {
+                    context: "exchange orbital rows (plane waves)",
+                    expected: self.grids.ng(),
+                    got: p.nrows(),
+                });
+            }
+        }
         let pots = self.potentials(rho);
         let fock = match (&self.hybrid, phi) {
-            (Some(h), Some(phi)) => Some(Arc::new(FockOperator::new(
-                &self.grids,
-                phi,
-                h.alpha,
-                self.kernel.clone().expect("kernel built with hybrid"),
-                FockMode::Batched,
-            ))),
-            (Some(_), None) => panic!("hybrid functional requires defining orbitals"),
+            (Some(h), Some(phi)) => {
+                let kernel = match &self.kernel {
+                    Some(k) => k.clone(),
+                    None => {
+                        return Err(PtError::InvalidConfig(
+                            "hybrid functional configured but the screened exchange kernel is missing (KsSystem built by hand?)".into(),
+                        ))
+                    }
+                };
+                Some(Arc::new(FockOperator::new(
+                    &self.grids,
+                    phi,
+                    h.alpha,
+                    kernel,
+                    FockMode::Batched,
+                )))
+            }
+            (Some(_), None) => return Err(PtError::MissingExchangeOrbitals),
             _ => None,
         };
-        Hamiltonian {
+        Ok(Hamiltonian {
             grids: Arc::clone(&self.grids),
             vloc_r: pots.v_total,
             nonlocal: Arc::clone(&self.nonlocal),
             fock,
             a_field,
-        }
+        })
     }
 
     /// Density of an orbital block under this system's occupations.
@@ -207,7 +416,8 @@ impl KsSystem {
             .energy(orbitals.data(), g.ng(), &self.occupations);
         let fock = match (&self.hybrid, &self.kernel) {
             (Some(h), Some(k)) => {
-                let op = FockOperator::new(&self.grids, orbitals, h.alpha, k.clone(), FockMode::Batched);
+                let op =
+                    FockOperator::new(&self.grids, orbitals, h.alpha, k.clone(), FockMode::Batched);
                 op.energy(&self.grids, orbitals, &self.occupations)
             }
             _ => 0.0,
@@ -229,19 +439,156 @@ mod tests {
     use super::*;
     use pt_lattice::silicon_cubic_supercell;
 
+    fn si8(ecut: f64, xc: XcKind, hybrid: Option<HybridConfig>) -> KsSystem {
+        let mut b = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+            .ecut(ecut)
+            .xc(xc);
+        if let Some(h) = hybrid {
+            b = b.hybrid(h);
+        }
+        b.build().expect("valid test system")
+    }
+
     #[test]
     fn system_builds_and_charges_balance() {
-        let s = silicon_cubic_supercell(1, 1, 1);
-        let sys = KsSystem::new(s, 2.0, XcKind::Lda, None);
+        let sys = si8(2.0, XcKind::Lda, None);
         assert_eq!(sys.n_bands(), 16);
         assert!((sys.occupations.iter().sum::<f64>() - 32.0).abs() < 1e-12);
         assert!(sys.e_ewald < 0.0, "bulk Si Ewald energy is negative");
     }
 
     #[test]
-    fn potentials_from_uniform_density() {
+    fn builder_rejects_misuse() {
         let s = silicon_cubic_supercell(1, 1, 1);
-        let sys = KsSystem::new(s, 2.0, XcKind::Lda, None);
+        assert!(matches!(
+            KsSystem::builder(s.clone()).ecut(-1.0).build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            KsSystem::builder(s.clone()).ecut(f64::NAN).build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            KsSystem::builder(s.clone())
+                .hybrid(HybridConfig {
+                    alpha: 1.5,
+                    omega: 0.11
+                })
+                .build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            KsSystem::builder(s.clone())
+                .hybrid(HybridConfig {
+                    alpha: 0.25,
+                    omega: -0.1
+                })
+                .build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            KsSystem::builder(s.clone())
+                .occupations(vec![2.0, -1.0])
+                .build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        // more bands than plane waves: the orbital block would be singular
+        let ng = KsSystem::builder(s.clone())
+            .ecut(2.0)
+            .build()
+            .unwrap()
+            .grids
+            .ng();
+        assert!(matches!(
+            KsSystem::builder(s)
+                .ecut(2.0)
+                .occupations(vec![2.0; ng + 1])
+                .build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_odd_electron_default_occupations() {
+        let h1 = pt_lattice::Structure {
+            cell: pt_lattice::Cell::cubic(10.0),
+            atoms: vec![pt_lattice::Atom {
+                species: pt_lattice::Species::H,
+                frac: [0.0, 0.0, 0.0],
+            }],
+        };
+        assert!(matches!(
+            KsSystem::builder(h1).ecut(2.0).xc(XcKind::Lda).build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn builder_with_custom_occupations_accepts_odd_electron_structures() {
+        // a single H atom (N_elec = 1) panics in n_occupied_bands; with
+        // explicit occupations the builder must not touch that path
+        let h1 = pt_lattice::Structure {
+            cell: pt_lattice::Cell::cubic(10.0),
+            atoms: vec![pt_lattice::Atom {
+                species: pt_lattice::Species::H,
+                frac: [0.0, 0.0, 0.0],
+            }],
+        };
+        let sys = KsSystem::builder(h1)
+            .ecut(2.0)
+            .xc(XcKind::Lda)
+            .occupations(vec![1.0])
+            .build()
+            .expect("custom occupations bypass the closed-shell assert");
+        assert_eq!(sys.n_bands(), 1);
+        assert!((sys.occupations[0] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn builder_accepts_custom_occupations() {
+        let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+            .ecut(2.0)
+            .xc(XcKind::Lda)
+            .occupations(vec![2.0; 4])
+            .build()
+            .unwrap();
+        assert_eq!(sys.n_bands(), 4);
+    }
+
+    #[test]
+    fn hamiltonian_misuse_returns_typed_errors() {
+        let sys = si8(2.0, XcKind::Pbe, Some(HybridConfig::hse06()));
+        let rho = vec![32.0 / sys.grids.volume; sys.grids.n_dense()];
+        // hybrid without Φ
+        assert_eq!(
+            sys.hamiltonian(&rho, None, [0.0; 3]).err(),
+            Some(PtError::MissingExchangeOrbitals)
+        );
+        // wrong density extent
+        assert!(matches!(
+            sys.hamiltonian(&rho[..10], None, [0.0; 3]),
+            Err(PtError::ShapeMismatch { .. })
+        ));
+        // wrong orbital extent
+        let bad_phi = CMat::zeros(3, 2);
+        assert!(matches!(
+            sys.hamiltonian(&rho, Some(&bad_phi), [0.0; 3]),
+            Err(PtError::ShapeMismatch { .. })
+        ));
+        // well-formed call succeeds
+        let phi = CMat::from_fn(sys.grids.ng(), sys.n_bands(), |i, j| {
+            if i == j {
+                c64::ONE
+            } else {
+                c64::ZERO
+            }
+        });
+        assert!(sys.hamiltonian(&rho, Some(&phi), [0.0; 3]).is_ok());
+    }
+
+    #[test]
+    fn potentials_from_uniform_density() {
+        let sys = si8(2.0, XcKind::Lda, None);
         let n = sys.grids.n_dense();
         let ne = 32.0;
         let rho = vec![ne / sys.grids.volume; n];
@@ -251,13 +598,16 @@ mod tests {
         // XC energy should equal Ω ρ ε_xc(ρ)
         let (eps, _v) = pt_xc::lda_exc_vxc(ne / sys.grids.volume);
         let want = ne * eps;
-        assert!((p.e_xc - want).abs() < 1e-8 * want.abs(), "{} vs {want}", p.e_xc);
+        assert!(
+            (p.e_xc - want).abs() < 1e-8 * want.abs(),
+            "{} vs {want}",
+            p.e_xc
+        );
     }
 
     #[test]
     fn hybrid_system_builds_kernel() {
-        let s = silicon_cubic_supercell(1, 1, 1);
-        let sys = KsSystem::new(s, 2.0, XcKind::Pbe, Some(HybridConfig::hse06()));
+        let sys = si8(2.0, XcKind::Pbe, Some(HybridConfig::hse06()));
         assert!(sys.kernel.is_some());
         let k = sys.kernel.as_ref().unwrap();
         assert!((k.values[0] - std::f64::consts::PI / (0.11 * 0.11)).abs() < 1e-9);

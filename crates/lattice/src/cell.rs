@@ -35,7 +35,11 @@ impl Cell {
             cross(a[2], a[0]).map(|x| x * tau),
             cross(a[0], a[1]).map(|x| x * tau),
         ];
-        Cell { a, b, volume: v.abs() }
+        Cell {
+            a,
+            b,
+            volume: v.abs(),
+        }
     }
 
     /// Orthorhombic cell with edge lengths `(lx, ly, lz)` in bohr.
@@ -120,7 +124,11 @@ mod tests {
         for i in 0..3 {
             for j in 0..3 {
                 let d = dot(c.lattice()[i], c.reciprocal()[j]);
-                let want = if i == j { 2.0 * std::f64::consts::PI } else { 0.0 };
+                let want = if i == j {
+                    2.0 * std::f64::consts::PI
+                } else {
+                    0.0
+                };
                 assert!((d - want).abs() < 1e-12, "i={i} j={j} d={d}");
             }
         }

@@ -179,7 +179,11 @@ mod tests {
         for ix in 0..2 {
             for iy in 0..2 {
                 for iz in 0..2 {
-                    pos.push([ix as f64 * a / 2.0, iy as f64 * a / 2.0, iz as f64 * a / 2.0]);
+                    pos.push([
+                        ix as f64 * a / 2.0,
+                        iy as f64 * a / 2.0,
+                        iz as f64 * a / 2.0,
+                    ]);
                     q.push(if (ix + iy + iz) % 2 == 0 { 1.0 } else { -1.0 });
                 }
             }
@@ -197,13 +201,19 @@ mod tests {
             let cell = Cell::cubic(l);
             let s = Structure {
                 cell,
-                atoms: vec![Atom { species: Species::H, frac: [0.0, 0.0, 0.0] }],
+                atoms: vec![Atom {
+                    species: Species::H,
+                    frac: [0.0, 0.0, 0.0],
+                }],
             };
             ewald_energy(&s)
         };
         let e10 = mk(10.0);
         let e20 = mk(20.0);
-        assert!((e10 * 10.0 - e20 * 20.0).abs() < 1e-8, "scaling 1/L violated");
+        assert!(
+            (e10 * 10.0 - e20 * 20.0).abs() < 1e-8,
+            "scaling 1/L violated"
+        );
         assert!(e10 < 0.0);
     }
 }

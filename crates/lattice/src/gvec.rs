@@ -86,11 +86,7 @@ impl GSphere {
             }
         }
         // deterministic order: by |G|², then lexicographic Miller
-        entries.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .unwrap()
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        entries.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)));
         // verify the grid really holds the sphere (no aliasing): every
         // Miller index must be within the representable range.
         for (m, _) in &entries {
@@ -113,7 +109,14 @@ impl GSphere {
                     + n1 * (miller_to_index(m[1], n2) + n2 * miller_to_index(m[2], n3))
             })
             .collect();
-        GSphere { ecut, dims, miller, g2, g_cart, fft_index }
+        GSphere {
+            ecut,
+            dims,
+            miller,
+            g2,
+            g_cart,
+            fft_index,
+        }
     }
 
     /// Number of plane waves (the paper's N_G).

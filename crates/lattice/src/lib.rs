@@ -16,5 +16,5 @@ mod structure;
 
 pub use cell::Cell;
 pub use ewald::ewald_energy;
-pub use gvec::{fft_dims_for_cutoff, GridGVectors, GSphere};
+pub use gvec::{fft_dims_for_cutoff, GSphere, GridGVectors};
 pub use structure::{silicon_cubic_supercell, Atom, Species, Structure};

@@ -71,7 +71,10 @@ impl Structure {
 
     /// Cartesian positions of all atoms (bohr).
     pub fn cart_positions(&self) -> Vec<[f64; 3]> {
-        self.atoms.iter().map(|a| self.cell.frac_to_cart(a.frac)).collect()
+        self.atoms
+            .iter()
+            .map(|a| self.cell.frac_to_cart(a.frac))
+            .collect()
     }
 }
 

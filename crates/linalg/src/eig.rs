@@ -121,14 +121,10 @@ mod tests {
     use crate::mat::{gemm, Op};
 
     fn rand_herm(n: usize, seed: u64) -> CMat {
-        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-        let mut next = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let raw = CMat::from_fn(n, n, |_, _| c64::new(next(), next()));
+        let mut rng = pt_num::rng::XorShift64::new(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        let raw = CMat::from_fn(n, n, |_, _| {
+            c64::new(rng.next_centered(), rng.next_centered())
+        });
         let mut h = CMat::zeros(n, n);
         for j in 0..n {
             for i in 0..n {
@@ -163,6 +159,7 @@ mod tests {
         let (lam, v) = eigh(&h);
         assert!((lam[0] - 0.0).abs() < 1e-14 && (lam[1] - 2.0).abs() < 1e-14);
         // check residual H v = λ v
+        #[allow(clippy::needless_range_loop)] // j indexes v and lam together
         for j in 0..2 {
             let col = CMat::from_vec(2, 1, v.col(j).to_vec());
             let mut hv = CMat::zeros(2, 1);
@@ -184,12 +181,21 @@ mod tests {
             }
             // V unitary
             let mut vhv = CMat::zeros(n, n);
-            gemm(c64::ONE, &v, Op::ConjTrans, &v, Op::None, c64::ZERO, &mut vhv);
+            gemm(
+                c64::ONE,
+                &v,
+                Op::ConjTrans,
+                &v,
+                Op::None,
+                c64::ZERO,
+                &mut vhv,
+            );
             assert!(vhv.max_diff(&CMat::eye(n)) < 1e-11, "n={n}");
             // H V = V Λ
             let mut hv = CMat::zeros(n, n);
             gemm(c64::ONE, &h, Op::None, &v, Op::None, c64::ZERO, &mut hv);
             let mut vl = v.clone();
+            #[allow(clippy::needless_range_loop)] // j indexes vl and lam together
             for j in 0..n {
                 for z in vl.col_mut(j) {
                     *z = z.scale(lam[j]);

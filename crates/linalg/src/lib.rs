@@ -17,6 +17,8 @@ mod solve;
 
 pub use eig::eigh;
 pub use mat::{CMat, Op};
-pub use solve::{cholesky_in_place, lstsq, solve_lower, solve_upper_conj, trsm_right_lh};
+pub use solve::{
+    cholesky_in_place, lstsq, orthonormalize_columns, solve_lower, solve_upper_conj, trsm_right_lh,
+};
 
 pub use mat::{gemm, herk};

@@ -1,7 +1,7 @@
 //! Column-major complex matrices and BLAS-3 style kernels.
 
-use pt_num::complex::{zaxpy, zdotc};
 use pt_num::c64;
+use pt_num::complex::{zaxpy, zdotc};
 use rayon::prelude::*;
 use std::fmt;
 
@@ -27,7 +27,11 @@ pub struct CMat {
 impl CMat {
     /// Zero matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        CMat { nrows, ncols, data: vec![c64::ZERO; nrows * ncols] }
+        CMat {
+            nrows,
+            ncols,
+            data: vec![c64::ZERO; nrows * ncols],
+        }
     }
 
     /// Identity.
@@ -54,6 +58,23 @@ impl CMat {
     pub fn from_vec(nrows: usize, ncols: usize, data: Vec<c64>) -> Self {
         assert_eq!(data.len(), nrows * ncols);
         CMat { nrows, ncols, data }
+    }
+
+    /// Deterministic random block with unit-norm columns — the standard
+    /// stand-in for an orbital block in tests and benchmarks. Same seed,
+    /// same block.
+    pub fn rand_normalized(nrows: usize, ncols: usize, seed: u64) -> Self {
+        let mut rng = pt_num::rng::XorShift64::new(seed | 1);
+        let mut m = CMat::from_fn(nrows, ncols, |_, _| {
+            c64::new(rng.next_centered(), rng.next_centered())
+        });
+        for j in 0..ncols {
+            let nrm = pt_num::complex::znrm2(m.col(j));
+            for z in m.col_mut(j) {
+                *z = z.scale(1.0 / nrm);
+            }
+        }
+        m
     }
 
     /// Number of rows.
@@ -181,35 +202,29 @@ pub fn gemm(alpha: c64, a: &CMat, opa: Op, b: &CMat, opb: Op, beta: c64, c: &mut
             assert_eq!(c.nrows, a.nrows);
             assert_eq!(c.ncols, b.ncols);
             let m = a.nrows;
-            c.data
-                .par_chunks_mut(m)
-                .enumerate()
-                .for_each(|(j, ccol)| {
-                    for z in ccol.iter_mut() {
-                        *z = *z * beta;
+            c.data.par_chunks_mut(m).enumerate().for_each(|(j, ccol)| {
+                for z in ccol.iter_mut() {
+                    *z *= beta;
+                }
+                for l in 0..a.ncols {
+                    let blj = alpha * b[(l, j)];
+                    if blj != c64::ZERO {
+                        zaxpy(blj, a.col(l), ccol);
                     }
-                    for l in 0..a.ncols {
-                        let blj = alpha * b[(l, j)];
-                        if blj != c64::ZERO {
-                            zaxpy(blj, a.col(l), ccol);
-                        }
-                    }
-                });
+                }
+            });
         }
         (Op::ConjTrans, Op::None) => {
             assert_eq!(a.nrows, b.nrows, "gemm cn: inner dims");
             assert_eq!(c.nrows, a.ncols);
             assert_eq!(c.ncols, b.ncols);
             let m = a.ncols;
-            c.data
-                .par_chunks_mut(m)
-                .enumerate()
-                .for_each(|(j, ccol)| {
-                    let bj = b.col(j);
-                    for (i, z) in ccol.iter_mut().enumerate() {
-                        *z = *z * beta + alpha * zdotc(a.col(i), bj);
-                    }
-                });
+            c.data.par_chunks_mut(m).enumerate().for_each(|(j, ccol)| {
+                let bj = b.col(j);
+                for (i, z) in ccol.iter_mut().enumerate() {
+                    *z = *z * beta + alpha * zdotc(a.col(i), bj);
+                }
+            });
         }
         _ => panic!("gemm: unsupported op combination {opa:?},{opb:?}"),
     }
@@ -247,14 +262,11 @@ mod tests {
     use super::*;
 
     fn randm(nr: usize, nc: usize, seed: u64) -> CMat {
-        let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
-        let mut next = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        CMat::from_fn(nr, nc, |_, _| c64::new(next(), next()))
+        let mut rng =
+            pt_num::rng::XorShift64::new(seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7));
+        CMat::from_fn(nr, nc, |_, _| {
+            c64::new(rng.next_centered(), rng.next_centered())
+        })
     }
 
     fn naive_mul(a: &CMat, b: &CMat) -> CMat {
@@ -315,7 +327,15 @@ mod tests {
         let mut c1 = CMat::zeros(5, 5);
         herk(2.0, &a, 0.0, &mut c1);
         let mut c2 = CMat::zeros(5, 5);
-        gemm(c64::real(2.0), &a, Op::ConjTrans, &a, Op::None, c64::ZERO, &mut c2);
+        gemm(
+            c64::real(2.0),
+            &a,
+            Op::ConjTrans,
+            &a,
+            Op::None,
+            c64::ZERO,
+            &mut c2,
+        );
         assert!(c1.max_diff(&c2) < 1e-12);
         assert!(c1.hermiticity_error() < 1e-15);
     }

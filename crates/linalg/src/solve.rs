@@ -102,6 +102,32 @@ pub fn trsm_right_lh(x: &mut CMat, l: &CMat) {
     }
 }
 
+/// Orthonormalize the columns of `x` in place: overlap `S = X^H X`,
+/// Cholesky `S = L L^H`, then `X ← X L^{-H}` (paper §3.4). `ridge` is
+/// added to the diagonal of `S` before factoring; pass 0 for exact
+/// orthonormalization of a well-conditioned block, or a tiny shift
+/// (e.g. 1e-12) to keep nearly linearly dependent columns factorable.
+pub fn orthonormalize_columns(x: &mut CMat, ridge: f64) {
+    let n = x.ncols();
+    let mut s = CMat::zeros(n, n);
+    crate::mat::gemm(
+        c64::ONE,
+        x,
+        crate::mat::Op::ConjTrans,
+        x,
+        crate::mat::Op::None,
+        c64::ZERO,
+        &mut s,
+    );
+    if ridge != 0.0 {
+        for i in 0..n {
+            s[(i, i)] += c64::real(ridge);
+        }
+    }
+    cholesky_in_place(&mut s);
+    trsm_right_lh(x, &s);
+}
+
 /// Least squares `min_x ‖A x − b‖₂` via regularized normal equations
 /// `(A^H A + ridge·I) x = A^H b`.
 ///
@@ -142,14 +168,10 @@ mod tests {
     use crate::mat::{gemm, Op};
 
     fn randm(nr: usize, nc: usize, seed: u64) -> CMat {
-        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-        let mut next = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        CMat::from_fn(nr, nc, |_, _| c64::new(next(), next()))
+        let mut rng = pt_num::rng::XorShift64::new(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        CMat::from_fn(nr, nc, |_, _| {
+            c64::new(rng.next_centered(), rng.next_centered())
+        })
     }
 
     fn rand_hpd(n: usize, seed: u64) -> CMat {
@@ -187,7 +209,9 @@ mod tests {
         let a = rand_hpd(6, 5);
         let mut l = a.clone();
         cholesky_in_place(&mut l);
-        let b: Vec<c64> = (0..6).map(|i| c64::new(i as f64 + 0.5, -(i as f64))).collect();
+        let b: Vec<c64> = (0..6)
+            .map(|i| c64::new(i as f64 + 0.5, -(i as f64)))
+            .collect();
         let y = solve_lower(&l, &b);
         let x = solve_upper_conj(&l, &y);
         // A x should equal b
@@ -203,26 +227,58 @@ mod tests {
     fn trsm_orthogonalizes() {
         // Ψ ← Ψ L^{-H} with S = Ψ^H Ψ = L L^H must give Ψ^H Ψ = I
         let mut psi = randm(40, 6, 21);
-        let mut s = CMat::zeros(6, 6);
-        gemm(c64::ONE, &psi, Op::ConjTrans, &psi, Op::None, c64::ZERO, &mut s);
-        let mut l = s.clone();
-        cholesky_in_place(&mut l);
-        trsm_right_lh(&mut psi, &l);
+        orthonormalize_columns(&mut psi, 0.0);
         let mut id = CMat::zeros(6, 6);
-        gemm(c64::ONE, &psi, Op::ConjTrans, &psi, Op::None, c64::ZERO, &mut id);
-        assert!(id.max_diff(&CMat::eye(6)) < 1e-11, "{}", id.max_diff(&CMat::eye(6)));
+        gemm(
+            c64::ONE,
+            &psi,
+            Op::ConjTrans,
+            &psi,
+            Op::None,
+            c64::ZERO,
+            &mut id,
+        );
+        assert!(
+            id.max_diff(&CMat::eye(6)) < 1e-11,
+            "{}",
+            id.max_diff(&CMat::eye(6))
+        );
+    }
+
+    #[test]
+    fn ridge_keeps_nearly_dependent_columns_factorable() {
+        // two almost-parallel columns: exact Cholesky of the overlap is on
+        // the edge of a non-positive pivot; the ridge keeps it factorable
+        let base = randm(40, 1, 33);
+        let mut x = CMat::zeros(40, 2);
+        for i in 0..40 {
+            x[(i, 0)] = base[(i, 0)];
+            x[(i, 1)] = base[(i, 0)].scale(1.0 + 1e-9) + c64::new(1e-9 * (i as f64), 0.0);
+        }
+        orthonormalize_columns(&mut x, 1e-12);
+        for j in 0..2 {
+            let nrm = pt_num::complex::znrm2(x.col(j));
+            assert!(nrm.is_finite() && nrm > 0.0);
+        }
     }
 
     #[test]
     fn lstsq_exact_on_consistent_system() {
         let a = randm(10, 4, 31);
-        let xtrue: Vec<c64> = (0..4).map(|i| c64::new(1.0 + i as f64, -0.5 * i as f64)).collect();
+        let xtrue: Vec<c64> = (0..4)
+            .map(|i| c64::new(1.0 + i as f64, -0.5 * i as f64))
+            .collect();
         let xm = CMat::from_vec(4, 1, xtrue.clone());
         let mut bm = CMat::zeros(10, 1);
         gemm(c64::ONE, &a, Op::None, &xm, Op::None, c64::ZERO, &mut bm);
         let x = lstsq(&a, bm.col(0), 0.0);
         for i in 0..4 {
-            assert!((x[i] - xtrue[i]).abs() < 1e-9, "{:?} vs {:?}", x[i], xtrue[i]);
+            assert!(
+                (x[i] - xtrue[i]).abs() < 1e-9,
+                "{:?} vs {:?}",
+                x[i],
+                xtrue[i]
+            );
         }
     }
 

@@ -84,7 +84,10 @@ where
         }
     })
     .expect("virtual MPI scope failed");
-    let out = results.into_iter().map(|r| r.expect("rank produced no result")).collect();
+    let out = results
+        .into_iter()
+        .map(|r| r.expect("rank produced no result"))
+        .collect();
     let snap = stats.snapshot();
     (out, snap)
 }
@@ -115,7 +118,11 @@ impl Comm {
 
     fn send_payload(&self, dst: usize, tag: u64, payload: Payload) {
         self.senders[dst]
-            .send(Envelope { src: self.rank, tag, payload })
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload,
+            })
             .expect("receiver hung up");
     }
 
@@ -130,7 +137,10 @@ impl Comm {
             if env.src == src && env.tag == tag {
                 return env.payload;
             }
-            self.stash.entry((env.src, env.tag)).or_default().push(env.payload);
+            self.stash
+                .entry((env.src, env.tag))
+                .or_default()
+                .push(env.payload);
         }
     }
 
@@ -173,7 +183,8 @@ impl Comm {
         if p == 1 {
             return;
         }
-        let r = (self.rank + p - root) % p; // relative rank
+        // relative rank
+        let r = (self.rank + p - root) % p;
         // receive phase: the lowest set bit of r determines the parent
         if r != 0 {
             let lsb = r & r.wrapping_neg();
@@ -184,10 +195,15 @@ impl Comm {
                 Payload::C32(v) => v.into_iter().map(|z| z.to_c64()).collect(),
                 _ => panic!("bcast type mismatch"),
             };
-            self.stats.add(&self.stats.bcast_bytes, self.c64_wire_bytes(data.len()));
+            self.stats
+                .add(&self.stats.bcast_bytes, self.c64_wire_bytes(data.len()));
         }
         // send phase: forward to children r + mask for mask < lsb(r)
-        let lsb = if r == 0 { p.next_power_of_two() } else { r & r.wrapping_neg() };
+        let lsb = if r == 0 {
+            p.next_power_of_two()
+        } else {
+            r & r.wrapping_neg()
+        };
         let mut mask = 1usize;
         while mask < p {
             if mask < lsb && r + mask < p {
@@ -236,7 +252,11 @@ impl Comm {
         }
         // broadcast result (counted as allreduce traffic, matching how the
         // paper lumps the whole MPI_Allreduce in one class)
-        let mut tmp = if self.rank == 0 { data.to_vec() } else { Vec::new() };
+        let mut tmp = if self.rank == 0 {
+            data.to_vec()
+        } else {
+            Vec::new()
+        };
         self.bcast_f64_internal(0, &mut tmp, TAG_REDUCE_BC, bytes);
         data.copy_from_slice(&tmp);
     }
@@ -256,7 +276,11 @@ impl Comm {
             }
             self.stats.add(&self.stats.allreduce_bytes, bytes);
         }
-        let lsb = if r == 0 { p.next_power_of_two() } else { r & r.wrapping_neg() };
+        let lsb = if r == 0 {
+            p.next_power_of_two()
+        } else {
+            r & r.wrapping_neg()
+        };
         let mut mask = 1usize;
         while mask < p {
             if mask < lsb && r + mask < p {
@@ -326,7 +350,8 @@ impl Comm {
         for round in 1..p {
             let dst = (self.rank + round) % p;
             let src = (self.rank + p - round) % p;
-            self.stats.add(&self.stats.allgatherv_bytes, 8 * mine.len() as u64);
+            self.stats
+                .add(&self.stats.allgatherv_bytes, 8 * mine.len() as u64);
             self.send_payload(dst, TAG_AGV + round as u64, Payload::F64(mine.to_vec()));
             match self.recv_payload(src, TAG_AGV + round as u64) {
                 Payload::F64(v) => out[src] = v,

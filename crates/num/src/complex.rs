@@ -64,7 +64,10 @@ impl c64 {
     /// Complex conjugate.
     #[inline(always)]
     pub fn conj(self) -> Self {
-        c64 { re: self.re, im: -self.im }
+        c64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|^2`.
@@ -89,13 +92,19 @@ impl c64 {
     #[inline]
     pub fn inv(self) -> Self {
         let d = self.norm_sqr();
-        c64 { re: self.re / d, im: -self.im / d }
+        c64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Scale by a real factor.
     #[inline(always)]
     pub fn scale(self, s: f64) -> Self {
-        c64 { re: self.re * s, im: self.im * s }
+        c64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Complex exponential `exp(z)`.
@@ -108,13 +117,19 @@ impl c64 {
     /// `self * i` without a full complex multiply.
     #[inline(always)]
     pub fn mul_i(self) -> Self {
-        c64 { re: -self.im, im: self.re }
+        c64 {
+            re: -self.im,
+            im: self.re,
+        }
     }
 
     /// `self * (-i)` without a full complex multiply.
     #[inline(always)]
     pub fn mul_neg_i(self) -> Self {
-        c64 { re: self.im, im: -self.re }
+        c64 {
+            re: self.im,
+            im: -self.re,
+        }
     }
 
     /// Fused multiply-add: `self + a * b`.
@@ -129,7 +144,10 @@ impl c64 {
     /// Round-trip to single precision (the MPI wire conversion of §3.2).
     #[inline(always)]
     pub fn to_c32(self) -> c32 {
-        c32 { re: self.re as f32, im: self.im as f32 }
+        c32 {
+            re: self.re as f32,
+            im: self.im as f32,
+        }
     }
 
     /// True if either component is NaN.
@@ -168,7 +186,10 @@ impl c32 {
     /// Widen back to double precision.
     #[inline(always)]
     pub fn to_c64(self) -> c64 {
-        c64 { re: self.re as f64, im: self.im as f64 }
+        c64 {
+            re: self.re as f64,
+            im: self.im as f64,
+        }
     }
 }
 
@@ -198,7 +219,10 @@ impl Add for c64 {
     type Output = c64;
     #[inline(always)]
     fn add(self, o: c64) -> c64 {
-        c64 { re: self.re + o.re, im: self.im + o.im }
+        c64 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -206,7 +230,10 @@ impl Sub for c64 {
     type Output = c64;
     #[inline(always)]
     fn sub(self, o: c64) -> c64 {
-        c64 { re: self.re - o.re, im: self.im - o.im }
+        c64 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -224,6 +251,7 @@ impl Mul for c64 {
 impl Div for c64 {
     type Output = c64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w computed as z * w^{-1}
     fn div(self, o: c64) -> c64 {
         self * o.inv()
     }
@@ -233,7 +261,10 @@ impl Neg for c64 {
     type Output = c64;
     #[inline(always)]
     fn neg(self) -> c64 {
-        c64 { re: -self.re, im: -self.im }
+        c64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -257,7 +288,10 @@ impl Div<f64> for c64 {
     type Output = c64;
     #[inline(always)]
     fn div(self, s: f64) -> c64 {
-        c64 { re: self.re / s, im: self.im / s }
+        c64 {
+            re: self.re / s,
+            im: self.im / s,
+        }
     }
 }
 
@@ -353,7 +387,10 @@ mod tests {
         let b = c64::new(-3.0, 0.5);
         assert_eq!(a + b, c64::new(-2.0, 2.5));
         assert_eq!(a - b, c64::new(4.0, 1.5));
-        assert_eq!(a * b, c64::new(1.0 * -3.0 - 2.0 * 0.5, 1.0 * 0.5 + 2.0 * -3.0));
+        assert_eq!(
+            a * b,
+            c64::new(1.0 * -3.0 - 2.0 * 0.5, 1.0 * 0.5 + 2.0 * -3.0)
+        );
         let q = a / b;
         let back = q * b;
         assert!(close(back.re, a.re, 1e-14) && close(back.im, a.im, 1e-14));

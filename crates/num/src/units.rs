@@ -31,7 +31,7 @@ pub const SI_LATTICE_BOHR: f64 = SI_LATTICE_ANGSTROM * BOHR_PER_ANGSTROM;
 /// The paper's pulse is 380 nm → ħω ≈ 3.26 eV ≈ 0.12 Ha.
 pub fn wavelength_nm_to_hartree(lambda_nm: f64) -> f64 {
     // E = h c / λ ; with hc = 1239.841984 eV·nm
-    const HC_EV_NM: f64 = 1239.841_984_332_002_6;
+    const HC_EV_NM: f64 = 1_239.841_984_332_002_6;
     (HC_EV_NM / lambda_nm) / EV_PER_HARTREE
 }
 

@@ -62,17 +62,27 @@ pub fn table2(model: &CostModel) -> Vec<Table2Row> {
     PAPER_GPU_COUNTS
         .iter()
         .map(|&p| {
-            let classes: Vec<(String, f64)> =
-                ["memcpy", "alltoallv", "allreduce", "bcast", "allgatherv", "computation"]
-                    .iter()
-                    .map(|n| (n.to_string(), model.table2_class(n, p, &pr)))
-                    .collect();
+            let classes: Vec<(String, f64)> = [
+                "memcpy",
+                "alltoallv",
+                "allreduce",
+                "bcast",
+                "allgatherv",
+                "computation",
+            ]
+            .iter()
+            .map(|n| (n.to_string(), model.table2_class(n, p, &pr)))
+            .collect();
             let mpi_total = classes
                 .iter()
                 .filter(|(n, _)| n != "memcpy" && n != "computation")
                 .map(|(_, t)| t)
                 .sum();
-            Table2Row { gpus: p, classes, mpi_total }
+            Table2Row {
+                gpus: p,
+                classes,
+                mpi_total,
+            }
         })
         .collect()
 }
@@ -100,8 +110,7 @@ pub fn fig3_stages(model: &CostModel) -> Vec<Fig3Stage> {
     let apps = PAPER_FOCK_APPS_PER_STEP as f64;
     let comp = model.component("fock_comp", p, &pr); // batched, per SCF
     let band_by_band_slowdown = 2.6; // HBM utilization ~0.35 vs 0.9
-    let bcast_f64 =
-        pr.n_bands as f64 * pr.ng as f64 * 16.0 / model.machine.bcast_rank_bw(p);
+    let bcast_f64 = pr.n_bands as f64 * pr.ng as f64 * 16.0 / model.machine.bcast_rank_bw(p);
     let bcast_f32 = bcast_f64 / 2.0;
     let stage_copies = model
         .machine
@@ -110,7 +119,10 @@ pub fn fig3_stages(model: &CostModel) -> Vec<Fig3Stage> {
     let overlapped_visible = model.component("fock_mpi", p, &pr);
     let cpu = PAPER_CPU_STEP_SECONDS * 0.95;
     vec![
-        Fig3Stage { label: "CPU 3072 cores", seconds: cpu },
+        Fig3Stage {
+            label: "CPU 3072 cores",
+            seconds: cpu,
+        },
         Fig3Stage {
             label: "GPU band-by-band",
             seconds: apps * (comp * band_by_band_slowdown + bcast_f64 + stage_copies),
@@ -295,7 +307,11 @@ mod tests {
         let rows = fig8_rows(&m);
         for row in &rows {
             let rel = row.seconds / row.ideal;
-            assert!(rel < 1.2, "{} atoms sits above the ideal line: {rel:.2}", row.atoms);
+            assert!(
+                rel < 1.2,
+                "{} atoms sits above the ideal line: {rel:.2}",
+                row.atoms
+            );
             assert!(rel > 0.02, "{} atoms implausibly fast: {rel:.3}", row.atoms);
         }
         // wall time itself must grow monotonically with system size
@@ -309,7 +325,11 @@ mod tests {
         let m = CostModel::new();
         for (p, parts) in fig9_rows(&m) {
             let total: f64 = parts.iter().sum();
-            assert!(parts[0] / total > 0.6, "HΨ at {p} GPUs: {:.2}", parts[0] / total);
+            assert!(
+                parts[0] / total > 0.6,
+                "HΨ at {p} GPUs: {:.2}",
+                parts[0] / total
+            );
         }
     }
 
@@ -325,7 +345,10 @@ mod tests {
         let (_, last) = rows.last().unwrap();
         let comp = last.iter().find(|(n, _)| n == "computation").unwrap().1;
         let bcast = last.iter().find(|(n, _)| n == "bcast").unwrap().1;
-        assert!(bcast > comp, "at 1536 GPUs MPI_Bcast ({bcast:.0}s) must exceed computation ({comp:.0}s)");
+        assert!(
+            bcast > comp,
+            "at 1536 GPUs MPI_Bcast ({bcast:.0}s) must exceed computation ({comp:.0}s)"
+        );
     }
 
     #[test]
@@ -356,8 +379,18 @@ mod tests {
         assert!(mpi[7] > mpi[5], "MPI total must keep growing: {mpi:?}");
         // computation shrinks monotonically
         for w in rows.windows(2) {
-            let a = w[0].classes.iter().find(|(n, _)| n == "computation").unwrap().1;
-            let b = w[1].classes.iter().find(|(n, _)| n == "computation").unwrap().1;
+            let a = w[0]
+                .classes
+                .iter()
+                .find(|(n, _)| n == "computation")
+                .unwrap()
+                .1;
+            let b = w[1]
+                .classes
+                .iter()
+                .find(|(n, _)| n == "computation")
+                .unwrap()
+                .1;
             assert!(b < a);
         }
     }

@@ -24,8 +24,8 @@ mod model;
 mod reference;
 
 pub use artifacts::{
-    fig10_rows, fig3_stages, fig6_rows, fig7_rows, fig8_rows, fig9_rows, table1, table2,
-    Fig3Stage, Fig6Row, Fig8Row, Table1Row, Table2Row,
+    fig10_rows, fig3_stages, fig6_rows, fig7_rows, fig8_rows, fig9_rows, table1, table2, Fig3Stage,
+    Fig6Row, Fig8Row, Table1Row, Table2Row,
 };
 pub use model::{CostModel, Problem, COMPONENT_NAMES};
 pub use reference::{

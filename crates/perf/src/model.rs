@@ -51,7 +51,13 @@ struct Component {
 impl Component {
     fn anchored(t36: f64, t3072: f64, a_ne: f64, b_ng: f64, log_ng: bool) -> Self {
         let gamma = (t3072 / t36).ln() / (3072.0f64 / 36.0).ln();
-        Component { t36, gamma, a_ne, b_ng, log_ng }
+        Component {
+            t36,
+            gamma,
+            a_ne,
+            b_ng,
+            log_ng,
+        }
     }
 
     /// Time (s) at `p` GPUs for problem `pr`.
@@ -139,7 +145,11 @@ impl CostModel {
                 (n.to_string(), Component::anchored(t36, t3072, a, b, lg))
             })
             .collect();
-        CostModel { machine: Summit::default(), components, table2 }
+        CostModel {
+            machine: Summit::default(),
+            components,
+            table2,
+        }
     }
 
     /// Per-SCF time of one named component.
@@ -183,7 +193,10 @@ impl CostModel {
 
     /// Full per-SCF time (Table 1 "per SCF time").
     pub fn per_scf(&self, p: usize, pr: &Problem) -> f64 {
-        self.h_psi(p, pr) + self.residual(p, pr) + self.anderson(p, pr) + self.density(p, pr)
+        self.h_psi(p, pr)
+            + self.residual(p, pr)
+            + self.anderson(p, pr)
+            + self.density(p, pr)
             + self.others(p, pr)
     }
 
@@ -249,7 +262,10 @@ mod tests {
             let a = m.component(name, 36, &pr);
             let b = m.component(name, 3072, &pr);
             assert!((a - t36).abs() < 1e-9 * t36, "{name} @36: {a} vs {t36}");
-            assert!((b - t3072).abs() < 1e-9 * t3072, "{name} @3072: {b} vs {t3072}");
+            assert!(
+                (b - t3072).abs() < 1e-9 * t3072,
+                "{name} @3072: {b} vs {t3072}"
+            );
         }
     }
 
@@ -261,7 +277,10 @@ mod tests {
             let t = m.per_scf(p, &pr);
             let want = PAPER_TABLE1_PER_SCF_TOTAL[i];
             let rel = (t - want).abs() / want;
-            assert!(rel < 0.25, "per-SCF @{p}: model {t:.2} vs paper {want} ({rel:.2})");
+            assert!(
+                rel < 0.25,
+                "per-SCF @{p}: model {t:.2} vs paper {want} ({rel:.2})"
+            );
         }
     }
 
@@ -273,7 +292,10 @@ mod tests {
             let t = m.step_total(p, &pr);
             let want = PAPER_TABLE1_TOTAL[i];
             let rel = (t - want).abs() / want;
-            assert!(rel < 0.25, "total @{p}: model {t:.1} vs paper {want} ({rel:.2})");
+            assert!(
+                rel < 0.25,
+                "total @{p}: model {t:.1} vs paper {want} ({rel:.2})"
+            );
         }
     }
 
@@ -326,7 +348,10 @@ mod tests {
         );
         // absolute check against the paper's quoted 192-atom point (16 s)
         let t192 = t(192);
-        assert!(t192 > 5.0 && t192 < 35.0, "192 atoms: {t192:.1} s (paper: 16 s)");
+        assert!(
+            t192 > 5.0 && t192 < 35.0,
+            "192 atoms: {t192:.1} s (paper: 16 s)"
+        );
         // and the 1536-atom anchor is exact by construction
         assert!((t(1536) - m.step_total(768, &Problem::paper_1536())).abs() < 1e-9);
     }

@@ -5,12 +5,10 @@
 pub const PAPER_GPU_COUNTS: [usize; 8] = [36, 72, 144, 288, 384, 768, 1536, 3072];
 
 /// Table 1 "per SCF time" row (seconds).
-pub const PAPER_TABLE1_PER_SCF_TOTAL: [f64; 8] =
-    [101.36, 52.4, 32.5, 16.4, 13.4, 10.9, 10.9, 12.1];
+pub const PAPER_TABLE1_PER_SCF_TOTAL: [f64; 8] = [101.36, 52.4, 32.5, 16.4, 13.4, 10.9, 10.9, 12.1];
 
 /// Table 1 "Total time" row (seconds per 50 as PT-CN step).
-pub const PAPER_TABLE1_TOTAL: [f64; 8] =
-    [2453.8, 1269.1, 783.0, 393.9, 323.2, 260.9, 262.5, 286.6];
+pub const PAPER_TABLE1_TOTAL: [f64; 8] = [2453.8, 1269.1, 783.0, 393.9, 323.2, 260.9, 262.5, 286.6];
 
 /// Table 1 total speedups over the 3072-core CPU run (8874 s).
 pub const PAPER_TABLE1_SPEEDUP: [f64; 8] = [3.6, 7.0, 11.3, 22.5, 27.4, 34.0, 33.8, 30.9];
@@ -43,8 +41,7 @@ pub const PAPER_TABLE2_ANCHORS: [(&str, f64, f64); 6] = [
 
 /// Table 2 MPI_Bcast row for all GPU counts (test oracle for the
 /// contention model).
-pub const PAPER_TABLE2_BCAST: [f64; 8] =
-    [18.78, 20.89, 31.06, 44.54, 48.13, 92.26, 146.15, 193.89];
+pub const PAPER_TABLE2_BCAST: [f64; 8] = [18.78, 20.89, 31.06, 44.54, 48.13, 92.26, 146.15, 193.89];
 
 /// CPU baseline: best 3072-core time per 50 as step (§6).
 pub const PAPER_CPU_STEP_SECONDS: f64 = 8874.0;

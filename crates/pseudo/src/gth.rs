@@ -62,10 +62,7 @@ impl GthParams {
         let rl = self.r_loc;
         let x = r / rl;
         let gauss = (-0.5 * x * x).exp();
-        let poly = self.c[0]
-            + self.c[1] * x * x
-            + self.c[2] * x.powi(4)
-            + self.c[3] * x.powi(6);
+        let poly = self.c[0] + self.c[1] * x * x + self.c[2] * x.powi(4) + self.c[3] * x.powi(6);
         let coulomb = if r < 1e-10 {
             // erf(y)/y → 2/√π as y → 0
             -self.z_ion * (2.0 / std::f64::consts::PI.sqrt()) / (2.0f64.sqrt() * rl)
@@ -98,7 +95,9 @@ impl GthParams {
         let rl = self.r_loc;
         let tps = (2.0 * std::f64::consts::PI).powf(1.5);
         2.0 * std::f64::consts::PI * self.z_ion * rl * rl
-            + tps * rl.powi(3) * (self.c[0] + 3.0 * self.c[1] + 15.0 * self.c[2] + 105.0 * self.c[3])
+            + tps
+                * rl.powi(3)
+                * (self.c[0] + 3.0 * self.c[1] + 15.0 * self.c[2] + 105.0 * self.c[3])
     }
 
     /// Radial projector `p_{il}(r)` (GTH normalization: ∫ p² r² dr = 1).
@@ -106,7 +105,8 @@ impl GthParams {
     pub fn projector_radial(&self, i: usize, l: usize, rl: f64, r: f64) -> f64 {
         let n = l + 2 * (i - 1);
         let gamma = pt_num::gamma_half_int((2 * l + 4 * i - 1) as u32); // Γ(l + (4i−1)/2)
-        let norm = 2.0f64.sqrt() / (rl.powf(l as f64 + (4.0 * i as f64 - 1.0) / 2.0) * gamma.sqrt());
+        let norm =
+            2.0f64.sqrt() / (rl.powf(l as f64 + (4.0 * i as f64 - 1.0) / 2.0) * gamma.sqrt());
         norm * r.powi(n as i32) * (-0.5 * (r / rl) * (r / rl)).exp()
     }
 }
@@ -140,10 +140,7 @@ mod tests {
                         let v = p.projector_radial(i, l, rl, r);
                         v * v * r * r
                     });
-                    assert!(
-                        (norm - 1.0).abs() < 1e-8,
-                        "{sp:?} l={l} i={i} norm={norm}"
-                    );
+                    assert!((norm - 1.0).abs() < 1e-8, "{sp:?} l={l} i={i} norm={norm}");
                 }
             }
         }
@@ -160,12 +157,19 @@ mod tests {
         for g in [0.5f64, 1.0, 2.0, 4.0] {
             // numeric FT of the Gaussian-polynomial part only
             let short = |r: f64| {
-                p.v_loc_real(r) + p.z_ion * pt_num::erf(r / (2.0f64.sqrt() * p.r_loc)) / r.max(1e-12)
+                p.v_loc_real(r)
+                    + p.z_ion * pt_num::erf(r / (2.0f64.sqrt() * p.r_loc)) / r.max(1e-12)
             };
             let num = 4.0 * std::f64::consts::PI / g
-                * simpson(25.0, |r| if r < 1e-9 { 0.0 } else { (g * r).sin() * r * short(r) });
-            let coulomb_ft =
-                -4.0 * std::f64::consts::PI * p.z_ion / (g * g) * (-0.5 * (g * p.r_loc).powi(2)).exp();
+                * simpson(25.0, |r| {
+                    if r < 1e-9 {
+                        0.0
+                    } else {
+                        (g * r).sin() * r * short(r)
+                    }
+                });
+            let coulomb_ft = -4.0 * std::f64::consts::PI * p.z_ion / (g * g)
+                * (-0.5 * (g * p.r_loc).powi(2)).exp();
             let want = p.v_loc_g(g);
             let got = num + coulomb_ft;
             assert!(
@@ -181,12 +185,18 @@ mod tests {
         let num = 4.0
             * std::f64::consts::PI
             * simpson(25.0, |r| {
-                let vpz = p.v_loc_real(r) + p.z_ion * pt_num::erf(r / (2.0f64.sqrt() * p.r_loc)) / r.max(1e-12);
+                let vpz = p.v_loc_real(r)
+                    + p.z_ion * pt_num::erf(r / (2.0f64.sqrt() * p.r_loc)) / r.max(1e-12);
                 // add back the long-range tail difference: erf→1 beyond ~5 r_loc
-                let tail = p.z_ion * (1.0 - pt_num::erf(r / (2.0f64.sqrt() * p.r_loc))) / r.max(1e-12);
+                let tail =
+                    p.z_ion * (1.0 - pt_num::erf(r / (2.0f64.sqrt() * p.r_loc))) / r.max(1e-12);
                 (vpz + tail) * r * r
             });
-        assert!((num - p.v_loc_g0()).abs() < 1e-6, "{num} vs {}", p.v_loc_g0());
+        assert!(
+            (num - p.v_loc_g0()).abs() < 1e-6,
+            "{num} vs {}",
+            p.v_loc_g0()
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl LocalPotential {
             }
             *c = acc;
         }
-        LocalPotential { coeffs, alpha_z_total: alpha_total }
+        LocalPotential {
+            coeffs,
+            alpha_z_total: alpha_total,
+        }
     }
 }
 
@@ -90,7 +93,10 @@ mod tests {
         let cell = pt_lattice::Cell::cubic(l);
         let s = Structure {
             cell,
-            atoms: vec![Atom { species: Species::Si, frac: [0.3, 0.5, 0.6] }],
+            atoms: vec![Atom {
+                species: Species::Si,
+                frac: [0.3, 0.5, 0.6],
+            }],
         };
         // r_loc = 0.44 bohr: the Gaussian's Fourier tail needs E_cut ≈ 100
         // for 1e-5 pointwise convergence of the real-space values
@@ -159,7 +165,10 @@ mod tests {
         let cell = pt_lattice::Cell::cubic(12.0);
         let s = Structure {
             cell,
-            atoms: vec![Atom { species: Species::H, frac: [0.5, 0.5, 0.5] }],
+            atoms: vec![Atom {
+                species: Species::H,
+                frac: [0.5, 0.5, 0.5],
+            }],
         };
         let dims = fft_dims_for_cutoff(&s.cell, 30.0);
         let grid = GridGVectors::new(&s.cell, dims);

@@ -104,7 +104,8 @@ impl NonlocalPs {
                             } else {
                                 2.0
                             };
-                            s += w * params.projector_radial(i, l, rl, r)
+                            s += w
+                                * params.projector_radial(i, l, rl, r)
                                 * sph_bessel(l, g * r)
                                 * r
                                 * r;
@@ -121,17 +122,14 @@ impl NonlocalPs {
                         2 => -c64::ONE,
                         _ => c64::I,
                     };
-                    for (k, (&g2, gv)) in
-                        sphere.g2.iter().zip(&sphere.g_cart).enumerate()
-                    {
+                    for (k, (&g2, gv)) in sphere.g2.iter().zip(&sphere.g_cart).enumerate() {
                         let g = g2.sqrt();
                         let ghat = if g > 1e-12 {
                             [gv[0] / g, gv[1] / g, gv[2] / g]
                         } else {
                             [0.0, 0.0, 0.0]
                         };
-                        let phase =
-                            c64::cis(-(gv[0] * tau[0] + gv[1] * tau[1] + gv[2] * tau[2]));
+                        let phase = c64::cis(-(gv[0] * tau[0] + gv[1] * tau[1] + gv[2] * tau[2]));
                         for (m, beta) in betas.iter_mut().enumerate() {
                             let y = if g > 1e-12 {
                                 real_ylm(l, m, ghat)
@@ -144,7 +142,12 @@ impl NonlocalPs {
                         }
                     }
                     for beta in betas {
-                        projectors.push(Projector { beta, h, atom: ia, l });
+                        projectors.push(Projector {
+                            beta,
+                            h,
+                            atom: ia,
+                            l,
+                        });
                     }
                 }
             }
@@ -223,22 +226,18 @@ mod tests {
     #[test]
     fn ylm_orthonormal_on_lebedev_like_grid() {
         // crude check: average of Y·Y' over many random directions ≈ δ/4π
-        let mut s = 12345u64;
-        let mut rnd = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
+        let mut rng = pt_num::rng::XorShift64::new(12345u64);
         let dirs: Vec<[f64; 3]> = (0..200_000)
-            .map(|_| {
-                loop {
-                    let v = [rnd(), rnd(), rnd()];
-                    let n2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
-                    if n2 > 1e-4 && n2 < 0.25 {
-                        let n = n2.sqrt();
-                        return [v[0] / n, v[1] / n, v[2] / n];
-                    }
+            .map(|_| loop {
+                let v = [
+                    rng.next_centered(),
+                    rng.next_centered(),
+                    rng.next_centered(),
+                ];
+                let n2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+                if n2 > 1e-4 && n2 < 0.25 {
+                    let n = n2.sqrt();
+                    return [v[0] / n, v[1] / n, v[2] / n];
                 }
             })
             .collect();
@@ -250,7 +249,11 @@ mod tests {
                     .map(|&d| real_ylm(la, ma, d) * real_ylm(lb, mb, d))
                     .sum::<f64>()
                     / dirs.len() as f64;
-                let want = if a == b { 1.0 / (4.0 * std::f64::consts::PI) } else { 0.0 };
+                let want = if a == b {
+                    1.0 / (4.0 * std::f64::consts::PI)
+                } else {
+                    0.0
+                };
                 assert!((avg - want).abs() < 4e-3, "({la}{ma})({lb}{mb}) avg={avg}");
             }
         }
@@ -268,7 +271,13 @@ mod tests {
             let mut s = 0.0;
             for k in 0..=n {
                 let r = k as f64 * h;
-                let w = if k == 0 || k == n { 1.0 } else if k % 2 == 1 { 4.0 } else { 2.0 };
+                let w = if k == 0 || k == n {
+                    1.0
+                } else if k % 2 == 1 {
+                    4.0
+                } else {
+                    2.0
+                };
                 s += w * p.projector_radial(1, l, rl, r) * sph_bessel(l, g * r) * r * r;
             }
             4.0 * std::f64::consts::PI * s * h / 3.0
@@ -280,7 +289,13 @@ mod tests {
         let mut s = 0.0;
         for k in 0..=n {
             let g = k as f64 * h;
-            let w = if k == 0 || k == n { 1.0 } else if k % 2 == 1 { 4.0 } else { 2.0 };
+            let w = if k == 0 || k == n {
+                1.0
+            } else if k % 2 == 1 {
+                4.0
+            } else {
+                2.0
+            };
             let v = radial_ft(g);
             s += w * v * v * g * g;
         }
@@ -299,15 +314,13 @@ mod tests {
         assert_eq!(nl.projectors.len(), 40);
         let ng = sphere.len();
         // Hermiticity: ⟨a|V b⟩ = ⟨V a|b⟩ for random vectors
-        let mut seed = 7u64;
-        let mut rnd = move || {
-            seed ^= seed << 13;
-            seed ^= seed >> 7;
-            seed ^= seed << 17;
-            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let a: Vec<c64> = (0..ng).map(|_| c64::new(rnd(), rnd())).collect();
-        let b: Vec<c64> = (0..ng).map(|_| c64::new(rnd(), rnd())).collect();
+        let mut rng = pt_num::rng::XorShift64::new(7u64);
+        let a: Vec<c64> = (0..ng)
+            .map(|_| c64::new(rng.next_centered(), rng.next_centered()))
+            .collect();
+        let b: Vec<c64> = (0..ng)
+            .map(|_| c64::new(rng.next_centered(), rng.next_centered()))
+            .collect();
         let mut va = vec![c64::ZERO; ng];
         let mut vb = vec![c64::ZERO; ng];
         nl.apply(&a, &mut va);
@@ -325,14 +338,10 @@ mod tests {
         let nl = NonlocalPs::new(&s, &sphere);
         let ng = sphere.len();
         let nb = 3;
-        let mut seed = 99u64;
-        let mut rnd = move || {
-            seed ^= seed << 13;
-            seed ^= seed >> 7;
-            seed ^= seed << 17;
-            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let psis: Vec<c64> = (0..ng * nb).map(|_| c64::new(rnd(), rnd())).collect();
+        let mut rng = pt_num::rng::XorShift64::new(99u64);
+        let psis: Vec<c64> = (0..ng * nb)
+            .map(|_| c64::new(rng.next_centered(), rng.next_centered()))
+            .collect();
         let mut out1 = vec![c64::ZERO; ng * nb];
         nl.apply_block(&psis, &mut out1, ng);
         let mut out2 = vec![c64::ZERO; ng * nb];

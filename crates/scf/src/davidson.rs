@@ -8,7 +8,7 @@
 //! fewer numerical hazards.
 
 use pt_ham::Hamiltonian;
-use pt_linalg::{cholesky_in_place, eigh, gemm, trsm_right_lh, CMat, Op};
+use pt_linalg::{eigh, gemm, CMat, Op};
 use pt_num::c64;
 
 /// Solver options.
@@ -22,7 +22,10 @@ pub struct DavidsonOptions {
 
 impl Default for DavidsonOptions {
     fn default() -> Self {
-        DavidsonOptions { max_iter: 40, tol: 1e-7 }
+        DavidsonOptions {
+            max_iter: 40,
+            tol: 1e-7,
+        }
     }
 }
 
@@ -47,18 +50,10 @@ pub fn teter_preconditioner(kin: f64, e_kin_band: f64) -> f64 {
     num / (num + 16.0 * x3 * x)
 }
 
-/// Orthonormalize the columns of `x` in place (Cholesky factorization of
-/// the overlap; falls back to a tiny diagonal shift on near-dependence).
+/// Orthonormalize the columns of `x` in place; the tiny diagonal shift
+/// keeps nearly linearly dependent residual blocks factorable.
 fn orthonormalize(x: &mut CMat) {
-    let n = x.ncols();
-    let mut s = CMat::zeros(n, n);
-    gemm(c64::ONE, x, Op::ConjTrans, x, Op::None, c64::ZERO, &mut s);
-    for i in 0..n {
-        s[(i, i)] += c64::real(1e-12);
-    }
-    let mut l = s;
-    cholesky_in_place(&mut l);
-    trsm_right_lh(x, &l);
+    pt_linalg::orthonormalize_columns(x, 1e-12);
 }
 
 /// Canonical orthonormalization: returns `x · V · λ^{-1/2}` keeping only
@@ -112,6 +107,7 @@ pub fn lowest_eigenpairs(h: &Hamiltonian, x: &mut CMat, opts: DavidsonOptions) -
         // residuals R = HX − Xλ, preconditioned expansion W
         let mut wblk = CMat::zeros(ng, nb);
         resid = 0.0f64;
+        #[allow(clippy::needless_range_loop)] // j indexes x, hxr, w and wblk together
         for j in 0..nb {
             // band kinetic energy for the Teter scale, floored so that
             // near-zero-kinetic bands (the G = 0 state) are not crushed
@@ -146,7 +142,15 @@ pub fn lowest_eigenpairs(h: &Hamiltonian, x: &mut CMat, opts: DavidsonOptions) -
         // project W against X, then canonically orthonormalize (dropping
         // the noise directions of already-converged bands)
         let mut xtw = CMat::zeros(nb, wblk.ncols());
-        gemm(c64::ONE, x, Op::ConjTrans, &wblk, Op::None, c64::ZERO, &mut xtw);
+        gemm(
+            c64::ONE,
+            x,
+            Op::ConjTrans,
+            &wblk,
+            Op::None,
+            c64::ZERO,
+            &mut xtw,
+        );
         gemm(-c64::ONE, x, Op::None, &xtw, Op::None, c64::ONE, &mut wblk);
         let wkeep = canonical_orthonormalize(&wblk, 1e-10);
         if wkeep.ncols() == 0 {
@@ -172,7 +176,15 @@ pub fn lowest_eigenpairs(h: &Hamiltonian, x: &mut CMat, opts: DavidsonOptions) -
         let mut hsub = CMat::zeros(ng, m);
         h.apply_block(&sub, &mut hsub);
         let mut ssub = CMat::zeros(m, m);
-        gemm(c64::ONE, &sub, Op::ConjTrans, &hsub, Op::None, c64::ZERO, &mut ssub);
+        gemm(
+            c64::ONE,
+            &sub,
+            Op::ConjTrans,
+            &hsub,
+            Op::None,
+            c64::ZERO,
+            &mut ssub,
+        );
         let (w2, v2) = eigh(&ssub);
         // keep lowest nb
         let mut vkeep = CMat::zeros(m, nb);
@@ -181,11 +193,23 @@ pub fn lowest_eigenpairs(h: &Hamiltonian, x: &mut CMat, opts: DavidsonOptions) -
             vkeep.col_mut(j).copy_from_slice(&src);
         }
         let mut xnew = CMat::zeros(ng, nb);
-        gemm(c64::ONE, &sub, Op::None, &vkeep, Op::None, c64::ZERO, &mut xnew);
+        gemm(
+            c64::ONE,
+            &sub,
+            Op::None,
+            &vkeep,
+            Op::None,
+            c64::ZERO,
+            &mut xnew,
+        );
         *x = xnew;
         evals.copy_from_slice(&w2[..nb]);
     }
-    DavidsonResult { eigenvalues: evals, residual: resid, iterations }
+    DavidsonResult {
+        eigenvalues: evals,
+        residual: resid,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -209,7 +233,11 @@ mod tests {
     #[test]
     fn free_electron_bands() {
         let s = silicon_cubic_supercell(1, 1, 1);
-        let sys = KsSystem::new(s.clone(), 2.0, XcKind::Lda, None);
+        let sys = KsSystem::builder(s.clone())
+            .ecut(2.0)
+            .xc(XcKind::Lda)
+            .build()
+            .unwrap();
         let grids: &Arc<PwGrids> = &sys.grids;
         // zero-potential Hamiltonian, no nonlocal: build via struct
         let h = pt_ham::Hamiltonian {
@@ -222,18 +250,22 @@ mod tests {
         let nb = 5;
         let ng = grids.ng();
         // random initial guess
-        let mut seed = 1u64;
-        let mut rnd = move || {
-            seed ^= seed << 13;
-            seed ^= seed >> 7;
-            seed ^= seed << 17;
-            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let mut x = CMat::from_fn(ng, nb, |_, _| c64::new(rnd(), rnd()));
-        let r = lowest_eigenpairs(&h, &mut x, DavidsonOptions { max_iter: 60, tol: 1e-9 });
+        let mut rng = pt_num::rng::XorShift64::new(1);
+        let mut x = CMat::from_fn(ng, nb, |_, _| {
+            c64::new(rng.next_centered(), rng.next_centered())
+        });
+        let r = lowest_eigenpairs(
+            &h,
+            &mut x,
+            DavidsonOptions {
+                max_iter: 60,
+                tol: 1e-9,
+            },
+        );
         // exact: sphere g2 sorted ascending; lowest nb values of ½|G|²
         let mut kin: Vec<f64> = grids.sphere.g2.iter().map(|g| 0.5 * g).collect();
         kin.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        #[allow(clippy::needless_range_loop)] // j indexes eigenvalues and kin together
         for j in 0..nb {
             assert!(
                 (r.eigenvalues[j] - kin[j]).abs() < 1e-7,
@@ -250,7 +282,11 @@ mod tests {
     #[test]
     fn weak_potential_lowers_ground_state() {
         let s = silicon_cubic_supercell(1, 1, 1);
-        let sys = KsSystem::new(s.clone(), 2.0, XcKind::Lda, None);
+        let sys = KsSystem::builder(s.clone())
+            .ecut(2.0)
+            .xc(XcKind::Lda)
+            .build()
+            .unwrap();
         let grids = &sys.grids;
         let (n1, _n2, _n3) = grids.fft_dense.dims();
         let vloc: Vec<f64> = (0..grids.n_dense())
@@ -267,9 +303,23 @@ mod tests {
             a_field: [0.0; 3],
         };
         let mut x = CMat::from_fn(grids.ng(), 2, |i, j| {
-            c64::new(((i * 7 + j * 13) % 17) as f64 - 8.0, ((i * 3 + j) % 11) as f64 - 5.0)
+            c64::new(
+                ((i * 7 + j * 13) % 17) as f64 - 8.0,
+                ((i * 3 + j) % 11) as f64 - 5.0,
+            )
         });
-        let r = lowest_eigenpairs(&h, &mut x, DavidsonOptions { max_iter: 60, tol: 1e-8 });
-        assert!(r.eigenvalues[0] < -1e-4, "E0 = {} should be < 0", r.eigenvalues[0]);
+        let r = lowest_eigenpairs(
+            &h,
+            &mut x,
+            DavidsonOptions {
+                max_iter: 60,
+                tol: 1e-8,
+            },
+        );
+        assert!(
+            r.eigenvalues[0] < -1e-4,
+            "E0 = {} should be < 0",
+            r.eigenvalues[0]
+        );
     }
 }

@@ -3,9 +3,10 @@
 
 use crate::davidson::{lowest_eigenpairs, DavidsonOptions};
 use crate::mixing::AndersonMixer;
-use pt_ham::{Energies, KsSystem};
+use pt_ham::{density_residual, Energies, KsSystem, PtError};
 use pt_linalg::CMat;
 use pt_num::c64;
+use pt_num::rng::XorShift64;
 
 /// SCF options.
 #[derive(Clone, Copy, Debug)]
@@ -30,7 +31,10 @@ impl Default for ScfOptions {
             rho_tol: 1e-6,
             max_scf: 60,
             max_phi_updates: 8,
-            davidson: DavidsonOptions { max_iter: 12, tol: 1e-8 },
+            davidson: DavidsonOptions {
+                max_iter: 12,
+                tol: 1e-8,
+            },
             mix_depth: 6,
             mix_beta: 0.5,
         }
@@ -58,21 +62,47 @@ fn initial_orbitals(sys: &KsSystem) -> CMat {
     // break degeneracies
     let ng = sys.grids.ng();
     let nb = sys.n_bands();
-    let mut seed = 0x5EED_5EEDu64;
-    let mut rnd = move || {
-        seed ^= seed << 13;
-        seed ^= seed >> 7;
-        seed ^= seed << 17;
-        (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-    };
+    let mut rng = XorShift64::new(0x5EED_5EED);
     CMat::from_fn(ng, nb, |i, j| {
         let base = if i == j { 1.0 } else { 0.0 };
-        c64::new(base + 0.01 * rnd(), 0.01 * rnd())
+        c64::new(
+            base + 0.01 * rng.next_centered(),
+            0.01 * rng.next_centered(),
+        )
     })
 }
 
-/// Run the ground-state SCF for `sys`.
-pub fn scf_loop(sys: &KsSystem, opts: ScfOptions) -> ScfResult {
+/// Run the ground-state SCF for `sys`. A run that exhausts its iteration
+/// budget above `opts.rho_tol` returns [`PtError::NotConverged`].
+pub fn scf_loop(sys: &KsSystem, opts: ScfOptions) -> Result<ScfResult, PtError> {
+    if !opts.rho_tol.is_finite() || opts.rho_tol <= 0.0 {
+        return Err(PtError::InvalidConfig(format!(
+            "SCF density tolerance must be positive and finite, got {}",
+            opts.rho_tol
+        )));
+    }
+    if opts.max_scf == 0 {
+        return Err(PtError::InvalidConfig("max_scf must be at least 1".into()));
+    }
+    if sys.hybrid.is_some() && opts.max_phi_updates < 2 {
+        // cycle 0 is the semi-local bootstrap; exact exchange only enters
+        // from the first Φ refresh onward
+        return Err(PtError::InvalidConfig(format!(
+            "hybrid SCF needs max_phi_updates >= 2 (cycle 0 bootstraps without exchange), got {}",
+            opts.max_phi_updates
+        )));
+    }
+    if opts.mix_depth == 0 {
+        return Err(PtError::InvalidConfig(
+            "Anderson mixing depth must be at least 1".into(),
+        ));
+    }
+    if !opts.mix_beta.is_finite() {
+        return Err(PtError::InvalidConfig(format!(
+            "mixing parameter beta must be finite, got {}",
+            opts.mix_beta
+        )));
+    }
     let nd = sys.grids.n_dense();
     let ne: f64 = sys.occupations.iter().sum();
     // neutral uniform start
@@ -81,37 +111,37 @@ pub fn scf_loop(sys: &KsSystem, opts: ScfOptions) -> ScfResult {
     let mut eigenvalues = vec![0.0; sys.n_bands()];
     let mut total_iters = 0;
     let mut rho_residual = f64::INFINITY;
+    let mut converged = false;
     let dv = sys.grids.volume / nd as f64;
 
-    let phi_cycles = if sys.hybrid.is_some() { opts.max_phi_updates } else { 1 };
+    let phi_cycles = if sys.hybrid.is_some() {
+        opts.max_phi_updates
+    } else {
+        1
+    };
     for cycle in 0..phi_cycles {
         // freeze Φ for the exchange operator (hybrid only). On the first
         // cycle bootstrap from a semi-local pass by passing None.
-        let phi_frozen: Option<CMat> =
-            if sys.hybrid.is_some() && cycle > 0 { Some(orbitals.clone()) } else { None };
+        let phi_frozen: Option<CMat> = if sys.hybrid.is_some() && cycle > 0 {
+            Some(orbitals.clone())
+        } else {
+            None
+        };
         let hybrid_active = phi_frozen.is_some();
         let mut mixer = AndersonMixer::new(opts.mix_depth, opts.mix_beta);
-        let mut converged = false;
+        converged = false;
         for _ in 0..opts.max_scf {
             total_iters += 1;
             let h = if hybrid_active {
-                sys.hamiltonian(&rho, phi_frozen.as_ref(), [0.0; 3])
+                sys.hamiltonian(&rho, phi_frozen.as_ref(), [0.0; 3])?
             } else {
                 // semi-local bootstrap Hamiltonian
-                let mut sys_sl = sys;
-                let _ = &mut sys_sl;
                 semi_local_hamiltonian(sys, &rho)
             };
             let r = lowest_eigenpairs(&h, &mut orbitals, opts.davidson);
             eigenvalues.copy_from_slice(&r.eigenvalues);
             let rho_new = sys.density(&orbitals);
-            rho_residual = rho_new
-                .iter()
-                .zip(&rho)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max)
-                * dv
-                * nd as f64;
+            rho_residual = density_residual(&rho_new, &rho, sys.grids.volume);
             if rho_residual < opts.rho_tol {
                 rho = rho_new;
                 converged = true;
@@ -139,26 +169,28 @@ pub fn scf_loop(sys: &KsSystem, opts: ScfOptions) -> ScfResult {
             // quick stationarity check: one more Φ refresh happens anyway;
             // stop when the refreshed density is already consistent
             let rho_chk = sys.density(&orbitals);
-            let d = rho_chk
-                .iter()
-                .zip(&rho)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max)
-                * sys.grids.volume;
-            if d < opts.rho_tol * 10.0 {
+            if density_residual(&rho_chk, &rho, sys.grids.volume) < opts.rho_tol * 10.0 {
                 break;
             }
         }
     }
+    if !converged {
+        return Err(PtError::NotConverged {
+            context: "ground-state SCF",
+            residual: rho_residual,
+            tol: opts.rho_tol,
+            iterations: total_iters,
+        });
+    }
     let energies = sys.energies(&orbitals, &rho, [0.0; 3]);
-    ScfResult {
+    Ok(ScfResult {
         orbitals,
         eigenvalues,
         rho,
         energies,
         scf_iterations: total_iters,
         rho_residual,
-    }
+    })
 }
 
 /// A Hamiltonian with the hybrid part switched off (semi-local bootstrap).
@@ -182,8 +214,12 @@ mod tests {
     #[test]
     fn lda_si8_converges_and_is_insulating() {
         let s = silicon_cubic_supercell(1, 1, 1);
-        let sys = pt_ham::KsSystem::new(s, 3.0, XcKind::Lda, None);
-        let r = scf_loop(&sys, ScfOptions::default());
+        let sys = pt_ham::KsSystem::builder(s)
+            .ecut(3.0)
+            .xc(XcKind::Lda)
+            .build()
+            .unwrap();
+        let r = scf_loop(&sys, ScfOptions::default()).expect("SCF converges");
         assert!(r.rho_residual < 1e-6, "residual {}", r.rho_residual);
         // density integrates to 32 electrons
         let q: f64 = r.rho.iter().sum::<f64>() * sys.grids.volume / sys.grids.n_dense() as f64;
@@ -209,5 +245,56 @@ mod tests {
             &mut s,
         );
         assert!(s.max_diff(&pt_linalg::CMat::eye(16)) < 1e-8);
+    }
+
+    #[test]
+    fn hybrid_scf_rejects_too_few_phi_updates() {
+        // with max_phi_updates < 2 only the semi-local bootstrap cycle runs
+        // and the "hybrid" result never saw exact exchange
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let sys = pt_ham::KsSystem::builder(s)
+            .ecut(2.0)
+            .hybrid(pt_ham::HybridConfig::hse06())
+            .build()
+            .unwrap();
+        for max_phi_updates in [0, 1] {
+            let o = ScfOptions {
+                max_phi_updates,
+                ..Default::default()
+            };
+            assert!(matches!(
+                scf_loop(&sys, o).map(|r| r.rho_residual),
+                Err(PtError::InvalidConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn starved_scf_returns_not_converged() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let sys = pt_ham::KsSystem::builder(s)
+            .ecut(2.0)
+            .xc(XcKind::Lda)
+            .build()
+            .unwrap();
+        let o = ScfOptions {
+            max_scf: 1,
+            rho_tol: 1e-14,
+            ..Default::default()
+        };
+        match scf_loop(&sys, o) {
+            Err(PtError::NotConverged {
+                context,
+                iterations,
+                ..
+            }) => {
+                assert_eq!(context, "ground-state SCF");
+                assert_eq!(iterations, 1);
+            }
+            other => panic!(
+                "expected NotConverged, got {:?}",
+                other.map(|r| r.rho_residual)
+            ),
+        }
     }
 }

@@ -17,8 +17,8 @@
 //!   see `pt-core`'s ablation).
 
 mod davidson;
-mod mixing;
 mod driver;
+mod mixing;
 
 pub use davidson::{lowest_eigenpairs, teter_preconditioner, DavidsonOptions, DavidsonResult};
 pub use driver::{scf_loop, ScfOptions, ScfResult};

@@ -19,7 +19,12 @@ impl AndersonMixer {
     /// `depth` = history size (m), `beta` = underlying linear-mixing step.
     pub fn new(depth: usize, beta: f64) -> Self {
         assert!(depth >= 1);
-        AndersonMixer { depth, beta, xs: Vec::new(), fs: Vec::new() }
+        AndersonMixer {
+            depth,
+            beta,
+            xs: Vec::new(),
+            fs: Vec::new(),
+        }
     }
 
     /// History currently stored.
@@ -115,7 +120,10 @@ mod tests {
         }
         let it = it_converged.expect("did not converge");
         // 4 distinct rates → Anderson needs only a handful of iterations
-        assert!(it <= 20, "took {it} iterations (linear mixing alone needs ~250)");
+        assert!(
+            it <= 20,
+            "took {it} iterations (linear mixing alone needs ~250)"
+        );
         for (a, b) in x.iter().zip(&xstar) {
             assert!((a - b).abs() < 1e-10);
         }

@@ -1,0 +1,174 @@
+//! Minimal offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no network access, so this shim supplies the
+//! small API subset the workspace benches use (`criterion_group!` /
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups with
+//! `sample_size`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`). It
+//! runs each closure a fixed number of timed iterations with
+//! `std::time::Instant` and prints `name: median time` — enough to keep
+//! `cargo bench` compiling, running, and producing readable numbers,
+//! without statistical analysis or HTML reports.
+
+use std::time::Instant;
+
+/// Identifier for a parameterized benchmark (`group/function/param`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("function", parameter)`.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Drives the timed closure.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample wall-clock times (seconds).
+    times: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f` over `samples` runs, recording each run's duration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // one warm-up run, not recorded
+        std::hint::black_box(f());
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.times.push(t.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn report(name: &str, times: &mut [f64]) {
+    if times.is_empty() {
+        return;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = times[times.len() / 2];
+    let (value, unit) = if median >= 1.0 {
+        (median, "s")
+    } else if median >= 1e-3 {
+        (median * 1e3, "ms")
+    } else if median >= 1e-6 {
+        (median * 1e6, "µs")
+    } else {
+        (median * 1e9, "ns")
+    };
+    println!(
+        "{name:<40} {value:>10.3} {unit}  (median of {})",
+        times.len()
+    );
+}
+
+/// A named group of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut b.times);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            times: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), &mut b.times);
+        self
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples,
+            _parent: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &mut b.times);
+        self
+    }
+}
+
+/// Re-export matching criterion's `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Define a benchmark group function running each listed bench fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main()` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,94 @@
+//! Offline stand-in for [crossbeam](https://crates.io/crates/crossbeam),
+//! backed entirely by `std`.
+//!
+//! The build environment has no network access; this shim provides the two
+//! pieces the virtual-MPI crate uses, with matching semantics:
+//!
+//! * [`channel::unbounded`] — `std::sync::mpsc` channels (unbounded, same
+//!   `send`/`recv` Result API);
+//! * [`thread::scope`] — `std::thread::scope` wrapped in crossbeam's
+//!   `Result`-returning signature, with `Scope::spawn` closures receiving
+//!   the scope handle as their argument.
+
+/// Unbounded MPMC-ish channels (std's mpsc is MPSC, which is all the
+/// virtual-MPI runtime needs: every rank owns its receiver).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// Scoped threads in crossbeam's API shape over `std::thread::scope`.
+pub mod thread {
+    /// Handle for spawning scoped threads; `Copy` so it can be handed to
+    /// child closures.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread; `Err` carries the child's panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to `'env`; the closure receives the scope
+        /// handle (crossbeam convention), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me: Scope<'scope, 'env> = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&me)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Unlike crossbeam, an unjoined child panic propagates
+    /// as a panic (std semantics) rather than an `Err` — the workspace
+    /// joins every handle explicitly, so the difference is unobservable.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn channels_deliver_in_order() {
+        let (tx, rx) = crate::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+}

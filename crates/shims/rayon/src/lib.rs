@@ -1,0 +1,196 @@
+//! Sequential stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors this drop-in shim instead of the real crate. It
+//! implements — with identical *semantics*, minus the parallelism — exactly
+//! the subset of rayon's parallel-iterator API that the pwdft-rt crates
+//! use:
+//!
+//! * `(a..b).into_par_iter()`, `slice.par_iter()`, `slice.par_chunks(n)`,
+//!   `slice.par_chunks_mut(n)`;
+//! * adaptors `map`, `zip`, `enumerate`;
+//! * consumers `for_each`, `for_each_init`, `collect`, `sum`, and the
+//!   rayon-style `fold(init, f)` → `reduce(identity, op)` pair.
+//!
+//! Because execution is sequential, `fold` produces a single accumulator
+//! and `reduce` simply folds it into the identity — numerically this is one
+//! valid rayon schedule (the one-thread one), so results are bit-identical
+//! to `rayon` with `RAYON_NUM_THREADS=1`.
+//!
+//! To restore real parallelism, delete the `rayon` entry from
+//! `[workspace.dependencies]` in the workspace `Cargo.toml` and depend on
+//! crates.io `rayon = "1"` instead; no source changes are needed.
+
+/// The rayon prelude: import all iterator extension traits.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// A "parallel" iterator — here a thin wrapper over a sequential one.
+pub struct ParIter<I>(I);
+
+/// Marker/extension trait mirroring `rayon::iter::ParallelIterator`.
+///
+/// The shim exposes the adaptors as inherent methods on [`ParIter`]; this
+/// trait exists so `use rayon::prelude::*` keeps importing a name of the
+/// same shape as the real crate.
+pub trait ParallelIterator {}
+impl<I: Iterator> ParallelIterator for ParIter<I> {}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// The wrapped sequential iterator type.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Convert into a (sequential) "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type SeqIter = C::IntoIter;
+    type Item = C::Item;
+    fn into_par_iter(self) -> ParIter<C::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for `rayon`'s `par_iter`.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Sequential stand-in for `rayon`'s `par_chunks`.
+    fn par_chunks(&self, chunk: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+    fn par_chunks(&self, chunk: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk))
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk))
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each item.
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Pair with a second parallel iterator.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// Attach indices.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Consume with a side-effecting closure.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// rayon's `for_each_init`: the init value is created once per worker —
+    /// sequentially, exactly once, reused across all items.
+    pub fn for_each_init<T, Init, F>(self, mut init: Init, mut f: F)
+    where
+        Init: FnMut() -> T,
+        F: FnMut(&mut T, I::Item),
+    {
+        let mut state = init();
+        self.0.for_each(|item| f(&mut state, item));
+    }
+
+    /// rayon's splittable `fold`: yields one accumulator per worker chunk.
+    /// Sequentially there is one chunk, hence one accumulator.
+    pub fn fold<T, Init, F>(self, mut init: Init, f: F) -> ParIter<std::iter::Once<T>>
+    where
+        Init: FnMut() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter(std::iter::once(self.0.fold(init(), f)))
+    }
+
+    /// rayon's `reduce`: combine all items starting from the identity.
+    pub fn reduce<Id, Op>(self, mut identity: Id, op: Op) -> I::Item
+    where
+        Id: FnMut() -> I::Item,
+        Op: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Collect into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sum all items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_then_reduce_matches_sequential() {
+        let v: Vec<u64> = (0..100).collect();
+        let s: u64 = v
+            .par_iter()
+            .fold(|| 0u64, |acc, &x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn chunks_mut_and_zip() {
+        let mut a = vec![0i32; 6];
+        let b = [1i32, 2, 3, 4, 5, 6];
+        a.par_chunks_mut(2)
+            .zip(b.par_chunks(2))
+            .for_each(|(ca, cb)| {
+                for (x, y) in ca.iter_mut().zip(cb) {
+                    *x = 10 * y;
+                }
+            });
+        assert_eq!(a, vec![10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn range_into_par_iter_collect() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn for_each_init_reuses_state() {
+        let mut out = Vec::new();
+        let data = [1, 2, 3];
+        data.par_iter().for_each_init(
+            || 100,
+            |state, &x| {
+                *state += x;
+                out.push(*state);
+            },
+        );
+        assert_eq!(out, vec![101, 103, 106]);
+    }
+}

@@ -48,14 +48,15 @@ pub fn lda_exc_vxc(rho: f64) -> (f64, f64) {
         return (0.0, 0.0);
     }
     let ex = eps_x_lda(rho);
-    let vx = 4.0 * THIRD * ex; // d(ρ ε_x)/dρ = (4/3) ε_x for ε_x ∝ ρ^{1/3}
+    // d(ρ ε_x)/dρ = (4/3) ε_x for ε_x ∝ ρ^{1/3}
+    let vx = 4.0 * THIRD * ex;
     // correlation derivative by 6th-order central difference of ρ·ε_c —
     // PW92's dε/d rs chain is short but this keeps one code path with PBE.
     let ec = eps_c_pw92(rho);
     let h = (rho * 1e-5).max(1e-12);
     let f = |r: f64| r * eps_c_pw92(r);
-    let vc = (-f(rho + 2.0 * h) + 8.0 * f(rho + h) - 8.0 * f(rho - h) + f(rho - 2.0 * h))
-        / (12.0 * h);
+    let vc =
+        (-f(rho + 2.0 * h) + 8.0 * f(rho + h) - 8.0 * f(rho - h) + f(rho - 2.0 * h)) / (12.0 * h);
     (ex + ec, vx + vc)
 }
 
@@ -145,7 +146,10 @@ mod tests {
             let h = rho * 1e-6;
             let f = |r: f64| r * (eps_x_lda(r) + eps_c_pw92(r));
             let num = (f(rho + h) - f(rho - h)) / (2.0 * h);
-            assert!((v - num).abs() < 1e-6 * (1.0 + v.abs()), "rho={rho}: {v} vs {num}");
+            assert!(
+                (v - num).abs() < 1e-6 * (1.0 + v.abs()),
+                "rho={rho}: {v} vs {num}"
+            );
         }
     }
 
@@ -166,7 +170,10 @@ mod tests {
         let ex_lda = eps_x_lda(rho);
         let huge = pbe_exc(rho, 1e6) - eps_c_pw92(rho) /* h→ −ec cancels ec */;
         // at huge σ, H → −ε_c so correlation ≈ 0 and exchange saturates
-        assert!(huge < ex_lda, "enhancement must deepen exchange: {huge} vs {ex_lda}");
+        assert!(
+            huge < ex_lda,
+            "enhancement must deepen exchange: {huge} vs {ex_lda}"
+        );
         assert!(huge > ex_lda * (1.0 + 0.804) - 1e-6, "bounded by 1+κ");
     }
 
@@ -190,12 +197,13 @@ mod tests {
         // gradient correction H ≥ 0 reduces |ε_c|
         let rho = 0.3;
         let ec0 = pbe_exc(rho, 0.0) - eps_x_lda(rho) * 1.0; // F(0)=1
-        let ec1 = pbe_exc(rho, 0.5) - eps_x_lda(rho) * {
-            let pi = std::f64::consts::PI;
-            let kf = (3.0 * pi * pi * rho).powf(1.0 / 3.0);
-            let s2 = 0.5 / (4.0 * kf * kf * rho * rho);
-            1.0 + 0.804 - 0.804 / (1.0 + 0.219_514_972_764_517_1 * s2 / 0.804)
-        };
+        let ec1 = pbe_exc(rho, 0.5)
+            - eps_x_lda(rho) * {
+                let pi = std::f64::consts::PI;
+                let kf = (3.0 * pi * pi * rho).powf(1.0 / 3.0);
+                let s2 = 0.5 / (4.0 * kf * kf * rho * rho);
+                1.0 + 0.804 - 0.804 / (1.0 + 0.219_514_972_764_517_1 * s2 / 0.804)
+            };
         assert!(ec1 > ec0, "H must raise ε_c: {ec1} vs {ec0}");
     }
 }

@@ -21,7 +21,12 @@ impl XcGridEvaluator {
     /// Create an evaluator for `kind` on the density grid described by `g`.
     pub fn new(kind: XcKind, g: GridGVectors, volume: f64) -> Self {
         let (n1, n2, n3) = g.dims;
-        XcGridEvaluator { kind, fft: Fft3::new(n1, n2, n3), g, volume }
+        XcGridEvaluator {
+            kind,
+            fft: Fft3::new(n1, n2, n3),
+            g,
+            volume,
+        }
     }
 
     /// Which functional this evaluator computes.
@@ -35,14 +40,14 @@ impl XcGridEvaluator {
         let mut fg: Vec<c64> = field.iter().map(|&v| c64::real(v)).collect();
         self.fft.forward(&mut fg);
         let mut out = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
-        for d in 0..3 {
+        for (d, od) in out.iter_mut().enumerate() {
             let mut tmp: Vec<c64> = fg
                 .iter()
                 .enumerate()
                 .map(|(idx, &v)| v.mul_i().scale(self.g.g_cart[idx][d]))
                 .collect();
             self.fft.inverse(&mut tmp);
-            for (o, z) in out[d].iter_mut().zip(&tmp) {
+            for (o, z) in od.iter_mut().zip(&tmp) {
                 *o = z.re;
             }
         }
@@ -87,9 +92,8 @@ impl XcGridEvaluator {
                 let mut w = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
                 for i in 0..n {
                     let r = rho[i].max(0.0);
-                    let sigma = grad[0][i] * grad[0][i]
-                        + grad[1][i] * grad[1][i]
-                        + grad[2][i] * grad[2][i];
+                    let sigma =
+                        grad[0][i] * grad[0][i] + grad[1][i] * grad[1][i] + grad[2][i] * grad[2][i];
                     e += r * pbe_exc(r, sigma);
                     let (dr, ds) = pbe_derivatives(r, sigma);
                     dfdr[i] = dr;

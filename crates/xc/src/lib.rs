@@ -3,9 +3,9 @@
 //! HSE06 (the paper's functional) is PBE plus 25 % short-range exact
 //! exchange. This crate provides the semi-local side: LDA (Slater exchange
 //! + PW92 correlation) and PBE (spin-unpolarized), evaluated on the real-
-//! space density grid, plus the White–Bird-style construction of the GGA
-//! potential `v_xc = ∂f/∂ρ − ∇·(2 ∂f/∂σ ∇ρ)` using G-space derivatives
-//! (σ = |∇ρ|²). The short-range Fock part lives in `pt-ham`.
+//!   space density grid, plus the White–Bird-style construction of the GGA
+//!   potential `v_xc = ∂f/∂ρ − ∇·(2 ∂f/∂σ ∇ρ)` using G-space derivatives
+//!   (σ = |∇ρ|²). The short-range Fock part lives in `pt-ham`.
 //!
 //! Derivative strategy: LDA derivatives are analytic; PBE derivatives use
 //! high-order central differences of the (cheap, smooth) energy density.

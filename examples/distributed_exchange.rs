@@ -45,7 +45,10 @@ fn main() {
     };
     for (wire, name, bytes) in [(Wire::F64, "f64", 16u64), (Wire::F32, "f32", 8u64)] {
         for np in [2usize, 4] {
-            let dist = BandDistribution { n_bands: nb, n_ranks: np };
+            let dist = BandDistribution {
+                n_bands: nb,
+                n_ranks: np,
+            };
             let (g, ph, ps, k) = (&grids, &phi, &psi, &kernel);
             let (outs, stats) = run_ranks(np, wire, move |comm| {
                 let mine = dist.local_bands(comm.rank());
@@ -56,7 +59,10 @@ fn main() {
                     }
                     lm
                 };
-                (mine.clone(), distributed_fock_apply(comm, g, dist, &take(ph), &take(ps), 0.25, k))
+                (
+                    mine.clone(),
+                    distributed_fock_apply(comm, g, dist, &take(ph), &take(ps), 0.25, k),
+                )
             });
             let mut err = 0.0f64;
             for (mine, out) in &outs {
@@ -71,7 +77,10 @@ fn main() {
                 "wire={name} ranks={np}: max|Δ| vs serial = {err:.2e}, bcast {} B (law: {} B)",
                 stats.bcast_bytes, volume
             );
-            assert_eq!(stats.bcast_bytes, volume, "communication volume law violated");
+            assert_eq!(
+                stats.bcast_bytes, volume,
+                "communication volume law violated"
+            );
         }
     }
     println!("Alg. 2 verified: distributed == serial, volume law N_p·N_G·N_e holds.");

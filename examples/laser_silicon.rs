@@ -1,47 +1,56 @@
 //! Laser-driven electron dynamics in silicon: the paper's §4 scenario at
-//! laptop scale. A 380 nm pulse excites a Si₈ cell; we track the current
-//! density and energy absorbed over a few PT-CN steps.
+//! laptop scale. A 380 nm pulse excites a Si₈ cell; the `Simulation`
+//! driver records the current density and energy absorbed over a few
+//! PT-CN steps through the standard observer pipeline.
 //!
 //! Run with: `cargo run --release --example laser_silicon`
 
-use pwdft_rt::core::{current_density, LaserPulse, PtCnOptions, PtCnPropagator, TdState};
-use pwdft_rt::ham::KsSystem;
-use pwdft_rt::lattice::silicon_cubic_supercell;
-use pwdft_rt::num::units::{attosecond_to_au, au_to_attosecond};
-use pwdft_rt::scf::{scf_loop, ScfOptions};
-use pwdft_rt::xc::XcKind;
+use pwdft_rt::prelude::*;
 
-fn main() {
-    let structure = silicon_cubic_supercell(1, 1, 1);
-    let sys = KsSystem::new(structure, 2.5, XcKind::Lda, None);
-    let mut opts = ScfOptions::default();
-    opts.rho_tol = 1e-7;
-    let gs = scf_loop(&sys, opts);
-    println!("E₀ = {:.6} Ha", gs.energies.total());
+fn main() -> Result<(), PtError> {
+    let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+        .ecut(2.5)
+        .xc(XcKind::Lda)
+        .build()?;
+    let opts = ScfOptions {
+        rho_tol: 1e-7,
+        ..Default::default()
+    };
+    let gs = scf_loop(&sys, opts)?;
+    let e0 = gs.energies.total();
+    println!("E₀ = {e0:.6} Ha");
 
     // the paper's 380 nm pulse (weak amplitude for a linear-response kick)
     let laser = LaserPulse::paper_380nm(0.02, attosecond_to_au(200.0), attosecond_to_au(100.0));
-    let prop = PtCnPropagator {
-        sys: &sys,
-        laser: Some(laser),
-        opts: PtCnOptions::default(),
-    };
-    let mut state = TdState { psi: gs.orbitals.clone(), t: 0.0 };
-    let dt = attosecond_to_au(25.0);
-    println!("{:>8} {:>14} {:>14} {:>6}", "t (as)", "j_z (a.u.)", "ΔE (Ha)", "SCF");
-    for _ in 0..8 {
-        let stats = prop.step(&mut state, dt);
-        let a = laser.a_field(state.t);
-        let j = current_density(&sys, &state.psi, a);
-        let rho = sys.density(&state.psi);
-        let e = sys.energies(&state.psi, &rho, a).total();
+    let series = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser)
+        .dt(attosecond_to_au(25.0))
+        .steps(8)
+        .propagator(Box::new(PtCnPropagator::default()))
+        .standard_observers()
+        .build()?
+        .run()?;
+
+    let j_z = series
+        .channel("current_z")
+        .expect("standard observers record current");
+    let energy = series
+        .channel("energy")
+        .expect("standard observers record energy");
+    println!(
+        "{:>8} {:>14} {:>14} {:>6}",
+        "t (as)", "j_z (a.u.)", "ΔE (Ha)", "SCF"
+    );
+    for i in 0..series.len() {
         println!(
             "{:>8.1} {:>14.6e} {:>14.6e} {:>6}",
-            au_to_attosecond(state.t),
-            j[2],
-            e - gs.energies.total(),
-            stats.scf_iterations
+            au_to_attosecond(series.t[i]),
+            j_z[i],
+            energy[i] - e0,
+            series.stats[i].scf_iterations
         );
     }
     println!("(current builds along the pulse's z polarization; energy is absorbed)");
+    Ok(())
 }

@@ -1,63 +1,67 @@
 //! The paper's headline comparison at laptop scale: PT-CN takes 50 as
 //! steps; RK4 is limited to sub-attosecond steps by stability. We measure
-//! both the stability ceiling and the wall-clock ratio on a real Si₈ cell.
+//! both the stability ceiling and the wall-clock ratio on a real Si₈ cell,
+//! selecting each propagator **at runtime** through `Box<dyn Propagator>` —
+//! the same `Simulation` setup runs both.
 //!
 //! Run with: `cargo run --release --example ptcn_vs_rk4`
 
-use pwdft_rt::core::{
-    density_matrix_distance, max_stable_rk4_dt, PtCnOptions, PtCnPropagator, Rk4Propagator,
-    TdState,
-};
-use pwdft_rt::ham::KsSystem;
-use pwdft_rt::lattice::silicon_cubic_supercell;
-use pwdft_rt::num::units::{attosecond_to_au, au_to_attosecond};
-use pwdft_rt::scf::{scf_loop, ScfOptions};
-use pwdft_rt::xc::XcKind;
+use pwdft_rt::prelude::*;
 use std::time::Instant;
 
-fn main() {
-    let structure = silicon_cubic_supercell(1, 1, 1);
-    let sys = KsSystem::new(structure, 2.5, XcKind::Lda, None);
-    let mut opts = ScfOptions::default();
-    opts.rho_tol = 1e-7;
-    let gs = scf_loop(&sys, opts);
+fn main() -> Result<(), PtError> {
+    let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+        .ecut(2.5)
+        .xc(XcKind::Lda)
+        .build()?;
+    let opts = ScfOptions {
+        rho_tol: 1e-7,
+        ..Default::default()
+    };
+    let gs = scf_loop(&sys, opts)?;
 
-    let ceiling = max_stable_rk4_dt(&sys, &gs.orbitals, 10, 0.05, 4.0);
+    let ceiling = max_stable_rk4_dt(&sys, &gs.orbitals, 10, 0.05, 4.0)?;
     println!(
         "RK4 stability ceiling at E_cut = {} Ha: {:.2} as (paper at 10 Ha: ~0.5 as)",
         sys.grids.ecut,
         au_to_attosecond(ceiling)
     );
 
-    // propagate the same 50 as window both ways
+    // propagate the same 50 as window with both propagators, chosen at
+    // runtime: (name, boxed propagator, step count)
     let window = attosecond_to_au(50.0);
-    let t0 = Instant::now();
-    let prop = PtCnPropagator { sys: &sys, laser: None, opts: PtCnOptions::default() };
-    let mut st_pt = TdState { psi: gs.orbitals.clone(), t: 0.0 };
-    let stats = prop.step(&mut st_pt, window);
-    let t_ptcn = t0.elapsed();
+    let n_rk = (window / (0.8 * ceiling)).ceil() as usize;
+    let runs: Vec<(Box<dyn Propagator>, usize)> = vec![
+        (Box::new(PtCnPropagator::default()), 1),
+        (Box::new(Rk4Propagator::default()), n_rk),
+    ];
 
-    let rk = Rk4Propagator { sys: &sys, laser: None };
-    let dt_rk = 0.8 * ceiling;
-    let n_rk = (window / dt_rk).ceil() as usize;
-    let t0 = Instant::now();
-    let mut st_rk = TdState { psi: gs.orbitals.clone(), t: 0.0 };
-    for _ in 0..n_rk {
-        rk.step(&mut st_rk, window / n_rk as f64);
+    let mut finals = Vec::new();
+    let mut elapsed = Vec::new();
+    for (prop, n_steps) in runs {
+        let name = prop.name();
+        let mut sim = SimulationBuilder::new(&sys)
+            .initial_orbitals(gs.orbitals.clone())
+            .dt(window / n_steps as f64)
+            .steps(n_steps)
+            .propagator(prop)
+            .build()?;
+        let t0 = Instant::now();
+        let series = sim.run()?;
+        let dt_wall = t0.elapsed();
+        let scf_total: usize = series.stats.iter().map(|s| s.scf_iterations).sum();
+        println!("{name}: {n_steps} steps ({scf_total} SCF iterations) in {dt_wall:.2?}");
+        finals.push(sim.state().psi.clone());
+        elapsed.push(dt_wall);
     }
-    let t_rk4 = t0.elapsed();
 
-    println!(
-        "PT-CN: 1 step ({} SCF iterations) in {:.2?}",
-        stats.scf_iterations, t_ptcn
-    );
-    println!("RK4:   {n_rk} steps in {t_rk4:.2?}");
     println!(
         "wall-clock ratio: {:.1}x (paper on Summit: 20-30x)",
-        t_rk4.as_secs_f64() / t_ptcn.as_secs_f64()
+        elapsed[1].as_secs_f64() / elapsed[0].as_secs_f64()
     );
     println!(
         "gauge-invariant agreement (density-matrix distance): {:.2e}",
-        density_matrix_distance(&st_pt.psi, &st_rk.psi)
+        density_matrix_distance(&finals[0], &finals[1])
     );
+    Ok(())
 }

@@ -1,21 +1,20 @@
 //! Quickstart: converge a hybrid-functional (HSE06-like) ground state for
-//! an 8-atom silicon cell, then take one 50-attosecond PT-CN step.
+//! an 8-atom silicon cell, then take PT-CN steps through the `Simulation`
+//! API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use pwdft_rt::core::{PtCnOptions, PtCnPropagator, TdState};
-use pwdft_rt::ham::{HybridConfig, KsSystem};
-use pwdft_rt::lattice::silicon_cubic_supercell;
-use pwdft_rt::num::units::attosecond_to_au;
-use pwdft_rt::scf::{scf_loop, ScfOptions};
-use pwdft_rt::xc::XcKind;
+use pwdft_rt::prelude::*;
 
-fn main() {
+fn main() -> Result<(), PtError> {
     // 8 Si atoms, 16 doubly occupied bands, HSE06-style hybrid functional.
     // E_cut is kept small so this finishes in seconds; raise it for
     // physical accuracy (the paper uses 10 Ha).
-    let structure = silicon_cubic_supercell(1, 1, 1);
-    let sys = KsSystem::new(structure, 2.5, XcKind::Pbe, Some(HybridConfig::hse06()));
+    let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+        .ecut(2.5)
+        .xc(XcKind::Pbe)
+        .hybrid(HybridConfig::hse06())
+        .build()?;
     println!(
         "system: {} atoms, {} bands, N_G = {} plane waves",
         sys.structure.atoms.len(),
@@ -23,10 +22,12 @@ fn main() {
         sys.grids.ng()
     );
 
-    let mut opts = ScfOptions::default();
-    opts.rho_tol = 1e-6;
-    opts.max_phi_updates = 3;
-    let gs = scf_loop(&sys, opts);
+    let opts = ScfOptions {
+        rho_tol: 1e-6,
+        max_phi_updates: 3,
+        ..Default::default()
+    };
+    let gs = scf_loop(&sys, opts)?;
     println!(
         "ground state: E = {:.6} Ha ({} SCF iterations, residual {:.1e})",
         gs.energies.total(),
@@ -35,16 +36,36 @@ fn main() {
     );
     println!("  breakdown: {:?}", gs.energies);
 
-    // one PT-CN step at the paper's 50 as
-    let prop = PtCnPropagator { sys: &sys, laser: None, opts: PtCnOptions::default() };
-    let mut state = TdState { psi: gs.orbitals.clone(), t: 0.0 };
-    let stats = prop.step(&mut state, attosecond_to_au(50.0));
+    // two PT-CN steps at the paper's 50 as, with the standard observers
+    let mut sim = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .dt(attosecond_to_au(50.0))
+        .steps(2)
+        .propagator(Box::new(PtCnPropagator::default()))
+        .standard_observers()
+        .build()?;
+    let series = sim.run()?;
+    for (i, stats) in series.stats.iter().enumerate() {
+        println!(
+            "PT-CN step {}: {} SCF iterations, {} HΨ applications, ρ-residual {:.1e}",
+            i + 1,
+            stats.scf_iterations,
+            stats.h_applications,
+            stats.rho_residual
+        );
+    }
     println!(
-        "PT-CN 50 as step: {} SCF iterations, {} HΨ applications, ρ-residual {:.1e}",
-        stats.scf_iterations, stats.h_applications, stats.rho_residual
+        "energy drift over {} steps: {:.2e} Ha",
+        series.len(),
+        series.channel("energy").unwrap().last().unwrap() - gs.energies.total()
     );
     println!(
         "orthonormality after re-orthogonalization: {:.1e}",
-        pwdft_rt::core::orthonormality_error(&state.psi)
+        series
+            .channel("orthonormality_error")
+            .unwrap()
+            .last()
+            .unwrap()
     );
+    Ok(())
 }

@@ -29,6 +29,9 @@ fn main() {
     );
     println!("\nweak scaling (50 as step):");
     for r in pwdft_rt::perf::fig8_rows(&model) {
-        println!("  {:>5} atoms on {:>4} GPUs: {:>8.2} s", r.atoms, r.gpus, r.seconds);
+        println!(
+            "  {:>5} atoms on {:>4} GPUs: {:>8.2} s",
+            r.atoms, r.gpus, r.seconds
+        );
     }
 }

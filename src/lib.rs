@@ -19,6 +19,47 @@
 //!   anchored performance model ([`perf`]) that regenerate every table and
 //!   figure of the paper's evaluation.
 //!
+//! # The unified simulation API
+//!
+//! The intended entry point is [`prelude`]: build a [`ham::KsSystem`] with
+//! [`ham::KsSystemBuilder`] (cutoff, XC kind, hybrid config, occupations),
+//! converge it with [`scf::scf_loop`], then configure a
+//! [`core::Simulation`] via [`core::SimulationBuilder`] — system, laser,
+//! `dt`, step count, a runtime-selectable [`core::Propagator`]
+//! (`Box<dyn Propagator>`: PT-CN or RK4) and a composable
+//! [`core::Observer`] pipeline. `Simulation::run()` owns the time loop and
+//! returns a [`core::TimeSeries`] with energy, current, dipole/norm,
+//! orthonormality and per-step [`core::StepStats`]. Misuse returns the
+//! typed [`core::PtError`] — the public setup path never panics.
+//!
+//! ```no_run
+//! use pwdft_rt::prelude::*;
+//!
+//! fn run() -> Result<(), PtError> {
+//!     let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+//!         .ecut(2.5)
+//!         .xc(XcKind::Pbe)
+//!         .hybrid(HybridConfig::hse06())
+//!         .build()?;
+//!     let gs = scf_loop(&sys, ScfOptions::default())?;
+//!     let series = SimulationBuilder::new(&sys)
+//!         .initial_orbitals(gs.orbitals.clone())
+//!         .laser(LaserPulse::paper_380nm(
+//!             0.02,
+//!             attosecond_to_au(200.0),
+//!             attosecond_to_au(100.0),
+//!         ))
+//!         .dt(attosecond_to_au(25.0))
+//!         .steps(10)
+//!         .propagator(Box::new(PtCnPropagator::default()))
+//!         .standard_observers()
+//!         .build()?
+//!         .run()?;
+//!     println!("j_z(t_end) = {:?}", series.channel("current_z").unwrap().last());
+//!     Ok(())
+//! }
+//! ```
+//!
 //! See `examples/quickstart.rs` for the five-minute tour, `DESIGN.md` for
 //! the system inventory, and `EXPERIMENTS.md` for paper-vs-model records.
 
@@ -34,3 +75,18 @@ pub use pt_pseudo as pseudo;
 pub use pt_scf as scf;
 pub use pt_summit as summit;
 pub use pt_xc as xc;
+
+/// Everything a typical simulation needs, one `use` away.
+pub mod prelude {
+    pub use pt_core::{
+        current_density, density_matrix_distance, max_stable_rk4_dt, orthonormality_error,
+        CurrentObserver, DipoleNormObserver, EnergyObserver, LaserPulse, Observer, ObserverContext,
+        OrthonormalityObserver, Propagator, PtCnOptions, PtCnPropagator, PtError, Rk4Options,
+        Rk4Propagator, Simulation, SimulationBuilder, StepStats, TdState, TimeSeries,
+    };
+    pub use pt_ham::{HybridConfig, KsSystem, KsSystemBuilder};
+    pub use pt_lattice::silicon_cubic_supercell;
+    pub use pt_num::units::{attosecond_to_au, au_to_attosecond};
+    pub use pt_scf::{scf_loop, ScfOptions, ScfResult};
+    pub use pt_xc::XcKind;
+}

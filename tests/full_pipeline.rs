@@ -1,22 +1,20 @@
 //! Integration tests spanning crates: ground state → PT-CN propagation →
-//! observables, for both semi-local and hybrid functionals.
+//! observables, for both semi-local and hybrid functionals — all through
+//! the `Propagator` trait and builder-based setup.
 
-use pwdft_rt::core::{
-    density_matrix_distance, orthonormality_error, PtCnOptions, PtCnPropagator, Rk4Propagator,
-    TdState,
-};
-use pwdft_rt::ham::{HybridConfig, KsSystem};
-use pwdft_rt::lattice::silicon_cubic_supercell;
-use pwdft_rt::num::units::attosecond_to_au;
-use pwdft_rt::scf::{scf_loop, ScfOptions};
-use pwdft_rt::xc::XcKind;
+use pwdft_rt::prelude::*;
 
-fn lda_ground_state(ecut: f64) -> (KsSystem, pwdft_rt::scf::ScfResult) {
-    let s = silicon_cubic_supercell(1, 1, 1);
-    let sys = KsSystem::new(s, ecut, XcKind::Lda, None);
-    let mut o = ScfOptions::default();
-    o.rho_tol = 1e-7;
-    let r = scf_loop(&sys, o);
+fn lda_ground_state(ecut: f64) -> (KsSystem, ScfResult) {
+    let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+        .ecut(ecut)
+        .xc(XcKind::Lda)
+        .build()
+        .expect("valid system");
+    let o = ScfOptions {
+        rho_tol: 1e-7,
+        ..Default::default()
+    };
+    let r = scf_loop(&sys, o).expect("SCF converges");
     (sys, r)
 }
 
@@ -26,20 +24,33 @@ fn hybrid_scf_lowers_gap_relative_to_lda_bandwidth() {
     // qualitative reason the paper's users want hybrid functionals.
     let s = silicon_cubic_supercell(1, 1, 1);
     let lda = {
-        let sys = KsSystem::new(s.clone(), 2.5, XcKind::Lda, None);
-        let mut o = ScfOptions::default();
-        o.rho_tol = 1e-6;
-        let r = scf_loop(&sys, o);
+        let sys = KsSystem::builder(s.clone())
+            .ecut(2.5)
+            .xc(XcKind::Lda)
+            .build()
+            .unwrap();
+        let o = ScfOptions {
+            rho_tol: 1e-6,
+            ..Default::default()
+        };
+        let r = scf_loop(&sys, o).unwrap();
         // HOMO is the last occupied of 16 bands; estimate the gap from the
         // occupied spectrum spread (no empty bands solved here)
         (r.eigenvalues.clone(), r.energies.total())
     };
     let hyb = {
-        let sys = KsSystem::new(s, 2.5, XcKind::Pbe, Some(HybridConfig::hse06()));
-        let mut o = ScfOptions::default();
-        o.rho_tol = 1e-6;
-        o.max_phi_updates = 3;
-        let r = scf_loop(&sys, o);
+        let sys = KsSystem::builder(s)
+            .ecut(2.5)
+            .xc(XcKind::Pbe)
+            .hybrid(HybridConfig::hse06())
+            .build()
+            .unwrap();
+        let o = ScfOptions {
+            rho_tol: 1e-6,
+            max_phi_updates: 3,
+            ..Default::default()
+        };
+        let r = scf_loop(&sys, o).unwrap();
         (r.eigenvalues.clone(), r.energies.total())
     };
     // both converged to sane energies; exchange lowers the total energy
@@ -53,11 +64,13 @@ fn hybrid_scf_lowers_gap_relative_to_lda_bandwidth() {
 #[test]
 fn ptcn_50as_step_conserves_invariants_field_free() {
     let (sys, gs) = lda_ground_state(2.5);
-    let prop = PtCnPropagator { sys: &sys, laser: None, opts: PtCnOptions::default() };
-    let mut st = TdState { psi: gs.orbitals.clone(), t: 0.0 };
+    let mut prop = PtCnPropagator::default();
+    let mut st = TdState::new(gs.orbitals.clone());
     let e0 = gs.energies.total();
     for _ in 0..3 {
-        let stats = prop.step(&mut st, attosecond_to_au(50.0));
+        let stats = prop
+            .step(&sys, None, &mut st, attosecond_to_au(50.0))
+            .unwrap();
         assert!(stats.rho_residual < 1e-5);
     }
     assert!(orthonormality_error(&st.psi) < 1e-8);
@@ -75,25 +88,26 @@ fn ptcn_50as_step_conserves_invariants_field_free() {
 #[test]
 fn ptcn_and_rk4_agree_on_driven_dynamics() {
     let (sys, gs) = lda_ground_state(2.0);
-    let laser = Some(pwdft_rt::core::LaserPulse {
+    let laser = LaserPulse {
         a0: 0.05,
         omega: 0.25,
         t0: 0.0,
         sigma: 50.0,
         polarization: [0.0, 0.0, 1.0],
-    });
+    };
     let dt = attosecond_to_au(4.0);
-    let mut opts = PtCnOptions::default();
-    opts.rho_tol = 1e-9;
-    let prop = PtCnPropagator { sys: &sys, laser, opts };
-    let mut st_pt = TdState { psi: gs.orbitals.clone(), t: 0.0 };
+    let mut prop = PtCnPropagator::new(PtCnOptions {
+        rho_tol: 1e-9,
+        ..Default::default()
+    });
+    let mut st_pt = TdState::new(gs.orbitals.clone());
     for _ in 0..2 {
-        prop.step(&mut st_pt, dt);
+        prop.step(&sys, Some(&laser), &mut st_pt, dt).unwrap();
     }
-    let rk = Rk4Propagator { sys: &sys, laser };
-    let mut st_rk = TdState { psi: gs.orbitals.clone(), t: 0.0 };
+    let mut rk = Rk4Propagator::default();
+    let mut st_rk = TdState::new(gs.orbitals.clone());
     for _ in 0..80 {
-        rk.step(&mut st_rk, dt / 40.0);
+        rk.step(&sys, Some(&laser), &mut st_rk, dt / 40.0).unwrap();
     }
     let d = density_matrix_distance(&st_pt.psi, &st_rk.psi);
     assert!(d < 5e-4, "PT-CN(2×4as) vs RK4(80×0.1as): {d:.2e}");
@@ -102,15 +116,23 @@ fn ptcn_and_rk4_agree_on_driven_dynamics() {
 #[test]
 fn hybrid_ptcn_counts_match_paper_bookkeeping() {
     // §7: one PT-CN step = n_scf + 2 exchange-bearing HΨ applications
-    let s = silicon_cubic_supercell(1, 1, 1);
-    let sys = KsSystem::new(s, 2.0, XcKind::Pbe, Some(HybridConfig::hse06()));
-    let mut o = ScfOptions::default();
-    o.rho_tol = 1e-6;
-    o.max_phi_updates = 2;
-    let gs = scf_loop(&sys, o);
-    let prop = PtCnPropagator { sys: &sys, laser: None, opts: PtCnOptions::default() };
-    let mut st = TdState { psi: gs.orbitals.clone(), t: 0.0 };
-    let stats = prop.step(&mut st, attosecond_to_au(50.0));
+    let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+        .ecut(2.0)
+        .xc(XcKind::Pbe)
+        .hybrid(HybridConfig::hse06())
+        .build()
+        .unwrap();
+    let o = ScfOptions {
+        rho_tol: 1e-6,
+        max_phi_updates: 2,
+        ..Default::default()
+    };
+    let gs = scf_loop(&sys, o).unwrap();
+    let mut prop = PtCnPropagator::default();
+    let mut st = TdState::new(gs.orbitals.clone());
+    let stats = prop
+        .step(&sys, None, &mut st, attosecond_to_au(50.0))
+        .unwrap();
     assert_eq!(stats.h_applications, stats.scf_iterations + 1);
     assert!(stats.scf_iterations >= 1);
     assert!(orthonormality_error(&st.psi) < 1e-9);
