@@ -1,0 +1,190 @@
+//! Thread-scaling smoke bench for the `pt-par` execution layer.
+//!
+//! Times the three hot kernels the tentpole threads — band-batched 3-D
+//! FFTs, panel-parallel GEMM, band-pair-parallel Fock `apply_block` — on
+//! dedicated pools of 1, 2 and 4 threads, and writes the wall-clock table
+//! to `BENCH_threads.json` so the perf trajectory across PRs has data.
+//!
+//! Speedups are only meaningful on a machine with that many physical
+//! cores; `host_cores` is recorded in the artifact so a 1-core CI runner's
+//! flat curve is not mistaken for a regression.
+
+use pt_fft::Fft3;
+use pt_ham::{FockMode, FockOperator, PwGrids, ScreenedKernel};
+use pt_lattice::silicon_cubic_supercell;
+use pt_linalg::{gemm, CMat, Op};
+use pt_num::c64;
+use pt_par::ThreadPool;
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Best-of-`reps` wall time of `run` over shared work buffers `state`,
+/// in seconds. `prepare` resets the buffers before each rep and is *not*
+/// timed, so the measured region contains only the kernel under test (no
+/// clone/alloc serial term to flatten the speedup curve).
+fn best_of<T>(
+    reps: usize,
+    state: &mut T,
+    mut prepare: impl FnMut(&mut T),
+    mut run: impl FnMut(&mut T),
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        prepare(state);
+        let t0 = Instant::now();
+        run(state);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Kernel {
+    name: &'static str,
+    /// seconds per thread count, same order as [`THREAD_COUNTS`]
+    secs: Vec<f64>,
+}
+
+impl Kernel {
+    fn speedup_at_4(&self) -> f64 {
+        self.secs[0] / self.secs[THREAD_COUNTS.len() - 1]
+    }
+}
+
+fn bench_fft_batch(pool: &ThreadPool) -> f64 {
+    // a paper-shaped grid (60×90×120 scaled down 2.5×) with 8 bands
+    let fft = Fft3::new(24, 36, 48);
+    let n = fft.len();
+    let batch = 8;
+    let data: Vec<c64> = (0..n * batch)
+        .map(|i| c64::new(i as f64, 0.5 - (i % 7) as f64))
+        .collect();
+    let mut buf = vec![c64::ZERO; n * batch];
+    pool.install(|| {
+        best_of(
+            5,
+            &mut buf,
+            |b| b.copy_from_slice(&data),
+            |b| {
+                fft.forward_batch(black_box(b));
+                black_box(&*b);
+            },
+        )
+    })
+}
+
+fn bench_gemm(pool: &ThreadPool) -> f64 {
+    // the two PWDFT shapes back to back: overlap S = Ψ^H (HΨ), then the
+    // subspace rotation Ψ S
+    let ng = 8192;
+    let nb = 24;
+    let psi = CMat::rand_normalized(ng, nb, 11);
+    let hpsi = CMat::rand_normalized(ng, nb, 22);
+    // beta = 0 overwrites, so the outputs need no per-rep reset
+    let mut bufs = (CMat::zeros(nb, nb), CMat::zeros(ng, nb));
+    pool.install(|| {
+        best_of(
+            5,
+            &mut bufs,
+            |_| {},
+            |(s, rot)| {
+                gemm(
+                    c64::ONE,
+                    &psi,
+                    Op::ConjTrans,
+                    black_box(&hpsi),
+                    Op::None,
+                    c64::ZERO,
+                    s,
+                );
+                gemm(
+                    c64::ONE,
+                    &psi,
+                    Op::None,
+                    black_box(s),
+                    Op::None,
+                    c64::ZERO,
+                    rot,
+                );
+                black_box(&*rot);
+            },
+        )
+    })
+}
+
+fn bench_fock_apply(pool: &ThreadPool) -> f64 {
+    let s = silicon_cubic_supercell(1, 1, 1);
+    let grids = PwGrids::new(&s, 3.5);
+    let nb = 8;
+    let phi = CMat::rand_normalized(grids.ng(), nb, 3);
+    let psi = CMat::rand_normalized(grids.ng(), nb, 7);
+    let kernel = ScreenedKernel::new(&grids, 0.11);
+    let fock = FockOperator::new(&grids, &phi, 0.25, kernel, FockMode::Batched);
+    let mut out = CMat::zeros(grids.ng(), nb);
+    pool.install(|| {
+        best_of(
+            3,
+            &mut out,
+            |o| o.data_mut().fill(c64::ZERO),
+            |o| {
+                fock.apply_block(&grids, black_box(&psi), o);
+                black_box(&*o);
+            },
+        )
+    })
+}
+
+type BenchFn = fn(&ThreadPool) -> f64;
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let benches: [(&str, BenchFn); 3] = [
+        ("fft_batch", bench_fft_batch),
+        ("gemm", bench_gemm),
+        ("fock_apply_block", bench_fock_apply),
+    ];
+    let mut kernels = Vec::new();
+    for (name, f) in benches {
+        let mut secs = Vec::new();
+        for &t in &THREAD_COUNTS {
+            let pool = ThreadPool::new(t);
+            let s = f(&pool);
+            println!("{name:>18}  threads={t}  {:10.3} ms", s * 1e3);
+            secs.push(s);
+        }
+        let k = Kernel { name, secs };
+        println!("{:>18}  speedup@4 = {:.2}x", "", k.speedup_at_4());
+        kernels.push(k);
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"thread_scaling_smoke\",\n");
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!("  \"thread_counts\": {THREAD_COUNTS:?},\n"));
+    json.push_str("  \"wall_seconds\": {\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let row: Vec<String> = k.secs.iter().map(|s| format!("{s:.6}")).collect();
+        json.push_str(&format!(
+            "    \"{}\": [{}]{}\n",
+            k.name,
+            row.join(", "),
+            if i + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"speedup_at_4_threads\": {\n");
+    for (i, k) in kernels.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {:.3}{}\n",
+            k.name,
+            k.speedup_at_4(),
+            if i + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_threads.json", &json).expect("write BENCH_threads.json");
+    println!("\nwrote BENCH_threads.json ({host_cores} host cores)");
+}

@@ -34,7 +34,9 @@ use crate::observables::{current_density, orthonormality_error};
 use crate::propagator::{Propagator, PtCnPropagator, StepStats, TdState};
 use pt_ham::{integrate, KsSystem, PtError};
 use pt_linalg::CMat;
+use pt_par::{Parallelism, ThreadPool};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Everything an [`Observer`] may look at after one completed step.
 pub struct ObserverContext<'a> {
@@ -258,6 +260,7 @@ pub struct SimulationBuilder<'a> {
     propagator: Option<Box<dyn Propagator>>,
     observers: Vec<Box<dyn Observer>>,
     initial: Option<CMat>,
+    parallelism: Parallelism,
 }
 
 impl<'a> SimulationBuilder<'a> {
@@ -272,6 +275,7 @@ impl<'a> SimulationBuilder<'a> {
             propagator: None,
             observers: Vec::new(),
             initial: None,
+            parallelism: Parallelism::inherit(),
         }
     }
 
@@ -324,6 +328,15 @@ impl<'a> SimulationBuilder<'a> {
     /// Initial orbitals (usually SCF ground-state orbitals). Required.
     pub fn initial_orbitals(mut self, psi: CMat) -> Self {
         self.initial = Some(psi);
+        self
+    }
+
+    /// Threading for this run. `Parallelism::threads(n)` pins a dedicated
+    /// n-thread pool installed around the whole time loop; the default
+    /// inherits the system's pool (`KsSystemBuilder::parallelism`) or,
+    /// failing that, the surrounding pool (`PT_NUM_THREADS`).
+    pub fn parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
         self
     }
 
@@ -381,6 +394,7 @@ impl<'a> SimulationBuilder<'a> {
             observers: self.observers,
             state: TdState { psi, t: self.t0 },
             partial: None,
+            pool: self.parallelism.build_pool(),
         })
     }
 }
@@ -396,6 +410,7 @@ pub struct Simulation<'a> {
     observers: Vec<Box<dyn Observer>>,
     state: TdState,
     partial: Option<TimeSeries>,
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl<'a> Simulation<'a> {
@@ -423,7 +438,19 @@ impl<'a> Simulation<'a> {
     /// again continues from the final state for another window. On error,
     /// the steps recorded so far stay retrievable via
     /// [`Simulation::take_partial_series`].
+    ///
+    /// The whole loop runs under the configured thread pool — this run's
+    /// [`SimulationBuilder::parallelism`] override if set, else the
+    /// system's ([`KsSystem::install`]).
     pub fn run(&mut self) -> Result<TimeSeries, PtError> {
+        let sys = self.sys;
+        match self.pool.clone() {
+            Some(p) => p.install(|| self.run_inner()),
+            None => sys.install(|| self.run_inner()),
+        }
+    }
+
+    fn run_inner(&mut self) -> Result<TimeSeries, PtError> {
         let mut series = TimeSeries {
             propagator: self.propagator.name().to_string(),
             ..TimeSeries::default()

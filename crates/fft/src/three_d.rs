@@ -94,8 +94,10 @@ impl Fft3 {
             0,
             "batch length must be a multiple of grid size"
         );
-        data.par_chunks_mut(n)
-            .for_each(|grid| self.process_serial(grid, dir));
+        // one band per pool task: dynamic claiming load-balances uneven
+        // band counts, and each transform is serial inside (the paper's
+        // batched-CUFFT layout)
+        pt_par::parallel_chunks_mut(data, n, |_band, grid| self.process_serial(grid, dir));
     }
 
     fn process_serial(&self, data: &mut [c64], dir: Direction) {

@@ -196,31 +196,96 @@ impl FockOperator {
     }
 
     /// Apply to a block: `out[:, j] += V_X ψ_j`.
+    ///
+    /// In [`FockMode::Batched`] this is **band-pair parallel**: the
+    /// N_φ × N_ψ pair solves are cut into `(ψ-band, φ-chunk)` pool tasks
+    /// (the paper's batched-CUFFT stage over Alg. 2's pair loop), each
+    /// running its FFTs serially. The φ-chunking depends only on the two
+    /// band counts, and per-band partials are combined in φ-chunk order,
+    /// so results are bit-identical for every thread count.
+    /// [`FockMode::BandByBand`] keeps the stage-1 layout: one pair at a
+    /// time with parallelism inside each 3-D FFT.
     pub fn apply_block(&self, grids: &PwGrids, psi: &CMat, out: &mut CMat) {
         assert_eq!(psi.nrows(), grids.ng());
         assert_eq!(out.nrows(), psi.nrows());
         assert_eq!(out.ncols(), psi.ncols());
-        for j in 0..psi.ncols() {
-            // split borrow: copy column out, apply, write back
-            let mut col = out.col(j).to_vec();
-            self.apply(grids, psi.col(j), &mut col);
-            out.col_mut(j).copy_from_slice(&col);
+        if self.mode == FockMode::BandByBand {
+            for j in 0..psi.ncols() {
+                // split borrow: copy column out, apply, write back
+                let mut col = out.col(j).to_vec();
+                self.apply(grids, psi.col(j), &mut col);
+                out.col_mut(j).copy_from_slice(&col);
+            }
+            return;
         }
+        let n_psi = psi.ncols();
+        let n_phi = self.phi_real.len();
+        if n_psi == 0 || n_phi == 0 {
+            return;
+        }
+        let nw = grids.n_wfc();
+        let ng = grids.ng();
+        // ψ_j → real space, band-parallel
+        let psi_real: Vec<Vec<c64>> = pt_par::parallel_map(n_psi, |j| {
+            let mut r = vec![c64::ZERO; nw];
+            grids.to_real_wfc(psi.col(j), &mut r);
+            r
+        });
+        // pair solves: task (j, c) owns ψ_j against the c-th φ-chunk
+        let kc = pair_phi_chunks(n_phi, n_psi);
+        let partials: Vec<Vec<c64>> = pt_par::parallel_map(n_psi * kc, |t| {
+            let (j, c) = (t / kc, t % kc);
+            let mut acc = vec![c64::ZERO; nw];
+            let mut pair = vec![c64::ZERO; nw];
+            for i in pt_par::chunk_range(n_phi, kc, c) {
+                let phi = &self.phi_real[i];
+                for ((p, f), s) in pair.iter_mut().zip(phi).zip(&psi_real[j]) {
+                    *p = f.conj() * *s;
+                }
+                grids.fft_wfc.forward_serial(&mut pair);
+                for (z, &k) in pair.iter_mut().zip(&self.kernel.values) {
+                    *z = z.scale(k);
+                }
+                grids.fft_wfc.inverse_serial(&mut pair);
+                for ((o, f), v) in acc.iter_mut().zip(phi).zip(&pair) {
+                    *o += (*f * *v).scale(-self.alpha);
+                }
+            }
+            acc
+        });
+        // per band: combine φ-chunks in order, back to sphere coefficients
+        pt_par::parallel_chunks_mut(out.data_mut(), ng, |j, ocol| {
+            let mut acc = vec![c64::ZERO; nw];
+            for part in &partials[j * kc..(j + 1) * kc] {
+                for (x, y) in acc.iter_mut().zip(part) {
+                    *x += *y;
+                }
+            }
+            let mut coeffs = vec![c64::ZERO; ng];
+            grids.to_coeffs_wfc(&mut acc, &mut coeffs);
+            for (o, z) in ocol.iter_mut().zip(&coeffs) {
+                *o += *z;
+            }
+        });
     }
 
     /// Exchange energy `E_x = ½ Σ_j f_j ⟨ψ_j|V_X ψ_j⟩` for the orbitals
     /// that define the operator (with occupations `occ`).
     pub fn energy(&self, grids: &PwGrids, psi: &CMat, occ: &[f64]) -> f64 {
         assert_eq!(psi.ncols(), occ.len());
-        let mut e = 0.0;
-        #[allow(clippy::needless_range_loop)] // j indexes psi columns and occ together
-        for j in 0..psi.ncols() {
-            let mut v = vec![c64::ZERO; grids.ng()];
-            self.apply(grids, psi.col(j), &mut v);
-            e += 0.5 * occ[j] * pt_num::complex::zdotc(psi.col(j), &v).re;
-        }
-        e
+        let mut v = CMat::zeros(grids.ng(), psi.ncols());
+        self.apply_block(grids, psi, &mut v);
+        (0..psi.ncols())
+            .map(|j| 0.5 * occ[j] * pt_num::complex::zdotc(psi.col(j), v.col(j)).re)
+            .sum()
     }
+}
+
+/// Number of φ-chunks the pair loop is cut into. Depends only on the band
+/// counts (never the thread count) so chunk-ordered accumulation stays
+/// bit-deterministic; sized so a full block application yields ~64 tasks.
+fn pair_phi_chunks(n_phi: usize, n_psi: usize) -> usize {
+    (64 / n_psi.max(1)).clamp(1, n_phi)
 }
 
 #[cfg(test)]

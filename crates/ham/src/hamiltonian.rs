@@ -5,7 +5,6 @@ use crate::grids::PwGrids;
 use pt_linalg::CMat;
 use pt_num::c64;
 use pt_pseudo::NonlocalPs;
-use rayon::prelude::*;
 use std::sync::Arc;
 
 /// `H = ½|G+A|² + V_loc(r) + V_NL + V_X[P]` bound to fixed potentials.
@@ -49,63 +48,33 @@ impl Hamiltonian {
     }
 
     fn apply_with_kin(&self, psi: &[c64], out: &mut [c64], kin: &[f64]) {
-        let g = &self.grids;
-        // kinetic
-        for ((o, p), k) in out.iter_mut().zip(psi).zip(kin) {
-            *o = p.scale(*k);
-        }
-        // local: dense-grid multiply
-        let mut dense = vec![c64::ZERO; g.n_dense()];
-        g.to_real_dense(psi, &mut dense);
-        for (z, &v) in dense.iter_mut().zip(&self.vloc_r) {
-            *z = z.scale(v);
-        }
-        let mut vloc_psi = vec![c64::ZERO; g.ng()];
-        g.to_coeffs_dense(&mut dense, &mut vloc_psi);
-        for (o, v) in out.iter_mut().zip(&vloc_psi) {
-            *o += *v;
-        }
-        // nonlocal
-        self.nonlocal.apply(psi, out);
-        // exchange
+        self.apply_serial_local(psi, out, kin);
         if let Some(f) = &self.fock {
-            f.apply(g, psi, out);
+            f.apply(&self.grids, psi, out);
         }
     }
 
-    /// Apply to a block, parallel over bands (band-index layout of §3.1).
-    /// The Fock part is applied per band with its own internal layout.
+    /// Apply to a block, parallel over bands (band-index layout of §3.1):
+    /// kinetic + local + nonlocal run one band per pool task with serial
+    /// FFTs inside, then the Fock part (if any) is applied band-pair
+    /// parallel at the block level by [`FockOperator::apply_block`].
     pub fn apply_block(&self, psi: &CMat, out: &mut CMat) {
         assert_eq!(psi.nrows(), self.grids.ng());
         assert_eq!(out.nrows(), psi.nrows());
         assert_eq!(out.ncols(), psi.ncols());
         let kin = self.kinetic_diag();
         let ng = self.grids.ng();
-        if self.fock.is_some() {
-            // Fock dominates; its internal rayon parallelism would fight an
-            // outer par loop — run bands serially outside (paper: batched
-            // FFTs *inside* the exchange application).
-            for j in 0..psi.ncols() {
-                let mut col = vec![c64::ZERO; ng];
-                self.apply_with_kin(psi.col(j), &mut col, &kin);
-                out.col_mut(j).copy_from_slice(&col);
-            }
-        } else {
-            let cols: Vec<Vec<c64>> = (0..psi.ncols())
-                .into_par_iter()
-                .map(|j| {
-                    let mut col = vec![c64::ZERO; ng];
-                    self.apply_serial_local(psi.col(j), &mut col, &kin);
-                    col
-                })
-                .collect();
-            for (j, col) in cols.into_iter().enumerate() {
-                out.col_mut(j).copy_from_slice(&col);
-            }
+        pt_par::parallel_chunks_mut(out.data_mut(), ng, |j, ocol| {
+            self.apply_serial_local(psi.col(j), ocol, &kin);
+        });
+        if let Some(f) = &self.fock {
+            f.apply_block(&self.grids, psi, out);
         }
     }
 
-    /// Band-serial variant using serial FFTs (safe under an outer par loop).
+    /// Single-band kinetic/local/nonlocal application with serial FFTs:
+    /// the shared body of the single-orbital `apply` and of `apply_block`,
+    /// which runs it one band per pool task.
     fn apply_serial_local(&self, psi: &[c64], out: &mut [c64], kin: &[f64]) {
         let g = &self.grids;
         for ((o, p), k) in out.iter_mut().zip(psi).zip(kin) {
@@ -122,7 +91,6 @@ impl Hamiltonian {
             *o += *v;
         }
         self.nonlocal.apply(psi, out);
-        debug_assert!(self.fock.is_none());
     }
 
     /// Rayleigh quotients `⟨ψ_j|H|ψ_j⟩` for a block.

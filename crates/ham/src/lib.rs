@@ -10,8 +10,9 @@
 //! * Kleinman–Bylander nonlocal pseudopotential,
 //! * the **Fock exchange operator** `V_X[P]` (Eq. 3), evaluated exactly as
 //!   Alg. 2: one Poisson-like FFT solve per orbital pair on the
-//!   wavefunction grid, with serial / batched(rayon) / distributed(pt-mpi)
-//!   execution paths mirroring the paper's optimization stages,
+//!   wavefunction grid, with band-by-band / band-pair-batched (pt-par
+//!   threads) / distributed (pt-mpi) execution paths mirroring the paper's
+//!   optimization stages,
 //! * total-energy assembly including the Ewald ion–ion term,
 //! * the distributed layout flips (band-index ↔ G-space) and residual
 //!   evaluation of Alg. 3.

@@ -10,6 +10,7 @@ use crate::hartree::hartree_potential;
 use pt_lattice::{ewald_energy, Structure};
 use pt_linalg::CMat;
 use pt_num::c64;
+use pt_par::{Parallelism, ThreadPool};
 use pt_pseudo::{LocalPotential, NonlocalPs};
 use pt_xc::{XcGridEvaluator, XcKind};
 use std::sync::Arc;
@@ -100,6 +101,9 @@ pub struct KsSystem {
     pub e_ewald: f64,
     /// Occupations (2.0 per doubly occupied band).
     pub occupations: Vec<f64>,
+    /// Dedicated thread pool (None = inherit the surrounding pool /
+    /// `PT_NUM_THREADS`). Set via [`KsSystemBuilder::parallelism`].
+    pub pool: Option<Arc<ThreadPool>>,
 }
 
 /// Builder for [`KsSystem`] — the validated entry point of the setup path.
@@ -125,6 +129,7 @@ pub struct KsSystemBuilder {
     xc_kind: XcKind,
     hybrid: Option<HybridConfig>,
     occupations: Option<Vec<f64>>,
+    parallelism: Parallelism,
 }
 
 impl KsSystemBuilder {
@@ -137,6 +142,7 @@ impl KsSystemBuilder {
             xc_kind: XcKind::Pbe,
             hybrid: None,
             occupations: None,
+            parallelism: Parallelism::inherit(),
         }
     }
 
@@ -155,6 +161,16 @@ impl KsSystemBuilder {
     /// Enable hybrid exchange with `cfg` (e.g. [`HybridConfig::hse06`]).
     pub fn hybrid(mut self, cfg: HybridConfig) -> Self {
         self.hybrid = Some(cfg);
+        self
+    }
+
+    /// Threading for everything driven through this system
+    /// (`Parallelism::threads(n)` pins a dedicated n-thread pool; the
+    /// default inherits the surrounding pool, i.e. `PT_NUM_THREADS`).
+    /// `scf_loop` and `Simulation::run` install the pool around their
+    /// whole loops, so every FFT/GEMM/Fock kernel inherits it.
+    pub fn parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
         self
     }
 
@@ -261,6 +277,7 @@ impl KsSystemBuilder {
             kernel,
             e_ewald,
             occupations,
+            pool: self.parallelism.build_pool(),
         })
     }
 }
@@ -271,27 +288,14 @@ impl KsSystem {
         KsSystemBuilder::new(structure)
     }
 
-    /// Build the full problem for `structure` at cutoff `ecut`.
-    ///
-    /// Thin shim over [`KsSystem::builder`] kept for one release so callers
-    /// can migrate; unlike the builder it panics on invalid input.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use KsSystem::builder(structure) and handle PtError"
-    )]
-    pub fn new(
-        structure: Structure,
-        ecut: f64,
-        xc_kind: XcKind,
-        hybrid: Option<HybridConfig>,
-    ) -> Self {
-        let mut b = KsSystemBuilder::new(structure).ecut(ecut).xc(xc_kind);
-        if let Some(h) = hybrid {
-            b = b.hybrid(h);
-        }
-        match b.build() {
-            Ok(sys) => sys,
-            Err(e) => panic!("KsSystem::new: {e}"),
+    /// Run `f` under this system's configured pool (a no-op wrapper when
+    /// no dedicated pool was requested — `f` then inherits the caller's
+    /// pool, ultimately `PT_NUM_THREADS`). The SCF and simulation drivers
+    /// wrap their loops in this.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.pool {
+            Some(p) => p.install(f),
+            None => f(),
         }
     }
 

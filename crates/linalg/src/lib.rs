@@ -5,8 +5,8 @@
 //! * **tall-skinny** `N_G × N_e` wavefunction blocks: overlap matrices
 //!   `S = Ψ^H (HΨ)` (Alg. 3 line 2), subspace rotations `Ψ S`, and the
 //!   Cholesky-based re-orthogonalization at the end of every PT-CN step
-//!   (§3.4). These are [`gemm`]/[`herk`]-style kernels parallelized with
-//!   rayon (standing in for CUBLAS on the V100s).
+//!   (§3.4). These are [`gemm`]/[`herk`]-style kernels, panel-parallel
+//!   over the `pt-par` pool (standing in for CUBLAS on the V100s).
 //! * **tiny** `≤ 20×20` Anderson least-squares problems and `N_e × N_e`
 //!   subspace eigenproblems, handled by [`lstsq`] (regularized normal
 //!   equations) and [`eigh`] (cyclic complex Jacobi).

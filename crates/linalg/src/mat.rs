@@ -2,7 +2,6 @@
 
 use pt_num::c64;
 use pt_num::complex::{zaxpy, zdotc};
-use rayon::prelude::*;
 use std::fmt;
 
 /// How an operand enters a product.
@@ -190,26 +189,41 @@ impl fmt::Debug for CMat {
     }
 }
 
-/// General matrix multiply `C = alpha * op(A) * op(B) + beta * C`.
+/// Width (in columns) of the output panels one GEMM pool task owns:
+/// roughly four panels per pool thread for load balance, at least one
+/// column. Each output column is computed independently and identically
+/// whatever the panel width, so this may depend on the thread count
+/// without breaking bit-determinism.
+fn panel_cols(ncols: usize) -> usize {
+    ncols.div_ceil(4 * pt_par::current_num_threads()).max(1)
+}
+
+/// General matrix multiply `C = alpha * op(A) * op(B) + beta * C`,
+/// panel-parallel over blocks of output columns (each pool task owns a
+/// contiguous panel of `C`, standing in for one CUBLAS stream of §3.2).
 ///
 /// Supported op combinations: (None, None) — rotations like `Ψ S`; and
 /// (ConjTrans, None) — overlap matrices like `Ψ^H (HΨ)`. These are the two
 /// shapes PWDFT needs (Alg. 3); other combinations panic.
 pub fn gemm(alpha: c64, a: &CMat, opa: Op, b: &CMat, opb: Op, beta: c64, c: &mut CMat) {
+    let panel = panel_cols(c.ncols);
     match (opa, opb) {
         (Op::None, Op::None) => {
             assert_eq!(a.ncols, b.nrows, "gemm nn: inner dims");
             assert_eq!(c.nrows, a.nrows);
             assert_eq!(c.ncols, b.ncols);
             let m = a.nrows;
-            c.data.par_chunks_mut(m).enumerate().for_each(|(j, ccol)| {
-                for z in ccol.iter_mut() {
-                    *z *= beta;
-                }
-                for l in 0..a.ncols {
-                    let blj = alpha * b[(l, j)];
-                    if blj != c64::ZERO {
-                        zaxpy(blj, a.col(l), ccol);
+            pt_par::parallel_chunks_mut(&mut c.data, m * panel, |p, cpanel| {
+                for (dj, ccol) in cpanel.chunks_mut(m).enumerate() {
+                    let j = p * panel + dj;
+                    for z in ccol.iter_mut() {
+                        *z *= beta;
+                    }
+                    for l in 0..a.ncols {
+                        let blj = alpha * b[(l, j)];
+                        if blj != c64::ZERO {
+                            zaxpy(blj, a.col(l), ccol);
+                        }
                     }
                 }
             });
@@ -219,10 +233,12 @@ pub fn gemm(alpha: c64, a: &CMat, opa: Op, b: &CMat, opb: Op, beta: c64, c: &mut
             assert_eq!(c.nrows, a.ncols);
             assert_eq!(c.ncols, b.ncols);
             let m = a.ncols;
-            c.data.par_chunks_mut(m).enumerate().for_each(|(j, ccol)| {
-                let bj = b.col(j);
-                for (i, z) in ccol.iter_mut().enumerate() {
-                    *z = *z * beta + alpha * zdotc(a.col(i), bj);
+            pt_par::parallel_chunks_mut(&mut c.data, m * panel, |p, cpanel| {
+                for (dj, ccol) in cpanel.chunks_mut(m).enumerate() {
+                    let bj = b.col(p * panel + dj);
+                    for (i, z) in ccol.iter_mut().enumerate() {
+                        *z = *z * beta + alpha * zdotc(a.col(i), bj);
+                    }
                 }
             });
         }
@@ -231,19 +247,17 @@ pub fn gemm(alpha: c64, a: &CMat, opa: Op, b: &CMat, opb: Op, beta: c64, c: &mut
 }
 
 /// Hermitian rank-k update `C = alpha * A^H A + beta * C` exploiting
-/// Hermitian symmetry (computes the upper triangle and mirrors it).
+/// Hermitian symmetry: the upper-triangle columns are computed in parallel
+/// (one pool task per column, mirroring the GEMM panel split) and then
+/// mirrored.
 pub fn herk(alpha: f64, a: &CMat, beta: f64, c: &mut CMat) {
     assert_eq!(c.nrows, a.ncols);
     assert_eq!(c.ncols, a.ncols);
     let n = a.ncols;
-    // compute columns in parallel (upper triangle of each column)
-    let cols: Vec<Vec<c64>> = (0..n)
-        .into_par_iter()
-        .map(|j| {
-            let aj = a.col(j);
-            (0..=j).map(|i| zdotc(a.col(i), aj).scale(alpha)).collect()
-        })
-        .collect();
+    let cols: Vec<Vec<c64>> = pt_par::parallel_map(n, |j| {
+        let aj = a.col(j);
+        (0..=j).map(|i| zdotc(a.col(i), aj).scale(alpha)).collect()
+    });
     for j in 0..n {
         for i in 0..=j {
             let v = cols[j][i] + c[(i, j)].scale(beta);

@@ -1,0 +1,85 @@
+//! `pt-par` — the workspace execution layer: a std-only fixed-worker
+//! thread pool plus deterministic data-parallel primitives.
+//!
+//! The build environment is offline, so this crate depends on nothing but
+//! `std` (`std::thread` + channels-over-condvar). It is what the vendored
+//! `rayon` shim delegates to, which means every `par_iter` call site in
+//! `pt-ham`, `pt-fft`, `pt-linalg` and `pt-pseudo` executes on real
+//! threads without source changes, and the FFT/GEMM/Fock hot paths can
+//! additionally thread themselves explicitly with [`parallel_for`],
+//! [`parallel_chunks_mut`], [`parallel_map`] and [`parallel_reduce`].
+//!
+//! # Determinism contract
+//!
+//! Chunk decomposition depends only on the problem size and every
+//! reduction combines partial results in a fixed chunk-ordered tree, so
+//! **results are bit-identical for any thread count** — `PT_NUM_THREADS=1`
+//! and `=64` produce the same floats. Nested parallel regions run inline
+//! (sequentially) on the worker that reached them, which both avoids
+//! deadlock and keeps the schedule shape fixed.
+//!
+//! # Configuration
+//!
+//! * `PT_NUM_THREADS` sizes the lazily-built [`global`] pool (default:
+//!   available parallelism).
+//! * [`ThreadPool::install`] scopes a specific pool over a closure — the
+//!   determinism tests and the thread-scaling bench use this to compare
+//!   thread counts inside one process.
+//! * [`Parallelism`] is the plain-data config surfaced by
+//!   `KsSystemBuilder::parallelism` / `SimulationBuilder::parallelism`.
+
+mod ops;
+mod pool;
+
+pub use ops::{
+    chunk_count, chunk_range, parallel_chunks_mut, parallel_for, parallel_for_chunks, parallel_map,
+    parallel_reduce, tree_combine,
+};
+pub use pool::{current_num_threads, global, with_current, ThreadPool};
+
+use std::sync::Arc;
+
+/// How much threading a component should use. Plain data so builders can
+/// carry it; turn it into a pool with [`Parallelism::build_pool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Parallelism {
+    /// `Some(n)` pins a dedicated n-thread pool; `None` inherits the
+    /// calling thread's current pool (ultimately `PT_NUM_THREADS`).
+    pub num_threads: Option<usize>,
+}
+
+impl Parallelism {
+    /// Inherit the surrounding pool (the default).
+    pub fn inherit() -> Self {
+        Parallelism::default()
+    }
+
+    /// Pin a dedicated pool of `n` threads (clamped to at least 1).
+    pub fn threads(n: usize) -> Self {
+        Parallelism {
+            num_threads: Some(n.max(1)),
+        }
+    }
+
+    /// Build the dedicated pool, if one was requested.
+    pub fn build_pool(&self) -> Option<Arc<ThreadPool>> {
+        self.num_threads.map(|n| Arc::new(ThreadPool::new(n)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_config_builds_pools() {
+        assert!(Parallelism::inherit().build_pool().is_none());
+        let p = Parallelism::threads(3).build_pool().expect("pool");
+        assert_eq!(p.num_threads(), 3);
+        // zero is clamped, never a panic
+        assert_eq!(
+            Parallelism::threads(0).build_pool().unwrap().num_threads(),
+            1
+        );
+    }
+}

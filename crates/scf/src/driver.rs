@@ -74,7 +74,15 @@ fn initial_orbitals(sys: &KsSystem) -> CMat {
 
 /// Run the ground-state SCF for `sys`. A run that exhausts its iteration
 /// budget above `opts.rho_tol` returns [`PtError::NotConverged`].
+///
+/// The whole loop runs under the system's configured thread pool
+/// ([`KsSystem::install`]), so every Davidson/FFT/GEMM/Fock kernel inside
+/// inherits the `KsSystemBuilder::parallelism` choice.
 pub fn scf_loop(sys: &KsSystem, opts: ScfOptions) -> Result<ScfResult, PtError> {
+    sys.install(|| scf_loop_inner(sys, opts))
+}
+
+fn scf_loop_inner(sys: &KsSystem, opts: ScfOptions) -> Result<ScfResult, PtError> {
     if !opts.rho_tol.is_finite() || opts.rho_tol <= 0.0 {
         return Err(PtError::InvalidConfig(format!(
             "SCF density tolerance must be positive and finite, got {}",

@@ -1,154 +1,455 @@
-//! Sequential stand-in for [rayon](https://crates.io/crates/rayon).
+//! Threaded stand-in for [rayon](https://crates.io/crates/rayon).
 //!
 //! The build environment for this repository has no network access, so the
-//! workspace vendors this drop-in shim instead of the real crate. It
-//! implements — with identical *semantics*, minus the parallelism — exactly
-//! the subset of rayon's parallel-iterator API that the pwdft-rt crates
-//! use:
+//! workspace vendors this drop-in shim instead of the real crate. Unlike
+//! the original sequential stand-in, it **executes on real threads**: every
+//! pipeline is driven by the `pt-par` fixed-worker pool (sized by
+//! `PT_NUM_THREADS`, overridable with `pt_par::ThreadPool::install`). The
+//! API surface is the subset the pwdft-rt crates use:
 //!
 //! * `(a..b).into_par_iter()`, `slice.par_iter()`, `slice.par_chunks(n)`,
 //!   `slice.par_chunks_mut(n)`;
 //! * adaptors `map`, `zip`, `enumerate`;
-//! * consumers `for_each`, `for_each_init`, `collect`, `sum`, and the
-//!   rayon-style `fold(init, f)` → `reduce(identity, op)` pair.
+//! * consumers `for_each`, `for_each_init`, `collect`, `sum`, `count`, and
+//!   the rayon-style `fold(init, f)` → `reduce(identity, op)` pair.
 //!
-//! Because execution is sequential, `fold` produces a single accumulator
-//! and `reduce` simply folds it into the identity — numerically this is one
-//! valid rayon schedule (the one-thread one), so results are bit-identical
-//! to `rayon` with `RAYON_NUM_THREADS=1`.
+//! [`ParallelIterator`] is a real trait (not a marker): it carries the
+//! adaptors and consumers with rayon-shaped bounds, so generic code
+//! written against `P: ParallelIterator<Item = T>` — and rustdoc links to
+//! the methods — compile the same way as against crates.io rayon.
 //!
-//! To restore real parallelism, delete the `rayon` entry from
-//! `[workspace.dependencies]` in the workspace `Cargo.toml` and depend on
-//! crates.io `rayon = "1"` instead; no source changes are needed.
+//! # Execution model and determinism
+//!
+//! Items are delivered in fixed contiguous chunks whose decomposition
+//! depends only on the item count (`pt_par::chunk_count`), each chunk is
+//! processed in index order on one thread, and `fold`/`reduce`/`sum`
+//! combine partial results in chunk order. Results are therefore
+//! bit-identical for every thread count — a stronger guarantee than real
+//! rayon (whose `fold` chunking is nondeterministic), and one valid rayon
+//! schedule, so swapping in crates.io `rayon = "1"` (delete the shim entry
+//! from `[workspace.dependencies]`) stays semantically correct.
+
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::sync::Mutex;
 
 /// The rayon prelude: import all iterator extension traits.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
-/// A "parallel" iterator — here a thin wrapper over a sequential one.
-pub struct ParIter<I>(I);
-
-/// Marker/extension trait mirroring `rayon::iter::ParallelIterator`.
+/// Internal delivery target of a driven pipeline.
 ///
-/// The shim exposes the adaptors as inherent methods on [`ParIter`]; this
-/// trait exists so `use rayon::prelude::*` keeps importing a name of the
-/// same shape as the real crate.
-pub trait ParallelIterator {}
-impl<I: Iterator> ParallelIterator for ParIter<I> {}
+/// Contract (what [`ParallelIterator::drive`] guarantees): `accept` is
+/// called exactly once per item; all items of one `chunk` arrive from a
+/// single thread, in ascending `index` order; the chunk decomposition is
+/// `pt_par::chunk_count(len)` / `pt_par::chunk_range`.
+#[doc(hidden)]
+pub trait Sink<T>: Sync {
+    fn accept(&self, chunk: usize, index: usize, item: T);
+}
+
+/// Parallel iterator: mirrors `rayon::iter::ParallelIterator` (plus the
+/// indexed-iterator methods `zip`/`enumerate`, which this shim's concrete
+/// types all support).
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the pipeline.
+    type Item: Send;
+
+    /// Exact number of items this pipeline will produce.
+    #[doc(hidden)]
+    fn len(&self) -> usize;
+
+    /// Whether the pipeline will produce no items.
+    #[doc(hidden)]
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Execute the pipeline, pushing every item into `sink` (see [`Sink`]
+    /// for the delivery contract). The closure stages of the pipeline run
+    /// on the current `pt-par` pool.
+    #[doc(hidden)]
+    fn drive<S: Sink<Self::Item>>(self, sink: &S);
+
+    /// Map each item through `f` (applied in parallel).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair lock-step with a second parallel iterator (truncates to the
+    /// shorter of the two).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Attach each item's index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Consume every item with `f`, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        struct ForEach<'f, F>(&'f F);
+        impl<T, F: Fn(T) + Sync> Sink<T> for ForEach<'_, F> {
+            fn accept(&self, _chunk: usize, _index: usize, item: T) {
+                (self.0)(item)
+            }
+        }
+        self.drive(&ForEach(&f));
+    }
+
+    /// rayon's `for_each_init`: `init` runs once per worker chunk and the
+    /// state is reused, in order, across that chunk's items.
+    fn for_each_init<T, INIT, F>(self, init: INIT, f: F)
+    where
+        T: Send,
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, Self::Item) + Sync,
+    {
+        struct ForEachInit<'f, T, INIT, F> {
+            slots: Vec<Mutex<Option<T>>>,
+            init: &'f INIT,
+            f: &'f F,
+        }
+        impl<T, I, INIT, F> Sink<I> for ForEachInit<'_, T, INIT, F>
+        where
+            T: Send,
+            INIT: Fn() -> T + Sync,
+            F: Fn(&mut T, I) + Sync,
+        {
+            fn accept(&self, chunk: usize, _index: usize, item: I) {
+                // uncontended: one thread owns a chunk for its whole life
+                let mut slot = self.slots[chunk].lock().unwrap();
+                let state = slot.get_or_insert_with(self.init);
+                (self.f)(state, item);
+            }
+        }
+        let slots = (0..pt_par::chunk_count(self.len()))
+            .map(|_| Mutex::new(None))
+            .collect();
+        self.drive(&ForEachInit {
+            slots,
+            init: &init,
+            f: &f,
+        });
+    }
+
+    /// rayon's splittable `fold`: one accumulator per worker chunk, items
+    /// folded in index order within the chunk. Executes eagerly; the
+    /// returned iterator holds the per-chunk accumulators in chunk order.
+    fn fold<T, INIT, F>(self, init: INIT, f: F) -> ParIter<T>
+    where
+        T: Send,
+        INIT: Fn() -> T + Sync,
+        F: Fn(T, Self::Item) -> T + Sync,
+    {
+        struct Fold<'f, T, INIT, F> {
+            slots: Vec<Mutex<Option<T>>>,
+            init: &'f INIT,
+            f: &'f F,
+        }
+        impl<T, I, INIT, F> Sink<I> for Fold<'_, T, INIT, F>
+        where
+            T: Send,
+            INIT: Fn() -> T + Sync,
+            F: Fn(T, I) -> T + Sync,
+        {
+            fn accept(&self, chunk: usize, _index: usize, item: I) {
+                let mut slot = self.slots[chunk].lock().unwrap();
+                let acc = slot.take().unwrap_or_else(self.init);
+                *slot = Some((self.f)(acc, item));
+            }
+        }
+        let sink = Fold {
+            slots: (0..pt_par::chunk_count(self.len()))
+                .map(|_| Mutex::new(None))
+                .collect(),
+            init: &init,
+            f: &f,
+        };
+        self.drive(&sink);
+        ParIter {
+            items: sink
+                .slots
+                .into_iter()
+                .filter_map(|m| m.into_inner().unwrap())
+                .collect(),
+        }
+    }
+
+    /// rayon's `reduce`: combine all items starting from the identity, in
+    /// deterministic chunk order.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        self.materialize().into_iter().fold(identity(), op)
+    }
+
+    /// Collect into any `FromIterator` collection, preserving item order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.materialize().into_iter().collect()
+    }
+
+    /// Sum all items (the upstream pipeline runs in parallel; the final
+    /// summation is sequential in item order, hence deterministic).
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.materialize().into_iter().sum()
+    }
+
+    /// Like [`ParallelIterator::collect_vec`], but skips the pool pass
+    /// when the items are already materialized (the base iterator).
+    #[doc(hidden)]
+    fn materialize(self) -> Vec<Self::Item> {
+        self.collect_vec()
+    }
+
+    /// Number of items. Like rayon's, this *consumes* the pipeline — all
+    /// upstream stages (and their side effects) execute.
+    fn count(self) -> usize {
+        struct Drain;
+        impl<T> Sink<T> for Drain {
+            fn accept(&self, _chunk: usize, _index: usize, _item: T) {}
+        }
+        let n = self.len();
+        self.drive(&Drain);
+        n
+    }
+
+    /// Execute the pipeline in parallel, materializing the items in order.
+    #[doc(hidden)]
+    fn collect_vec(self) -> Vec<Self::Item> {
+        let n = self.len();
+        struct Collect<T> {
+            base: RawBuf<T>,
+        }
+        impl<T: Send> Sink<T> for Collect<T> {
+            fn accept(&self, _chunk: usize, index: usize, item: T) {
+                // disjoint: `index` is delivered exactly once
+                unsafe { self.base.0.add(index).write(MaybeUninit::new(item)) };
+            }
+        }
+        let mut out: Vec<MaybeUninit<Self::Item>> = Vec::with_capacity(n);
+        // SAFETY: MaybeUninit needs no initialization.
+        unsafe { out.set_len(n) };
+        self.drive(&Collect {
+            base: RawBuf(out.as_mut_ptr()),
+        });
+        let mut out = ManuallyDrop::new(out);
+        // SAFETY: drive delivered (and Collect wrote) every index once.
+        unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<Self::Item>(), n, out.capacity()) }
+    }
+}
+
+/// Raw buffer pointer for disjoint cross-thread writes.
+struct RawBuf<T>(*mut MaybeUninit<T>);
+unsafe impl<T: Send> Send for RawBuf<T> {}
+unsafe impl<T: Send> Sync for RawBuf<T> {}
+
+/// The base parallel iterator: a materialized list of items.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn drive<S: Sink<T>>(self, sink: &S) {
+        let n = self.items.len();
+        let items = ManuallyDrop::new(self.items);
+        let base = RawItems(items.as_ptr().cast_mut());
+        pt_par::parallel_for_chunks(n, |chunk, range| {
+            for i in range {
+                // SAFETY: each index is read exactly once (disjoint chunks);
+                // the ManuallyDrop above prevents a double drop. If a task
+                // panics, unread items leak — safe, on a panicking path.
+                let item = unsafe { std::ptr::read(base.get().add(i)) };
+                sink.accept(chunk, i, item);
+            }
+        });
+        // free the (now logically empty) allocation
+        drop(unsafe { Vec::from_raw_parts(base.get(), 0, items.capacity()) });
+    }
+
+    fn materialize(self) -> Vec<T> {
+        self.items
+    }
+}
+
+struct RawItems<T>(*mut T);
+unsafe impl<T: Send> Send for RawItems<T> {}
+unsafe impl<T: Send> Sync for RawItems<T> {}
+impl<T> RawItems<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Adaptor returned by [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn drive<S: Sink<R>>(self, sink: &S) {
+        struct MapSink<'f, F, S> {
+            f: &'f F,
+            inner: &'f S,
+        }
+        impl<T, R, F, S> Sink<T> for MapSink<'_, F, S>
+        where
+            F: Fn(T) -> R + Sync,
+            S: Sink<R>,
+        {
+            fn accept(&self, chunk: usize, index: usize, item: T) {
+                self.inner.accept(chunk, index, (self.f)(item));
+            }
+        }
+        self.base.drive(&MapSink {
+            f: &self.f,
+            inner: sink,
+        });
+    }
+}
+
+/// Adaptor returned by [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn drive<S: Sink<(usize, P::Item)>>(self, sink: &S) {
+        struct EnumSink<'f, S> {
+            inner: &'f S,
+        }
+        impl<T, S: Sink<(usize, T)>> Sink<T> for EnumSink<'_, S> {
+            fn accept(&self, chunk: usize, index: usize, item: T) {
+                self.inner.accept(chunk, index, (index, item));
+            }
+        }
+        self.base.drive(&EnumSink { inner: sink });
+    }
+}
+
+/// Adaptor returned by [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn drive<S: Sink<(A::Item, B::Item)>>(self, sink: &S) {
+        // materialize both sides (in parallel if they carry pipeline
+        // stages, for free if they are base iterators), then drive the
+        // pairs in one pool pass
+        let a = self.a.materialize();
+        let b = self.b.materialize();
+        ParIter {
+            items: a.into_iter().zip(b).collect(),
+        }
+        .drive(sink);
+    }
+}
 
 /// `into_par_iter()` for owned collections and ranges.
 pub trait IntoParallelIterator {
-    /// The wrapped sequential iterator type.
-    type SeqIter: Iterator<Item = Self::Item>;
     /// Item type.
-    type Item;
-    /// Convert into a (sequential) "parallel" iterator.
-    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
 }
 
-impl<C: IntoIterator> IntoParallelIterator for C {
-    type SeqIter = C::IntoIter;
+impl<C: IntoIterator> IntoParallelIterator for C
+where
+    C::Item: Send,
+{
     type Item = C::Item;
-    fn into_par_iter(self) -> ParIter<C::IntoIter> {
-        ParIter(self.into_iter())
+    type Iter = ParIter<C::Item>;
+    fn into_par_iter(self) -> ParIter<C::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
 /// `par_iter` / `par_chunks` on shared slices.
-pub trait ParallelSlice<T> {
-    /// Sequential stand-in for `rayon`'s `par_iter`.
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
-    /// Sequential stand-in for `rayon`'s `par_chunks`.
-    fn par_chunks(&self, chunk: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over non-overlapping `&[T]` chunks.
+    fn par_chunks(&self, chunk: usize) -> ParIter<&[T]>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter(self.iter())
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
-    fn par_chunks(&self, chunk: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter(self.chunks(chunk))
+    fn par_chunks(&self, chunk: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk).collect(),
+        }
     }
 }
 
 /// `par_chunks_mut` on mutable slices.
-pub trait ParallelSliceMut<T> {
-    /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
-    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping `&mut [T]` chunks.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<&mut [T]>;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter(self.chunks_mut(chunk))
-    }
-}
-
-impl<I: Iterator> ParIter<I> {
-    /// Map each item.
-    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
-    }
-
-    /// Pair with a second parallel iterator.
-    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
-        ParIter(self.0.zip(other.0))
-    }
-
-    /// Attach indices.
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
-    }
-
-    /// Consume with a side-effecting closure.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// rayon's `for_each_init`: the init value is created once per worker —
-    /// sequentially, exactly once, reused across all items.
-    pub fn for_each_init<T, Init, F>(self, mut init: Init, mut f: F)
-    where
-        Init: FnMut() -> T,
-        F: FnMut(&mut T, I::Item),
-    {
-        let mut state = init();
-        self.0.for_each(|item| f(&mut state, item));
-    }
-
-    /// rayon's splittable `fold`: yields one accumulator per worker chunk.
-    /// Sequentially there is one chunk, hence one accumulator.
-    pub fn fold<T, Init, F>(self, mut init: Init, f: F) -> ParIter<std::iter::Once<T>>
-    where
-        Init: FnMut() -> T,
-        F: FnMut(T, I::Item) -> T,
-    {
-        ParIter(std::iter::once(self.0.fold(init(), f)))
-    }
-
-    /// rayon's `reduce`: combine all items starting from the identity.
-    pub fn reduce<Id, Op>(self, mut identity: Id, op: Op) -> I::Item
-    where
-        Id: FnMut() -> I::Item,
-        Op: FnMut(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    /// Collect into any `FromIterator` collection.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    /// Sum all items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk).collect(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn fold_then_reduce_matches_sequential() {
@@ -181,16 +482,71 @@ mod tests {
     }
 
     #[test]
-    fn for_each_init_reuses_state() {
-        let mut out = Vec::new();
-        let data = [1, 2, 3];
+    fn enumerate_indices_are_stable_under_map() {
+        let data = [10i64, 20, 30, 40];
+        let v: Vec<(usize, i64)> = data.par_iter().map(|&x| x + 1).enumerate().collect();
+        assert_eq!(v, vec![(0, 11), (1, 21), (2, 31), (3, 41)]);
+    }
+
+    #[test]
+    fn for_each_init_initializes_once_per_chunk() {
+        let inits = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        let data: Vec<usize> = (0..200).collect();
         data.par_iter().for_each_init(
-            || 100,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
             |state, &x| {
-                *state += x;
-                out.push(*state);
+                *state += 1;
+                sum.fetch_add(x, Ordering::Relaxed);
             },
         );
-        assert_eq!(out, vec![101, 103, 106]);
+        assert_eq!(sum.load(Ordering::Relaxed), 199 * 200 / 2);
+        assert!(inits.load(Ordering::Relaxed) <= pt_par::chunk_count(200));
+    }
+
+    #[test]
+    fn collect_preserves_order_in_parallel() {
+        let pool = pt_par::ThreadPool::new(4);
+        let v: Vec<usize> = pool.install(|| (0..500usize).into_par_iter().map(|i| 2 * i).collect());
+        assert_eq!(v, (0..500).map(|i| 2 * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_reduce_is_bit_deterministic_across_thread_counts() {
+        let run = |threads: usize| -> f64 {
+            pt_par::ThreadPool::new(threads).install(|| {
+                (0..5000usize)
+                    .into_par_iter()
+                    .map(|i| 1.0 / (1.0 + i as f64))
+                    .fold(|| 0.0f64, |a, x| a + x)
+                    .reduce(|| 0.0, |a, b| a + b)
+            })
+        };
+        assert_eq!(run(1).to_bits(), run(4).to_bits());
+    }
+
+    #[test]
+    fn generic_code_compiles_against_the_trait() {
+        // the satellite regression: a generic bound on ParallelIterator
+        // must expose the adaptors, exactly as with crates.io rayon
+        fn doubled_sum<P: ParallelIterator<Item = u64>>(p: P) -> u64 {
+            p.map(|x| 2 * x).sum()
+        }
+        assert_eq!(doubled_sum((0u64..10).into_par_iter()), 90);
+    }
+
+    #[test]
+    fn mutable_chunks_see_every_chunk_once() {
+        let seen = Mutex::new(Vec::new());
+        let mut data = [0u8; 23];
+        data.par_chunks_mut(5).enumerate().for_each(|(i, c)| {
+            seen.lock().unwrap().push((i, c.len()));
+        });
+        let mut s = seen.into_inner().unwrap();
+        s.sort_unstable();
+        assert_eq!(s, vec![(0, 5), (1, 5), (2, 5), (3, 5), (4, 3)]);
     }
 }

@@ -14,7 +14,10 @@
 //!   ([`scf`]), and the parallel-transport PT-CN propagator with its RK4
 //!   baseline ([`core`]). A virtual MPI runtime ([`mpi`]) runs the paper's
 //!   distributed algorithms (Alg. 2/3) across in-process rank threads with
-//!   real data movement and byte accounting.
+//!   real data movement and byte accounting. Everything executes on the
+//!   [`par`] fixed-worker thread pool (`PT_NUM_THREADS`, bit-deterministic
+//!   for any thread count) via the vendored rayon shim and the explicitly
+//!   threaded FFT/GEMM/Fock hot paths.
 //! * **Layer B (Summit model)** — machine constants ([`summit`]) and the
 //!   anchored performance model ([`perf`]) that regenerate every table and
 //!   figure of the paper's evaluation.
@@ -70,6 +73,7 @@ pub use pt_lattice as lattice;
 pub use pt_linalg as linalg;
 pub use pt_mpi as mpi;
 pub use pt_num as num;
+pub use pt_par as par;
 pub use pt_perf as perf;
 pub use pt_pseudo as pseudo;
 pub use pt_scf as scf;
@@ -87,6 +91,7 @@ pub mod prelude {
     pub use pt_ham::{HybridConfig, KsSystem, KsSystemBuilder};
     pub use pt_lattice::silicon_cubic_supercell;
     pub use pt_num::units::{attosecond_to_au, au_to_attosecond};
+    pub use pt_par::{Parallelism, ThreadPool};
     pub use pt_scf::{scf_loop, ScfOptions, ScfResult};
     pub use pt_xc::XcKind;
 }

@@ -1,0 +1,159 @@
+//! The execution-layer determinism contract, end to end: the *same bits*
+//! come out of the full pipeline at `PT_NUM_THREADS=1` and `=4`.
+//!
+//! `pt-par` cuts every index space into chunks by a policy that depends
+//! only on the problem size and combines partial results in chunk order,
+//! so parallel execution is a fixed re-association of the sequential one —
+//! these tests assert exact (`to_bits`) equality, not tolerances. They
+//! exercise the config plumbing too: thread counts are pinned through
+//! `KsSystemBuilder::parallelism` and `SimulationBuilder::parallelism`.
+
+use pwdft_rt::prelude::*;
+
+/// Ground state + 3 PT-CN steps of laser-driven hybrid (HSE06) silicon on
+/// a dedicated `threads`-wide pool.
+fn hybrid_pipeline(threads: usize) -> (ScfResult, TimeSeries) {
+    let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+        .ecut(2.0)
+        .xc(XcKind::Pbe)
+        .hybrid(HybridConfig::hse06())
+        .occupations(vec![2.0; 4])
+        .parallelism(Parallelism::threads(threads))
+        .build()
+        .expect("valid system");
+    let gs = scf_loop(&sys, ScfOptions::default()).expect("SCF converges");
+    let series = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(LaserPulse::paper_380nm(
+            0.02,
+            attosecond_to_au(200.0),
+            attosecond_to_au(100.0),
+        ))
+        .dt(attosecond_to_au(25.0))
+        .steps(3)
+        .propagator(Box::new(PtCnPropagator::default()))
+        .standard_observers()
+        .build()
+        .expect("valid simulation")
+        .run()
+        .expect("propagation succeeds");
+    (gs, series)
+}
+
+fn assert_bits_eq(name: &str, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "{name}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{name}[{i}]: {x:e} != {y:e} (parallel schedule leaked into the numbers)"
+        );
+    }
+}
+
+#[test]
+fn hybrid_scf_and_ptcn_propagation_are_bit_identical_at_1_and_4_threads() {
+    let (gs1, ts1) = hybrid_pipeline(1);
+    let (gs4, ts4) = hybrid_pipeline(4);
+
+    // ground state: energies, eigenvalues, density, orbitals — exact
+    assert_eq!(
+        gs1.energies.total().to_bits(),
+        gs4.energies.total().to_bits(),
+        "total energy differs across thread counts"
+    );
+    assert_bits_eq("eigenvalues", &gs1.eigenvalues, &gs4.eigenvalues);
+    assert_bits_eq("rho", &gs1.rho, &gs4.rho);
+    assert_eq!(gs1.scf_iterations, gs4.scf_iterations);
+    assert_eq!(
+        gs1.rho_residual.to_bits(),
+        gs4.rho_residual.to_bits(),
+        "SCF residual differs"
+    );
+    for j in 0..gs1.orbitals.ncols() {
+        for (i, (a, b)) in gs1
+            .orbitals
+            .col(j)
+            .iter()
+            .zip(gs4.orbitals.col(j))
+            .enumerate()
+        {
+            assert!(
+                a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                "orbital ({i},{j}) differs: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    // time series: every channel of every step — exact
+    assert_eq!(ts1.len(), ts4.len());
+    assert_eq!(ts1.channel_names(), ts4.channel_names());
+    for name in ts1.channel_names() {
+        assert_bits_eq(name, ts1.channel(name).unwrap(), ts4.channel(name).unwrap());
+    }
+    assert_bits_eq("t", &ts1.t, &ts4.t);
+    for (s1, s4) in ts1.stats.iter().zip(&ts4.stats) {
+        assert_eq!(
+            s1.scf_iterations, s4.scf_iterations,
+            "PT-CN inner iterations differ"
+        );
+        assert_eq!(
+            s1.rho_residual.to_bits(),
+            s4.rho_residual.to_bits(),
+            "PT-CN residual differs"
+        );
+    }
+}
+
+#[test]
+fn semilocal_scf_is_bit_identical_at_1_and_4_threads() {
+    let run = |threads: usize| {
+        let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+            .ecut(3.0)
+            .xc(XcKind::Lda)
+            .parallelism(Parallelism::threads(threads))
+            .build()
+            .unwrap();
+        scf_loop(&sys, ScfOptions::default()).expect("SCF converges")
+    };
+    let r1 = run(1);
+    let r4 = run(4);
+    assert_eq!(r1.energies.total().to_bits(), r4.energies.total().to_bits());
+    assert_bits_eq("eigenvalues", &r1.eigenvalues, &r4.eigenvalues);
+    assert_bits_eq("rho", &r1.rho, &r4.rho);
+    assert_eq!(r1.scf_iterations, r4.scf_iterations);
+}
+
+#[test]
+fn install_scoping_matches_builder_plumbing() {
+    // pinning threads via ThreadPool::install around a default-parallelism
+    // system must give the same bits as the builder route
+    let via_install = |threads: usize| {
+        let pool = ThreadPool::new(threads);
+        pool.install(|| {
+            let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+                .ecut(2.0)
+                .xc(XcKind::Lda)
+                .build()
+                .unwrap();
+            scf_loop(&sys, ScfOptions::default())
+                .expect("SCF converges")
+                .energies
+                .total()
+        })
+    };
+    let via_builder = {
+        let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+            .ecut(2.0)
+            .xc(XcKind::Lda)
+            .parallelism(Parallelism::threads(4))
+            .build()
+            .unwrap();
+        scf_loop(&sys, ScfOptions::default())
+            .expect("SCF converges")
+            .energies
+            .total()
+    };
+    assert_eq!(via_install(1).to_bits(), via_install(4).to_bits());
+    assert_eq!(via_install(4).to_bits(), via_builder.to_bits());
+}
