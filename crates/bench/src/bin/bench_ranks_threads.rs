@@ -1,0 +1,139 @@
+//! Ranks × threads smoke bench for the rank-pinned execution layer.
+//!
+//! The same core budget can be spent on more virtual-MPI ranks (more
+//! Alg. 2 broadcast streams, narrower per-rank pools) or on fewer ranks
+//! with wider pinned pools — the tradeoff the paper resolves per machine
+//! (6 GPUs per Summit node → 6 ranks per node). This bench times the two
+//! distributed hot paths over a layout sweep and writes
+//! `BENCH_ranks_threads.json` so the contention-vs-slicing choice is
+//! measured, not guessed.
+//!
+//! Layouts whose `ranks × threads_per_rank` exceeds `host_cores` merely
+//! oversubscribe (results are bit-identical by the determinism contract);
+//! `host_cores` is recorded so a 1-core CI runner's flat curve is not
+//! mistaken for a regression. `PT_NUM_RANKS` / `PT_NUM_THREADS` append
+//! one extra layout to the sweep, which is how the CI matrix smokes the
+//! composition it just tested.
+
+use pt_ham::{
+    distributed_fock_apply, distributed_residual, BandDistribution, PwGrids, ScreenedKernel,
+};
+use pt_lattice::silicon_cubic_supercell;
+use pt_linalg::CMat;
+use pt_mpi::{env_ranks, run_ranks_pinned, Wire};
+use pt_par::RankLayout;
+use std::hint::black_box;
+use std::time::Instant;
+
+const BASE_LAYOUTS: [(usize, usize); 6] = [(1, 1), (1, 2), (1, 4), (2, 1), (2, 2), (4, 1)];
+
+struct Workload {
+    grids: PwGrids,
+    phi: CMat,
+    psi: CMat,
+    hpsi: CMat,
+    half: CMat,
+    kernel: ScreenedKernel,
+    nb: usize,
+}
+
+impl Workload {
+    fn new() -> Self {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let grids = PwGrids::new(&s, 3.0);
+        let nb = 8;
+        let ng = grids.ng();
+        Workload {
+            phi: CMat::rand_normalized(ng, nb, 3),
+            psi: CMat::rand_normalized(ng, nb, 7),
+            hpsi: CMat::rand_normalized(ng, nb, 11),
+            half: CMat::rand_normalized(ng, nb, 13),
+            kernel: ScreenedKernel::new(&grids, 0.11),
+            grids,
+            nb,
+        }
+    }
+
+    /// Best-of-`reps` wall seconds for one full Alg. 2 + Alg. 3 pass over
+    /// the layout (rank spawn + pinned-pool setup included: that overhead
+    /// is part of what the sweep is measuring).
+    fn time_layout(&self, layout: RankLayout, reps: usize) -> f64 {
+        let dist = BandDistribution {
+            n_bands: self.nb,
+            n_ranks: layout.ranks,
+        };
+        let ng = self.grids.ng();
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let (out, _) = run_ranks_pinned(layout, Wire::F64, |comm| {
+                let rank = comm.rank();
+                let fock = distributed_fock_apply(
+                    comm,
+                    &self.grids,
+                    dist,
+                    &dist.take_local(rank, &self.phi),
+                    &dist.take_local(rank, &self.psi),
+                    0.25,
+                    &self.kernel,
+                );
+                let resid = distributed_residual(
+                    comm,
+                    dist,
+                    ng,
+                    &dist.take_local(rank, &self.psi),
+                    &dist.take_local(rank, &self.hpsi),
+                    &dist.take_local(rank, &self.half),
+                    0.7,
+                );
+                fock.ncols() + resid.ncols()
+            });
+            black_box(out);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    }
+}
+
+fn main() {
+    let host_cores = RankLayout::host_cores();
+    let mut layouts: Vec<(usize, usize)> = BASE_LAYOUTS.to_vec();
+    let env_layout = (env_ranks(), pt_par::env_threads().unwrap_or(1));
+    if !layouts.contains(&env_layout) {
+        layouts.push(env_layout);
+    }
+
+    let w = Workload::new();
+    let mut rows = Vec::new();
+    for &(ranks, threads) in &layouts {
+        let layout = RankLayout::new(ranks, threads);
+        let secs = w.time_layout(layout, 3);
+        println!(
+            "ranks={ranks} threads_per_rank={threads}  {:10.3} ms{}",
+            secs * 1e3,
+            if layout.fits_host() {
+                ""
+            } else {
+                "  (oversubscribed)"
+            }
+        );
+        rows.push((ranks, threads, secs));
+    }
+    let baseline = rows[0].2;
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"ranks_threads_smoke\",\n");
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str("  \"workload\": \"distributed_fock_apply + distributed_residual, Si-8 ecut 3.0, 8 bands\",\n");
+    json.push_str("  \"layouts\": [\n");
+    for (i, (ranks, threads, secs)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"ranks\": {ranks}, \"threads_per_rank\": {threads}, \"wall_seconds\": {secs:.6}, \"speedup_vs_1x1\": {:.3}}}{}\n",
+            baseline / secs,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_ranks_threads.json", &json).expect("write BENCH_ranks_threads.json");
+    println!("\nwrote BENCH_ranks_threads.json ({host_cores} host cores)");
+}

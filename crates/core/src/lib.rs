@@ -16,7 +16,9 @@
 //! # The simulation API
 //!
 //! * [`Propagator`] — the object-safe one-step abstraction. Implementations:
-//!   [`PtCnPropagator`] (Alg. 1, options [`PtCnOptions`]) and
+//!   [`PtCnPropagator`] (Alg. 1, options [`PtCnOptions`]),
+//!   [`DistributedPtCnPropagator`] (the same algorithm with every `HΨ`
+//!   fanned out over virtual-MPI ranks with pinned pools) and
 //!   [`Rk4Propagator`] (the Fig. 6 baseline, options [`Rk4Options`]).
 //!   Select at runtime via `Box<dyn Propagator>`.
 //! * [`SimulationBuilder`] / [`Simulation`] — configure system, laser,
@@ -36,6 +38,7 @@
 //! step-size ceiling.
 
 mod anderson_c;
+mod distributed;
 mod laser;
 mod observables;
 mod propagator;
@@ -43,6 +46,7 @@ mod simulation;
 mod stability;
 
 pub use anderson_c::BandAndersonMixer;
+pub use distributed::DistributedPtCnPropagator;
 pub use laser::LaserPulse;
 pub use observables::{current_density, density_matrix_distance, orthonormality_error};
 pub use propagator::{

@@ -94,6 +94,36 @@ impl Default for PtCnOptions {
     }
 }
 
+impl PtCnOptions {
+    /// Reject malformed options with a typed error (shared by the serial
+    /// and distributed PT-CN propagators before any physics runs).
+    pub(crate) fn validate(&self) -> Result<(), PtError> {
+        if !self.rho_tol.is_finite() || self.rho_tol <= 0.0 {
+            return Err(PtError::InvalidConfig(format!(
+                "PT-CN density tolerance must be positive and finite, got {}",
+                self.rho_tol
+            )));
+        }
+        if self.max_scf == 0 {
+            return Err(PtError::InvalidConfig(
+                "PT-CN max_scf must be at least 1".into(),
+            ));
+        }
+        if self.anderson_depth == 0 {
+            return Err(PtError::InvalidConfig(
+                "PT-CN Anderson history depth must be at least 1".into(),
+            ));
+        }
+        if !self.beta.is_finite() {
+            return Err(PtError::InvalidConfig(format!(
+                "PT-CN mixing parameter beta must be finite, got {}",
+                self.beta
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// RK4 options.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Rk4Options {
@@ -145,6 +175,108 @@ fn reorthonormalize(psi: &mut CMat) {
     orthonormalize_columns(psi, 0.0);
 }
 
+/// One full `H[ρ(Ψ), Ψ] Ψ` application inside a PT-CN step (`Φ = Ψ` for
+/// hybrids, per the parallel-transport gauge). The serial propagator
+/// builds the in-process Hamiltonian; the distributed propagator fans the
+/// same application out over virtual-MPI ranks with pinned pools.
+pub(crate) type ApplyH<'a> =
+    dyn FnMut(&KsSystem, &[f64], &CMat, [f64; 3]) -> Result<CMat, PtError> + 'a;
+
+/// The PT-CN step body (Alg. 1), generic over the `HΨ` strategy — the
+/// shared core of [`PtCnPropagator`] and `DistributedPtCnPropagator`.
+/// Everything outside `apply_h` (density, Anderson mixing, residual
+/// algebra, re-orthonormalization) runs replicated on the driver thread,
+/// so the step's output bits depend only on `apply_h`'s.
+pub(crate) fn ptcn_step_with(
+    opts: &PtCnOptions,
+    sys: &KsSystem,
+    laser: Option<&LaserPulse>,
+    state: &mut TdState,
+    dt: f64,
+    apply_h: &mut ApplyH<'_>,
+) -> Result<StepStats, PtError> {
+    opts.validate()?;
+    let nb = state.psi.ncols();
+    let ng = state.psi.nrows();
+    let mut stats = StepStats::default();
+
+    // line 1: initial residual R_n at time t_n
+    let rho_n = sys.density(&state.psi);
+    let hpsi = apply_h(sys, &rho_n, &state.psi, a_field(laser, state.t))?;
+    stats.h_applications += 1;
+    let r_n = pt_rhs(&hpsi, &state.psi);
+
+    // line 2: Ψ_{n+1/2} = Ψ_n − i dt/2 R_n ; Ψ_f = Ψ_{n+1/2}
+    let mut psi_half = state.psi.clone();
+    for (o, r) in psi_half.data_mut().iter_mut().zip(r_n.data()) {
+        *o -= r.mul_i().scale(0.5 * dt);
+    }
+    let mut psi_f = psi_half.clone();
+
+    // lines 3-10: fixed point via Anderson mixing
+    let mut mixer = BandAndersonMixer::new(nb, opts.anderson_depth, opts.beta);
+    let mut rho_f = sys.density(&psi_f);
+    let t_next = state.t + dt;
+    for _ in 0..opts.max_scf {
+        stats.scf_iterations += 1;
+        let hpsi_f = apply_h(sys, &rho_f, &psi_f, a_field(laser, t_next))?;
+        stats.h_applications += 1;
+        // R_f = Ψ_f + i dt/2 (H_f Ψ_f − Ψ_f (Ψ_f* H_f Ψ_f)) − Ψ_{n+1/2}
+        let rhs = pt_rhs(&hpsi_f, &psi_f);
+        let mut resid = CMat::zeros(ng, nb);
+        for i in 0..ng * nb {
+            resid.data_mut()[i] =
+                psi_f.data()[i] + rhs.data()[i].mul_i().scale(0.5 * dt) - psi_half.data()[i];
+        }
+        // Anderson mixing on the fixed point Ψ = Ψ − R(Ψ): residual −R
+        for z in resid.data_mut().iter_mut() {
+            *z = -*z;
+        }
+        psi_f = mixer.step(&psi_f, &resid);
+        let rho_new = sys.density(&psi_f);
+        stats.rho_residual = density_residual(&rho_new, &rho_f, sys.grids.volume);
+        rho_f = rho_new;
+        if stats.rho_residual < opts.rho_tol {
+            stats.converged = true;
+            break;
+        }
+    }
+    if opts.strict && !stats.converged {
+        return Err(PtError::NotConverged {
+            context: "PT-CN fixed point",
+            residual: stats.rho_residual,
+            tol: opts.rho_tol,
+            iterations: stats.scf_iterations,
+        });
+    }
+
+    // line 11: re-orthogonalize (Cholesky + TRSM, §3.4)
+    reorthonormalize(&mut psi_f);
+
+    state.psi = psi_f;
+    state.t = t_next;
+    Ok(stats)
+}
+
+/// The in-process `HΨ` strategy: build the full Hamiltonian (serial/
+/// threaded Fock included) and apply it block-wise.
+pub(crate) fn serial_apply_h(
+    sys: &KsSystem,
+    rho: &[f64],
+    psi: &CMat,
+    a: [f64; 3],
+) -> Result<CMat, PtError> {
+    let phi = if sys.hybrid.is_some() {
+        Some(psi)
+    } else {
+        None
+    };
+    let h = sys.hamiltonian(rho, phi, a)?;
+    let mut hpsi = CMat::zeros(psi.nrows(), psi.ncols());
+    h.apply_block(psi, &mut hpsi);
+    Ok(hpsi)
+}
+
 impl Propagator for PtCnPropagator {
     fn name(&self) -> &'static str {
         "pt-cn"
@@ -158,102 +290,7 @@ impl Propagator for PtCnPropagator {
         state: &mut TdState,
         dt: f64,
     ) -> Result<StepStats, PtError> {
-        if !self.opts.rho_tol.is_finite() || self.opts.rho_tol <= 0.0 {
-            return Err(PtError::InvalidConfig(format!(
-                "PT-CN density tolerance must be positive and finite, got {}",
-                self.opts.rho_tol
-            )));
-        }
-        if self.opts.max_scf == 0 {
-            return Err(PtError::InvalidConfig(
-                "PT-CN max_scf must be at least 1".into(),
-            ));
-        }
-        if self.opts.anderson_depth == 0 {
-            return Err(PtError::InvalidConfig(
-                "PT-CN Anderson history depth must be at least 1".into(),
-            ));
-        }
-        if !self.opts.beta.is_finite() {
-            return Err(PtError::InvalidConfig(format!(
-                "PT-CN mixing parameter beta must be finite, got {}",
-                self.opts.beta
-            )));
-        }
-        let nb = state.psi.ncols();
-        let ng = state.psi.nrows();
-        let mut stats = StepStats::default();
-
-        // line 1: initial residual R_n at time t_n
-        let rho_n = sys.density(&state.psi);
-        let phi = if sys.hybrid.is_some() {
-            Some(&state.psi)
-        } else {
-            None
-        };
-        let h_n = sys.hamiltonian(&rho_n, phi, a_field(laser, state.t))?;
-        let mut hpsi = CMat::zeros(ng, nb);
-        h_n.apply_block(&state.psi, &mut hpsi);
-        stats.h_applications += 1;
-        let r_n = pt_rhs(&hpsi, &state.psi);
-
-        // line 2: Ψ_{n+1/2} = Ψ_n − i dt/2 R_n ; Ψ_f = Ψ_{n+1/2}
-        let mut psi_half = state.psi.clone();
-        for (o, r) in psi_half.data_mut().iter_mut().zip(r_n.data()) {
-            *o -= r.mul_i().scale(0.5 * dt);
-        }
-        let mut psi_f = psi_half.clone();
-
-        // lines 3-10: fixed point via Anderson mixing
-        let mut mixer = BandAndersonMixer::new(nb, self.opts.anderson_depth, self.opts.beta);
-        let mut rho_f = sys.density(&psi_f);
-        let t_next = state.t + dt;
-        for _ in 0..self.opts.max_scf {
-            stats.scf_iterations += 1;
-            let phi_f = if sys.hybrid.is_some() {
-                Some(&psi_f)
-            } else {
-                None
-            };
-            let h_f = sys.hamiltonian(&rho_f, phi_f, a_field(laser, t_next))?;
-            let mut hpsi_f = CMat::zeros(ng, nb);
-            h_f.apply_block(&psi_f, &mut hpsi_f);
-            stats.h_applications += 1;
-            // R_f = Ψ_f + i dt/2 (H_f Ψ_f − Ψ_f (Ψ_f* H_f Ψ_f)) − Ψ_{n+1/2}
-            let rhs = pt_rhs(&hpsi_f, &psi_f);
-            let mut resid = CMat::zeros(ng, nb);
-            for i in 0..ng * nb {
-                resid.data_mut()[i] =
-                    psi_f.data()[i] + rhs.data()[i].mul_i().scale(0.5 * dt) - psi_half.data()[i];
-            }
-            // Anderson mixing on the fixed point Ψ = Ψ − R(Ψ): residual −R
-            for z in resid.data_mut().iter_mut() {
-                *z = -*z;
-            }
-            psi_f = mixer.step(&psi_f, &resid);
-            let rho_new = sys.density(&psi_f);
-            stats.rho_residual = density_residual(&rho_new, &rho_f, sys.grids.volume);
-            rho_f = rho_new;
-            if stats.rho_residual < self.opts.rho_tol {
-                stats.converged = true;
-                break;
-            }
-        }
-        if self.opts.strict && !stats.converged {
-            return Err(PtError::NotConverged {
-                context: "PT-CN fixed point",
-                residual: stats.rho_residual,
-                tol: self.opts.rho_tol,
-                iterations: stats.scf_iterations,
-            });
-        }
-
-        // line 11: re-orthogonalize (Cholesky + TRSM, §3.4)
-        reorthonormalize(&mut psi_f);
-
-        state.psi = psi_f;
-        state.t = t_next;
-        Ok(stats)
+        ptcn_step_with(&self.opts, sys, laser, state, dt, &mut serial_apply_h)
     }
 }
 

@@ -303,8 +303,10 @@ impl<'a> SimulationBuilder<'a> {
         self
     }
 
-    /// Select the propagator (default: PT-CN with paper options). Boxed so
-    /// the choice can be made at runtime.
+    /// Select the propagator (default: PT-CN with paper options — the
+    /// distributed variant when the system carries a
+    /// [`pt_ham::KsSystemBuilder::distributed`] config). Boxed so the
+    /// choice can be made at runtime.
     pub fn propagator(mut self, p: Box<dyn Propagator>) -> Self {
         self.propagator = Some(p);
         self
@@ -382,9 +384,15 @@ impl<'a> SimulationBuilder<'a> {
                 got: psi.ncols(),
             });
         }
-        let propagator = self
-            .propagator
-            .unwrap_or_else(|| Box::new(PtCnPropagator::default()));
+        let propagator = self.propagator.unwrap_or_else(|| {
+            if self.sys.distributed.is_some() {
+                // the system asked for a ranks × threads decomposition:
+                // drive PT-CN through the virtual MPI runtime
+                Box::new(crate::distributed::DistributedPtCnPropagator::default())
+            } else {
+                Box::new(PtCnPropagator::default())
+            }
+        });
         Ok(Simulation {
             sys: self.sys,
             laser: self.laser,

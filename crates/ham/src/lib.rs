@@ -31,6 +31,7 @@ pub use ace::AceOperator;
 pub use density::{density_from_orbitals, density_residual, integrate};
 pub use distributed::{
     distributed_fock_apply, distributed_residual, serial_fock_reference, BandDistribution,
+    DistributedConfig,
 };
 pub use error::PtError;
 pub use fock::{FockMode, FockOperator, ScreenedKernel};

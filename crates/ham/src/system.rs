@@ -2,6 +2,7 @@
 //! assembly from a density.
 
 use crate::density::density_from_orbitals;
+use crate::distributed::DistributedConfig;
 use crate::error::PtError;
 use crate::fock::{FockMode, FockOperator, ScreenedKernel};
 use crate::grids::PwGrids;
@@ -104,6 +105,11 @@ pub struct KsSystem {
     /// Dedicated thread pool (None = inherit the surrounding pool /
     /// `PT_NUM_THREADS`). Set via [`KsSystemBuilder::parallelism`].
     pub pool: Option<Arc<ThreadPool>>,
+    /// Ranks × threads decomposition for distributed drivers (None =
+    /// everything runs in-process on the pool above). Set via
+    /// [`KsSystemBuilder::distributed`]; `pt-core`'s distributed PT-CN
+    /// propagator reads it to spawn virtual-MPI ranks with pinned pools.
+    pub distributed: Option<DistributedConfig>,
 }
 
 /// Builder for [`KsSystem`] — the validated entry point of the setup path.
@@ -130,6 +136,7 @@ pub struct KsSystemBuilder {
     hybrid: Option<HybridConfig>,
     occupations: Option<Vec<f64>>,
     parallelism: Parallelism,
+    distributed: Option<DistributedConfig>,
 }
 
 impl KsSystemBuilder {
@@ -143,6 +150,7 @@ impl KsSystemBuilder {
             hybrid: None,
             occupations: None,
             parallelism: Parallelism::inherit(),
+            distributed: None,
         }
     }
 
@@ -169,8 +177,22 @@ impl KsSystemBuilder {
     /// default inherits the surrounding pool, i.e. `PT_NUM_THREADS`).
     /// `scf_loop` and `Simulation::run` install the pool around their
     /// whole loops, so every FFT/GEMM/Fock kernel inherits it.
+    /// `Parallelism::ranks_threads(r, t)` additionally implies a
+    /// full-precision [`KsSystemBuilder::distributed`] config when none
+    /// is set explicitly.
     pub fn parallelism(mut self, p: Parallelism) -> Self {
         self.parallelism = p;
+        self
+    }
+
+    /// Run distributed drivers as `cfg.ranks` virtual-MPI rank threads,
+    /// each with its own pinned `cfg.threads_per_rank`-wide pool — the
+    /// paper's one-GPU-plus-CPU-slice per MPI rank, in process. With this
+    /// set, `SimulationBuilder` defaults to the distributed PT-CN
+    /// propagator, so a hybrid run is driven as ranks × threads straight
+    /// from the builder API. Validated in [`KsSystemBuilder::build`].
+    pub fn distributed(mut self, cfg: DistributedConfig) -> Self {
+        self.distributed = Some(cfg);
         self
     }
 
@@ -211,6 +233,17 @@ impl KsSystemBuilder {
                     h.omega
                 )));
             }
+        }
+        // `Parallelism::ranks_threads` is the pt-par view of the same
+        // decomposition: without an explicit DistributedConfig it implies
+        // one (full-precision wire), so the layout actually drives rank
+        // spawning instead of silently degrading to a plain pool
+        let distributed = self.distributed.or(self
+            .parallelism
+            .rank_layout
+            .map(|l| DistributedConfig::new(l.ranks, l.threads_per_rank)));
+        if let Some(d) = &distributed {
+            d.validate()?;
         }
         let occupations = match self.occupations {
             Some(occ) => {
@@ -278,6 +311,7 @@ impl KsSystemBuilder {
             e_ewald,
             occupations,
             pool: self.parallelism.build_pool(),
+            distributed,
         })
     }
 }
@@ -339,13 +373,6 @@ impl KsSystem {
         phi: Option<&CMat>,
         a_field: [f64; 3],
     ) -> Result<Hamiltonian, PtError> {
-        if rho.len() != self.grids.n_dense() {
-            return Err(PtError::ShapeMismatch {
-                context: "density on the dense grid",
-                expected: self.grids.n_dense(),
-                got: rho.len(),
-            });
-        }
         if let Some(p) = phi {
             if p.nrows() != self.grids.ng() {
                 return Err(PtError::ShapeMismatch {
@@ -355,21 +382,14 @@ impl KsSystem {
                 });
             }
         }
-        let pots = self.potentials(rho);
-        let fock = match (&self.hybrid, phi) {
-            (Some(h), Some(phi)) => {
-                let kernel = match &self.kernel {
-                    Some(k) => k.clone(),
-                    None => {
-                        return Err(PtError::InvalidConfig(
-                            "hybrid functional configured but the screened exchange kernel is missing (KsSystem built by hand?)".into(),
-                        ))
-                    }
-                };
+        let mut h = self.local_hamiltonian(rho, a_field)?;
+        h.fock = match (&self.hybrid, phi) {
+            (Some(hy), Some(phi)) => {
+                let kernel = self.exchange_kernel()?.clone();
                 Some(Arc::new(FockOperator::new(
                     &self.grids,
                     phi,
-                    h.alpha,
+                    hy.alpha,
                     kernel,
                     FockMode::Batched,
                 )))
@@ -377,12 +397,44 @@ impl KsSystem {
             (Some(_), None) => return Err(PtError::MissingExchangeOrbitals),
             _ => None,
         };
+        Ok(h)
+    }
+
+    /// The Fock-free part of the Hamiltonian (kinetic + local + nonlocal)
+    /// assembled from a density — what every virtual-MPI rank applies to
+    /// its own bands while the exchange part goes through the distributed
+    /// Alg. 2 broadcast loop. [`KsSystem::hamiltonian`] builds on this and
+    /// attaches the in-process Fock operator.
+    pub fn local_hamiltonian(
+        &self,
+        rho: &[f64],
+        a_field: [f64; 3],
+    ) -> Result<Hamiltonian, PtError> {
+        if rho.len() != self.grids.n_dense() {
+            return Err(PtError::ShapeMismatch {
+                context: "density on the dense grid",
+                expected: self.grids.n_dense(),
+                got: rho.len(),
+            });
+        }
+        let pots = self.potentials(rho);
         Ok(Hamiltonian {
             grids: Arc::clone(&self.grids),
             vloc_r: pots.v_total,
             nonlocal: Arc::clone(&self.nonlocal),
-            fock,
+            fock: None,
             a_field,
+        })
+    }
+
+    /// The screened exchange kernel of a hybrid system (typed error when
+    /// the system was assembled without one).
+    pub fn exchange_kernel(&self) -> Result<&ScreenedKernel, PtError> {
+        self.kernel.as_ref().ok_or_else(|| {
+            PtError::InvalidConfig(
+                "hybrid functional configured but the screened exchange kernel is missing (KsSystem built by hand?)"
+                    .into(),
+            )
         })
     }
 
@@ -546,6 +598,26 @@ mod tests {
             .expect("custom occupations bypass the closed-shell assert");
         assert_eq!(sys.n_bands(), 1);
         assert!((sys.occupations[0] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rank_layout_parallelism_implies_a_distributed_config() {
+        let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+            .ecut(2.0)
+            .xc(XcKind::Lda)
+            .parallelism(Parallelism::ranks_threads(2, 2))
+            .build()
+            .unwrap();
+        assert_eq!(sys.distributed, Some(DistributedConfig::new(2, 2)));
+        // an explicit config wins over the layout-derived one
+        let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+            .ecut(2.0)
+            .xc(XcKind::Lda)
+            .parallelism(Parallelism::ranks_threads(2, 2))
+            .distributed(DistributedConfig::new(3, 1))
+            .build()
+            .unwrap();
+        assert_eq!(sys.distributed, Some(DistributedConfig::new(3, 1)));
     }
 
     #[test]

@@ -213,6 +213,11 @@ pub fn gemm(alpha: c64, a: &CMat, opa: Op, b: &CMat, opb: Op, beta: c64, c: &mut
             assert_eq!(c.nrows, a.nrows);
             assert_eq!(c.ncols, b.ncols);
             let m = a.nrows;
+            if m == 0 {
+                // zero-row output (e.g. a rank owning no sphere rows in
+                // the distributed G-space layout): nothing to compute
+                return;
+            }
             pt_par::parallel_chunks_mut(&mut c.data, m * panel, |p, cpanel| {
                 for (dj, ccol) in cpanel.chunks_mut(m).enumerate() {
                     let j = p * panel + dj;
@@ -233,6 +238,9 @@ pub fn gemm(alpha: c64, a: &CMat, opa: Op, b: &CMat, opb: Op, beta: c64, c: &mut
             assert_eq!(c.nrows, a.ncols);
             assert_eq!(c.ncols, b.ncols);
             let m = a.ncols;
+            if m == 0 {
+                return;
+            }
             pt_par::parallel_chunks_mut(&mut c.data, m * panel, |p, cpanel| {
                 for (dj, ccol) in cpanel.chunks_mut(m).enumerate() {
                     let bj = b.col(p * panel + dj);
@@ -315,6 +323,42 @@ mod tests {
         let mut c = CMat::zeros(4, 6);
         gemm(c64::ONE, &a, Op::ConjTrans, &b, Op::None, c64::ZERO, &mut c);
         assert!(c.max_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_handles_empty_extents() {
+        // zero-row operands show up when a distributed rank owns no
+        // sphere rows; gemm must be a no-op, not a panic
+        let a0 = CMat::zeros(0, 3);
+        let b0 = CMat::zeros(3, 2);
+        let mut c_nn = CMat::zeros(0, 2);
+        gemm(c64::ONE, &a0, Op::None, &b0, Op::None, c64::ZERO, &mut c_nn);
+        let b_e = CMat::zeros(0, 2);
+        let mut c_cn = CMat::zeros(3, 2);
+        c_cn[(0, 0)] = c64::ONE;
+        gemm(
+            c64::ONE,
+            &a0,
+            Op::ConjTrans,
+            &b_e,
+            Op::None,
+            c64::ZERO,
+            &mut c_cn,
+        );
+        // empty inner dimension: beta still applied (here: zeroing)
+        assert!(c_cn.data().iter().all(|z| *z == c64::ZERO));
+        let a_c = CMat::zeros(4, 0);
+        let b_c = CMat::zeros(4, 2);
+        let mut c_0 = CMat::zeros(0, 2);
+        gemm(
+            c64::ONE,
+            &a_c,
+            Op::ConjTrans,
+            &b_c,
+            Op::None,
+            c64::ZERO,
+            &mut c_0,
+        );
     }
 
     #[test]

@@ -3,8 +3,16 @@
 use crate::stats::CommStats;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use pt_num::{c32, c64};
-use std::collections::HashMap;
+use pt_par::{RankLayout, ThreadPool};
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// Panic payload of a rank that aborted because a *peer* died (the poison
+/// cascade below). Kept distinguishable from real failures so the job
+/// re-raises the original defect, not a secondary "peer died" panic.
+struct PeerDied(String);
 
 /// Wire precision for complex payloads (§3.2 optimization 4: sending
 /// wavefunctions in single precision halves the broadcast volume; values
@@ -36,16 +44,53 @@ pub struct Comm {
     size: usize,
     senders: Vec<Sender<Envelope>>,
     receiver: Receiver<Envelope>,
-    /// out-of-order message stash
-    stash: HashMap<(usize, u64), Vec<Payload>>,
+    /// out-of-order message stash (FIFO per (src, tag) key)
+    stash: HashMap<(usize, u64), VecDeque<Payload>>,
     stats: Arc<CommStats>,
     wire: Wire,
 }
 
 /// Spawn `np` rank threads running `f(comm)` and return their results in
-/// rank order. Panics in any rank propagate (failure injection semantics:
-/// a dead rank aborts the whole virtual job, like a real MPI fault).
+/// rank order. Panics in any rank propagate with their original payload
+/// (failure injection semantics: a dead rank aborts the whole virtual job,
+/// like a real MPI fault, and the panic message survives for tests to
+/// assert on); peers blocked in a receive are poisoned awake, so the job
+/// aborts instead of deadlocking. Each rank inherits the caller's compute
+/// pool; use [`run_ranks_pinned`] to give every rank its own dedicated
+/// pool.
 pub fn run_ranks<T, F>(np: usize, wire: Wire, f: F) -> (Vec<T>, crate::StatsSnapshot)
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    run_ranks_impl(np, wire, None, f)
+}
+
+/// [`run_ranks`] with rank-pinned compute pools: spawn `layout.ranks` rank
+/// threads and install a dedicated `layout.threads_per_rank`-wide
+/// [`ThreadPool`] on each for the whole lifetime of its closure — the
+/// in-process analogue of the paper's one-GPU-plus-CPU-slice per MPI rank.
+/// Every `pt_par` primitive (and hence every parallel hot path in the
+/// distributed Alg. 2/3 routines) reached from `f` on that rank runs on
+/// its own pool, so ranks never contend for the global pool's workers.
+pub fn run_ranks_pinned<T, F>(
+    layout: RankLayout,
+    wire: Wire,
+    f: F,
+) -> (Vec<T>, crate::StatsSnapshot)
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    run_ranks_impl(layout.ranks, wire, Some(layout.threads_per_rank), f)
+}
+
+fn run_ranks_impl<T, F>(
+    np: usize,
+    wire: Wire,
+    threads_per_rank: Option<usize>,
+    f: F,
+) -> (Vec<T>, crate::StatsSnapshot)
 where
     T: Send,
     F: Fn(&mut Comm) -> T + Sync,
@@ -76,11 +121,46 @@ where
                     stats,
                     wire,
                 };
-                *slot = Some(fref(&mut comm));
+                let r = catch_unwind(AssertUnwindSafe(|| match threads_per_rank {
+                    // the pool lives exactly as long as the rank closure:
+                    // built before, installed around, dropped after
+                    Some(n) => ThreadPool::new(n).install(|| fref(&mut comm)),
+                    None => fref(&mut comm),
+                }));
+                match r {
+                    Ok(v) => *slot = Some(v),
+                    Err(payload) => {
+                        // a dead rank can never answer its peers: poison
+                        // them so blocked receives abort the job (a real
+                        // MPI fault) instead of deadlocking it
+                        comm.poison_peers();
+                        resume_unwind(payload);
+                    }
+                }
             }));
         }
+        // Join every rank before re-raising so no handle leaks, then
+        // propagate the first (rank-order) *original* panic — `expect`
+        // would replace the injected message with a generic one (and a
+        // secondary PeerDied cascade would mask the root cause), so
+        // failure-injection tests couldn't assert on it.
+        let mut first_original: Option<Box<dyn Any + Send>> = None;
+        let mut first_cascade: Option<Box<dyn Any + Send>> = None;
         for h in handles {
-            h.join().expect("rank thread panicked");
+            if let Err(payload) = h.join() {
+                if payload.downcast_ref::<PeerDied>().is_none() {
+                    first_original.get_or_insert(payload);
+                } else {
+                    first_cascade.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_original.or(first_cascade) {
+            match payload.downcast::<PeerDied>() {
+                // unwrap the cascade marker so the message stays visible
+                Ok(peer_died) => resume_unwind(Box::new(peer_died.0)),
+                Err(payload) => resume_unwind(payload),
+            }
         }
     })
     .expect("virtual MPI scope failed");
@@ -128,19 +208,42 @@ impl Comm {
 
     fn recv_payload(&mut self, src: usize, tag: u64) -> Payload {
         if let Some(q) = self.stash.get_mut(&(src, tag)) {
-            if !q.is_empty() {
-                return q.remove(0);
+            if let Some(p) = q.pop_front() {
+                return p;
             }
         }
         loop {
             let env = self.receiver.recv().expect("sender hung up");
+            if env.tag == TAG_POISON {
+                // a peer died; abort this rank too (see poison_peers)
+                panic_any(PeerDied(format!(
+                    "virtual MPI: rank {} died while rank {} was waiting for rank {src}, tag {tag:#x}",
+                    env.src, self.rank
+                )));
+            }
             if env.src == src && env.tag == tag {
                 return env.payload;
             }
             self.stash
                 .entry((env.src, env.tag))
                 .or_default()
-                .push(env.payload);
+                .push_back(env.payload);
+        }
+    }
+
+    /// Wake every peer that might be blocked waiting on this rank: called
+    /// when this rank's closure panicked, so a blocked `recv` turns into
+    /// a job abort instead of a deadlock. Sends are best-effort (a peer
+    /// that already finished has dropped its receiver).
+    fn poison_peers(&self) {
+        for (dst, tx) in self.senders.iter().enumerate() {
+            if dst != self.rank {
+                let _ = tx.send(Envelope {
+                    src: self.rank,
+                    tag: TAG_POISON,
+                    payload: Payload::F64(Vec::new()),
+                });
+            }
         }
     }
 
@@ -368,11 +471,25 @@ impl Comm {
     }
 }
 
+/// Rank count requested via `PT_NUM_RANKS` (default 1). The CI matrix and
+/// the `bench_ranks_threads` sweep use this the way `PT_NUM_THREADS` sizes
+/// the global compute pool — one knob per axis of the ranks × threads
+/// composition.
+pub fn env_ranks() -> usize {
+    std::env::var("PT_NUM_RANKS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 const TAG_BCAST: u64 = 1 << 32;
 const TAG_REDUCE: u64 = 2 << 32;
 const TAG_REDUCE_BC: u64 = 3 << 32;
 const TAG_A2A: u64 = 4 << 32;
 const TAG_AGV: u64 = 5 << 32;
+/// Reserved control tag: "the sending rank is dead" (never stashed).
+const TAG_POISON: u64 = u64::MAX;
 
 #[cfg(test)]
 mod tests {
@@ -497,8 +614,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank thread panicked")]
-    fn rank_failure_aborts_job() {
+    #[should_panic(expected = "injected rank failure")]
+    fn rank_failure_aborts_job_with_original_payload() {
+        // the panic that aborts the job must carry the injected message
+        // (not a generic "rank thread panicked") so failure-injection
+        // tests can assert on what actually went wrong
         let _ = run_ranks(3, Wire::F64, |comm| {
             if comm.rank() == 1 {
                 panic!("injected rank failure");
@@ -507,5 +627,85 @@ mod tests {
             // scope didn't propagate; they return immediately here.
             comm.rank()
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 hardware fault")]
+    fn rank_panic_unblocks_peers_waiting_on_it() {
+        // ranks 0 and 2 block on a message only rank 1 could send; rank
+        // 1's death must poison them awake and the job must re-raise the
+        // *original* defect, not the secondary peer-died cascade
+        let _ = run_ranks(3, Wire::F64, |comm| {
+            if comm.rank() == 1 {
+                panic!("rank 1 hardware fault");
+            }
+            let v = comm.recv_c64(1, 99);
+            v.len()
+        });
+    }
+
+    #[test]
+    fn first_rank_panic_payload_wins_in_rank_order() {
+        // two ranks die with different messages; the re-raised payload is
+        // rank 0's (deterministic pick, independent of finish order)
+        let r = std::panic::catch_unwind(|| {
+            run_ranks(4, Wire::F64, |comm| {
+                match comm.rank() {
+                    0 => panic!("failure on rank 0"),
+                    2 => panic!("failure on rank 2"),
+                    _ => {}
+                }
+                comm.rank()
+            })
+        });
+        let payload = r.expect_err("job must abort");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .expect("panic payload is a string");
+        assert_eq!(msg, "failure on rank 0");
+    }
+
+    #[test]
+    fn stash_preserves_fifo_order_per_tag() {
+        // rank 0 sends a burst of same-tag messages to rank 1 while rank 1
+        // first drains a *different* tag, forcing the whole burst through
+        // the out-of-order stash; FIFO order must survive
+        let (out, _) = run_ranks(2, Wire::F64, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..32 {
+                    comm.send_c64(1, 7, &[c64::real(i as f64)]);
+                }
+                comm.send_c64(1, 9, &[c64::real(-1.0)]);
+                Vec::new()
+            } else {
+                // tag 9 arrives last, so every tag-7 message gets stashed
+                let sentinel = comm.recv_c64(0, 9);
+                assert_eq!(sentinel[0].re, -1.0);
+                (0..32).map(|_| comm.recv_c64(0, 7)[0].re).collect()
+            }
+        });
+        assert_eq!(out[1], (0..32).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pinned_ranks_get_their_own_pools() {
+        use pt_par::current_num_threads;
+        let layout = RankLayout::new(3, 2);
+        let (widths, _) = run_ranks_pinned(layout, Wire::F64, |comm| {
+            // the rank closure sees its dedicated pool, not the global one
+            let w = current_num_threads();
+            comm.barrier();
+            w
+        });
+        assert_eq!(widths, vec![2, 2, 2]);
+        // and the collectives still work under pinned pools
+        let (sums, _) = run_ranks_pinned(RankLayout::new(2, 3), Wire::F64, |comm| {
+            let mut v = vec![comm.rank() as f64 + 1.0];
+            comm.allreduce_sum_f64(&mut v);
+            v[0]
+        });
+        assert_eq!(sums, vec![3.0, 3.0]);
     }
 }

@@ -7,7 +7,9 @@
 //! overlap matrices and densities, and the wire format is optionally
 //! single precision (§3.2 optimization 4).
 //!
-//! This crate reproduces that substrate in-process: every rank is a thread,
+//! This crate reproduces that substrate in-process: every rank is a thread
+//! (with [`run_ranks_pinned`], a thread owning its own pinned `pt-par`
+//! compute pool — the paper's one-GPU-plus-CPU-slice per rank),
 //! point-to-point messages are crossbeam channels, and the collectives use
 //! the same algorithms real MPI implementations use for large messages
 //! (binomial-tree broadcast, reduce+bcast allreduce, pairwise alltoallv).
@@ -20,5 +22,5 @@
 mod comm;
 mod stats;
 
-pub use comm::{run_ranks, Comm, Wire};
+pub use comm::{env_ranks, run_ranks, run_ranks_pinned, Comm, Wire};
 pub use stats::{CommStats, StatsSnapshot};

@@ -35,9 +35,71 @@ pub use ops::{
     chunk_count, chunk_range, parallel_chunks_mut, parallel_for, parallel_for_chunks, parallel_map,
     parallel_reduce, tree_combine,
 };
-pub use pool::{current_num_threads, global, with_current, ThreadPool};
+pub use pool::{current_num_threads, env_threads, global, with_current, ThreadPool};
 
 use std::sync::Arc;
+
+/// A ranks × threads decomposition of the host's cores — the in-process
+/// analogue of the paper's "one MPI rank per GPU plus a CPU-thread slice"
+/// node layout. `ranks` is the number of virtual-MPI rank threads and
+/// `threads_per_rank` the width of the dedicated compute pool pinned to
+/// each of them, so a layout uses `ranks × threads_per_rank` cores when it
+/// [fits the host](RankLayout::fits_host).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankLayout {
+    /// Number of virtual-MPI ranks (one OS thread each).
+    pub ranks: usize,
+    /// Compute threads pinned to each rank (a dedicated [`ThreadPool`]).
+    pub threads_per_rank: usize,
+}
+
+impl RankLayout {
+    /// A `ranks × threads_per_rank` layout (both clamped to at least 1).
+    pub fn new(ranks: usize, threads_per_rank: usize) -> Self {
+        RankLayout {
+            ranks: ranks.max(1),
+            threads_per_rank: threads_per_rank.max(1),
+        }
+    }
+
+    /// Total compute threads the layout occupies.
+    pub fn total_threads(&self) -> usize {
+        self.ranks * self.threads_per_rank
+    }
+
+    /// The host's available parallelism (1 if it cannot be queried).
+    pub fn host_cores() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Whether `ranks × threads_per_rank` fits the host's cores.
+    /// Oversubscription is allowed (it cannot change results — the
+    /// determinism contract is schedule-independent) but contends for
+    /// cores; `bench_ranks_threads` records `host_cores` so sweeps on
+    /// small machines are read correctly.
+    pub fn fits_host(&self) -> bool {
+        self.total_threads() <= Self::host_cores()
+    }
+
+    /// Validate the layout: both extents must be nonzero. Returns a
+    /// human-readable complaint for builders to wrap in their error type.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ranks == 0 {
+            return Err("rank layout needs at least 1 rank".into());
+        }
+        if self.threads_per_rank == 0 {
+            return Err("rank layout needs at least 1 thread per rank".into());
+        }
+        Ok(())
+    }
+
+    /// The per-rank [`Parallelism`] this layout pins to each rank thread.
+    pub fn per_rank(&self) -> Parallelism {
+        Parallelism::threads(self.threads_per_rank)
+    }
+}
 
 /// How much threading a component should use. Plain data so builders can
 /// carry it; turn it into a pool with [`Parallelism::build_pool`].
@@ -46,6 +108,11 @@ pub struct Parallelism {
     /// `Some(n)` pins a dedicated n-thread pool; `None` inherits the
     /// calling thread's current pool (ultimately `PT_NUM_THREADS`).
     pub num_threads: Option<usize>,
+    /// `Some(layout)` additionally requests a `ranks × threads_per_rank`
+    /// decomposition for components that drive the virtual MPI runtime
+    /// (each rank thread then gets its own pinned `threads_per_rank`-wide
+    /// pool). Components that do not run ranks ignore this field.
+    pub rank_layout: Option<RankLayout>,
 }
 
 impl Parallelism {
@@ -58,6 +125,20 @@ impl Parallelism {
     pub fn threads(n: usize) -> Self {
         Parallelism {
             num_threads: Some(n.max(1)),
+            rank_layout: None,
+        }
+    }
+
+    /// A `ranks × threads_per_rank` layout: rank-running components spawn
+    /// `ranks` rank threads, each with its own pinned pool (the
+    /// `KsSystemBuilder` derives a full-precision `DistributedConfig`
+    /// from it when none was given explicitly); everything else sees a
+    /// dedicated `threads_per_rank`-wide pool.
+    pub fn ranks_threads(ranks: usize, threads_per_rank: usize) -> Self {
+        let layout = RankLayout::new(ranks, threads_per_rank);
+        Parallelism {
+            num_threads: Some(layout.threads_per_rank),
+            rank_layout: Some(layout),
         }
     }
 
@@ -81,5 +162,40 @@ mod tests {
             Parallelism::threads(0).build_pool().unwrap().num_threads(),
             1
         );
+    }
+
+    #[test]
+    fn rank_layout_shapes_and_validation() {
+        let l = RankLayout::new(3, 2);
+        assert_eq!(l.total_threads(), 6);
+        assert!(l.validate().is_ok());
+        assert_eq!(l.per_rank(), Parallelism::threads(2));
+        // constructor clamps; a hand-built zero layout fails validation
+        assert_eq!(RankLayout::new(0, 0), RankLayout::new(1, 1));
+        assert!(RankLayout {
+            ranks: 0,
+            threads_per_rank: 2
+        }
+        .validate()
+        .is_err());
+        assert!(RankLayout {
+            ranks: 2,
+            threads_per_rank: 0
+        }
+        .validate()
+        .is_err());
+        // a 1×1 layout always fits
+        assert!(RankLayout::new(1, 1).fits_host());
+        assert!(RankLayout::host_cores() >= 1);
+    }
+
+    #[test]
+    fn ranks_threads_parallelism_carries_both_views() {
+        let p = Parallelism::ranks_threads(2, 3);
+        assert_eq!(p.num_threads, Some(3));
+        assert_eq!(p.rank_layout, Some(RankLayout::new(2, 3)));
+        // the non-rank view builds a per-rank-width pool
+        assert_eq!(p.build_pool().unwrap().num_threads(), 3);
+        assert_eq!(Parallelism::inherit().rank_layout, None);
     }
 }

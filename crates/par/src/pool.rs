@@ -244,19 +244,25 @@ fn worker_loop(shared: &Shared) {
 
 static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
 
+/// `PT_NUM_THREADS` as parsed (whitespace-trimmed, ≥ 1), if set — the one
+/// place the env var's parsing rule lives; [`global`] and the rank/thread
+/// sweep benches share it.
+pub fn env_threads() -> Option<usize> {
+    std::env::var("PT_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
 /// The process-wide default pool, sized by `PT_NUM_THREADS` (falling back
 /// to the machine's available parallelism). Built lazily on first use.
 pub fn global() -> &'static ThreadPool {
     GLOBAL.get_or_init(|| {
-        let threads = std::env::var("PT_NUM_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            });
+        let threads = env_threads().unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
         ThreadPool::new(threads)
     })
 }

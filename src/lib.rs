@@ -17,7 +17,10 @@
 //!   real data movement and byte accounting. Everything executes on the
 //!   [`par`] fixed-worker thread pool (`PT_NUM_THREADS`, bit-deterministic
 //!   for any thread count) via the vendored rayon shim and the explicitly
-//!   threaded FFT/GEMM/Fock hot paths.
+//!   threaded FFT/GEMM/Fock hot paths; a `ranks × threads_per_rank`
+//!   layout ([`ham::DistributedConfig`] on the builder) additionally pins
+//!   a dedicated pool to every rank thread and drives hybrid PT-CN through
+//!   the distributed propagator ([`core::DistributedPtCnPropagator`]).
 //! * **Layer B (Summit model)** — machine constants ([`summit`]) and the
 //!   anchored performance model ([`perf`]) that regenerate every table and
 //!   figure of the paper's evaluation.
@@ -84,14 +87,16 @@ pub use pt_xc as xc;
 pub mod prelude {
     pub use pt_core::{
         current_density, density_matrix_distance, max_stable_rk4_dt, orthonormality_error,
-        CurrentObserver, DipoleNormObserver, EnergyObserver, LaserPulse, Observer, ObserverContext,
-        OrthonormalityObserver, Propagator, PtCnOptions, PtCnPropagator, PtError, Rk4Options,
-        Rk4Propagator, Simulation, SimulationBuilder, StepStats, TdState, TimeSeries,
+        CurrentObserver, DipoleNormObserver, DistributedPtCnPropagator, EnergyObserver, LaserPulse,
+        Observer, ObserverContext, OrthonormalityObserver, Propagator, PtCnOptions, PtCnPropagator,
+        PtError, Rk4Options, Rk4Propagator, Simulation, SimulationBuilder, StepStats, TdState,
+        TimeSeries,
     };
-    pub use pt_ham::{HybridConfig, KsSystem, KsSystemBuilder};
+    pub use pt_ham::{DistributedConfig, HybridConfig, KsSystem, KsSystemBuilder};
     pub use pt_lattice::silicon_cubic_supercell;
+    pub use pt_mpi::Wire;
     pub use pt_num::units::{attosecond_to_au, au_to_attosecond};
-    pub use pt_par::{Parallelism, ThreadPool};
+    pub use pt_par::{Parallelism, RankLayout, ThreadPool};
     pub use pt_scf::{scf_loop, ScfOptions, ScfResult};
     pub use pt_xc::XcKind;
 }

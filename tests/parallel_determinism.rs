@@ -8,6 +8,11 @@
 //! exercise the config plumbing too: thread counts are pinned through
 //! `KsSystemBuilder::parallelism` and `SimulationBuilder::parallelism`.
 
+use pwdft_rt::ham::{
+    distributed_fock_apply, distributed_residual, BandDistribution, PwGrids, ScreenedKernel,
+};
+use pwdft_rt::linalg::CMat;
+use pwdft_rt::mpi::run_ranks_pinned;
 use pwdft_rt::prelude::*;
 
 /// Ground state + 3 PT-CN steps of laser-driven hybrid (HSE06) silicon on
@@ -122,6 +127,161 @@ fn semilocal_scf_is_bit_identical_at_1_and_4_threads() {
     assert_bits_eq("eigenvalues", &r1.eigenvalues, &r4.eigenvalues);
     assert_bits_eq("rho", &r1.rho, &r4.rho);
     assert_eq!(r1.scf_iterations, r4.scf_iterations);
+}
+
+/// Gather a distributed band-major result (one local block per rank) back
+/// into the full matrix for comparison.
+fn gather_bands(dist: BandDistribution, nrows: usize, blocks: &[CMat]) -> CMat {
+    let mut full = CMat::zeros(nrows, dist.n_bands);
+    for (r, block) in blocks.iter().enumerate() {
+        for (lj, &b) in dist.local_bands(r).iter().enumerate() {
+            full.col_mut(b).copy_from_slice(block.col(lj));
+        }
+    }
+    full
+}
+
+fn assert_cmat_bits_eq(name: &str, a: &CMat, b: &CMat) {
+    assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()), "{name}");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert!(
+            x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+            "{name}[{i}]: {x:?} != {y:?} (rank/thread schedule leaked into the numbers)"
+        );
+    }
+}
+
+/// The ranks × threads grid: the distributed Fock application (Alg. 2)
+/// must produce the *same bits* on every layout in {1,2,3} ranks ×
+/// {1,4} threads-per-rank, and the distributed residual (Alg. 3) the same
+/// bits across thread counts at every fixed rank count (across rank
+/// counts its overlap allreduce regroups floating-point sums, so there it
+/// is pinned to reduction accuracy instead).
+#[test]
+fn distributed_fock_and_residual_over_the_ranks_threads_grid() {
+    let sys_grids = PwGrids::new(&silicon_cubic_supercell(1, 1, 1), 2.0);
+    let ng = sys_grids.ng();
+    let nb = 6;
+    let phi = CMat::rand_normalized(ng, nb, 51);
+    let psi = CMat::rand_normalized(ng, nb, 52);
+    let hpsi = CMat::rand_normalized(ng, nb, 53);
+    let half = CMat::rand_normalized(ng, nb, 54);
+    let kernel = ScreenedKernel::new(&sys_grids, 0.11);
+    let dt = 0.7;
+
+    let run_layout = |ranks: usize, threads: usize| -> (CMat, CMat) {
+        let dist = BandDistribution {
+            n_bands: nb,
+            n_ranks: ranks,
+        };
+        let (g, k) = (&sys_grids, &kernel);
+        let (p_, ps_, h_, f_) = (&phi, &psi, &hpsi, &half);
+        let (blocks, _) = run_ranks_pinned(RankLayout::new(ranks, threads), Wire::F64, {
+            move |comm| {
+                let rank = comm.rank();
+                let fock = distributed_fock_apply(
+                    comm,
+                    g,
+                    dist,
+                    &dist.take_local(rank, p_),
+                    &dist.take_local(rank, ps_),
+                    0.25,
+                    k,
+                );
+                let resid = distributed_residual(
+                    comm,
+                    dist,
+                    ng,
+                    &dist.take_local(rank, p_),
+                    &dist.take_local(rank, h_),
+                    &dist.take_local(rank, f_),
+                    dt,
+                );
+                (fock, resid)
+            }
+        });
+        let focks: Vec<CMat> = blocks.iter().map(|(f, _)| f.clone()).collect();
+        let resids: Vec<CMat> = blocks.iter().map(|(_, r)| r.clone()).collect();
+        (
+            gather_bands(dist, ng, &focks),
+            gather_bands(dist, ng, &resids),
+        )
+    };
+
+    let (fock_ref, resid_ref) = run_layout(1, 1);
+    // the CI matrix widens the grid along the rank axis via PT_NUM_RANKS
+    let mut rank_counts = vec![1usize, 2, 3];
+    let env = pwdft_rt::mpi::env_ranks();
+    if !rank_counts.contains(&env) {
+        rank_counts.push(env);
+    }
+    for ranks in rank_counts {
+        let mut resid_at_one_thread: Option<CMat> = None;
+        for threads in [1usize, 4] {
+            let (fock, resid) = run_layout(ranks, threads);
+            // Alg. 2: bit-identical across the whole grid
+            assert_cmat_bits_eq(&format!("fock {ranks}x{threads}"), &fock_ref, &fock);
+            // Alg. 3: bit-identical across thread counts at fixed ranks…
+            match &resid_at_one_thread {
+                None => resid_at_one_thread = Some(resid.clone()),
+                Some(first) => {
+                    assert_cmat_bits_eq(&format!("residual {ranks}x{threads}"), first, &resid)
+                }
+            }
+            // …and equal to reduction accuracy across rank counts
+            let err = resid_ref.max_diff(&resid);
+            assert!(err < 1e-11, "residual {ranks}x{threads} vs 1x1: {err}");
+        }
+    }
+}
+
+/// The acceptance path: a hybrid PT-CN run driven as ranks × threads
+/// through the public builder API produces bit-identical observables on
+/// every layout (2 × 2 vs 1 × 1 here — the distributed propagator is
+/// selected automatically from `KsSystemBuilder::distributed`).
+#[test]
+fn hybrid_distributed_run_via_builders_is_layout_invariant() {
+    let run_layout = |ranks: usize, threads: usize| -> TimeSeries {
+        let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+            .ecut(2.0)
+            .xc(XcKind::Pbe)
+            .hybrid(HybridConfig::hse06())
+            .occupations(vec![2.0; 4])
+            .distributed(DistributedConfig::new(ranks, threads))
+            .build()
+            .expect("valid distributed system");
+        let gs = scf_loop(&sys, ScfOptions::default()).expect("SCF converges");
+        SimulationBuilder::new(&sys)
+            .initial_orbitals(gs.orbitals.clone())
+            .laser(LaserPulse::paper_380nm(
+                0.02,
+                attosecond_to_au(200.0),
+                attosecond_to_au(100.0),
+            ))
+            .dt(attosecond_to_au(25.0))
+            .steps(2)
+            .standard_observers()
+            .build()
+            .expect("valid simulation")
+            .run()
+            .expect("distributed propagation succeeds")
+    };
+    let ts11 = run_layout(1, 1);
+    let ts22 = run_layout(2, 2);
+    assert_eq!(ts11.propagator, "pt-cn-dist");
+    assert_eq!(ts11.len(), ts22.len());
+    assert_eq!(ts11.channel_names(), ts22.channel_names());
+    for name in ts11.channel_names() {
+        assert_bits_eq(
+            name,
+            ts11.channel(name).unwrap(),
+            ts22.channel(name).unwrap(),
+        );
+    }
+    for (s1, s2) in ts11.stats.iter().zip(&ts22.stats) {
+        assert_eq!(s1.scf_iterations, s2.scf_iterations);
+        assert_eq!(s1.rho_residual.to_bits(), s2.rho_residual.to_bits());
+    }
 }
 
 #[test]
