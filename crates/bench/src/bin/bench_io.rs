@@ -1,0 +1,91 @@
+//! Snapshot-throughput smoke bench for the `pt-io` checkpoint subsystem.
+//!
+//! Checkpointing a production run serializes orbital blocks every few
+//! steps, so write/read throughput vs block size is the number that
+//! decides how often a trajectory can afford to snapshot. This bench
+//! times `SnapshotWriter`/`SnapshotFile` round trips over a sweep of
+//! orbital block widths at both payload precisions and writes
+//! `BENCH_io.json` — via `pt_io::export`, the same writer the artifact is
+//! about.
+//!
+//! `host_cores` is recorded so a slow CI runner's numbers are not
+//! mistaken for a regression; the committed artifact comes from the
+//! build container.
+
+use pt_io::{SnapshotFile, SnapshotWriter, Table, Value};
+use pt_linalg::CMat;
+use pt_mpi::Wire;
+use std::time::Instant;
+
+const NG: usize = 4096;
+const BLOCK_WIDTHS: [usize; 5] = [2, 4, 8, 16, 32];
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let scratch = std::env::temp_dir().join(format!("bench_io_{}.ptio", std::process::id()));
+
+    let mut cols_nb = Vec::new();
+    let mut cols_wire = Vec::new();
+    let mut cols_bytes = Vec::new();
+    let mut cols_write = Vec::new();
+    let mut cols_read = Vec::new();
+    for wire in [Wire::F64, Wire::F32] {
+        for &nb in &BLOCK_WIDTHS {
+            let psi = CMat::rand_normalized(NG, nb, nb as u64 + 1);
+            let write_s = best_of(3, || {
+                let mut w = SnapshotWriter::create(&scratch);
+                w.put_u64s("meta", &[nb as u64]).unwrap();
+                w.put_cmat("psi", &psi, wire).unwrap();
+                w.finish().unwrap();
+            });
+            let bytes = std::fs::metadata(&scratch).unwrap().len();
+            let read_s = best_of(3, || {
+                let f = SnapshotFile::open(&scratch).unwrap();
+                let m = f.cmat("psi").unwrap();
+                assert_eq!(m.ncols(), nb);
+            });
+            let mb = bytes as f64 / 1e6;
+            println!(
+                "wire={wire:?} nb={nb:>3}  {:8.0} KiB  write {:8.2} MB/s  read {:8.2} MB/s",
+                bytes as f64 / 1024.0,
+                mb / write_s,
+                mb / read_s,
+            );
+            cols_nb.push(nb as f64);
+            cols_wire.push(if wire == Wire::F32 { 32.0 } else { 64.0 });
+            cols_bytes.push(bytes as f64);
+            cols_write.push(mb / write_s);
+            cols_read.push(mb / read_s);
+        }
+    }
+    let _ = std::fs::remove_file(&scratch);
+
+    let mut table = Table::new()
+        .meta("bench", Value::Str("snapshot_io_smoke".into()))
+        .meta("host_cores", Value::U64(host_cores as u64))
+        .meta(
+            "workload",
+            Value::Str(format!(
+                "SnapshotWriter/SnapshotFile round trip, {NG}-row orbital blocks"
+            )),
+        );
+    table.column("n_bands", cols_nb).unwrap();
+    table.column("wire_bits", cols_wire).unwrap();
+    table.column("file_bytes", cols_bytes).unwrap();
+    table.column("write_mb_per_s", cols_write).unwrap();
+    table.column("read_mb_per_s", cols_read).unwrap();
+    table.write_json("BENCH_io.json").unwrap();
+    println!("\nwrote BENCH_io.json ({host_cores} host cores)");
+}

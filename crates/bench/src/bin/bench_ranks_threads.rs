@@ -121,19 +121,37 @@ fn main() {
     }
     let baseline = rows[0].2;
 
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"ranks_threads_smoke\",\n");
-    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
-    json.push_str("  \"workload\": \"distributed_fock_apply + distributed_residual, Si-8 ecut 3.0, 8 bands\",\n");
-    json.push_str("  \"layouts\": [\n");
-    for (i, (ranks, threads, secs)) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"ranks\": {ranks}, \"threads_per_rank\": {threads}, \"wall_seconds\": {secs:.6}, \"speedup_vs_1x1\": {:.3}}}{}\n",
-            baseline / secs,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_ranks_threads.json", &json).expect("write BENCH_ranks_threads.json");
+    // artifact via pt_io::export (columns over the layout sweep) instead
+    // of hand-rolled format strings
+    let mut table = pt_io::Table::new()
+        .meta("bench", pt_io::Value::Str("ranks_threads_smoke".into()))
+        .meta("host_cores", pt_io::Value::U64(host_cores as u64))
+        .meta(
+            "workload",
+            pt_io::Value::Str(
+                "distributed_fock_apply + distributed_residual, Si-8 ecut 3.0, 8 bands".into(),
+            ),
+        );
+    table
+        .column("ranks", rows.iter().map(|r| r.0 as f64).collect())
+        .unwrap();
+    table
+        .column(
+            "threads_per_rank",
+            rows.iter().map(|r| r.1 as f64).collect(),
+        )
+        .unwrap();
+    table
+        .column("wall_seconds", rows.iter().map(|r| r.2).collect())
+        .unwrap();
+    table
+        .column(
+            "speedup_vs_1x1",
+            rows.iter().map(|r| baseline / r.2).collect(),
+        )
+        .unwrap();
+    table
+        .write_json("BENCH_ranks_threads.json")
+        .expect("write BENCH_ranks_threads.json");
     println!("\nwrote BENCH_ranks_threads.json ({host_cores} host cores)");
 }

@@ -160,31 +160,28 @@ fn main() {
         kernels.push(k);
     }
 
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"thread_scaling_smoke\",\n");
-    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
-    json.push_str(&format!("  \"thread_counts\": {THREAD_COUNTS:?},\n"));
-    json.push_str("  \"wall_seconds\": {\n");
-    for (i, k) in kernels.iter().enumerate() {
-        let row: Vec<String> = k.secs.iter().map(|s| format!("{s:.6}")).collect();
-        json.push_str(&format!(
-            "    \"{}\": [{}]{}\n",
-            k.name,
-            row.join(", "),
-            if i + 1 < kernels.len() { "," } else { "" }
-        ));
+    // artifact: one row per thread count, one column per kernel, plus the
+    // headline speedups as metadata — written through pt_io::export
+    // instead of hand-rolled format strings
+    let mut table = pt_io::Table::new()
+        .meta("bench", pt_io::Value::Str("thread_scaling_smoke".into()))
+        .meta("host_cores", pt_io::Value::U64(host_cores as u64));
+    for k in &kernels {
+        table = table.meta(
+            &format!("speedup_at_4_threads/{}", k.name),
+            pt_io::Value::F64(k.speedup_at_4()),
+        );
     }
-    json.push_str("  },\n");
-    json.push_str("  \"speedup_at_4_threads\": {\n");
-    for (i, k) in kernels.iter().enumerate() {
-        json.push_str(&format!(
-            "    \"{}\": {:.3}{}\n",
-            k.name,
-            k.speedup_at_4(),
-            if i + 1 < kernels.len() { "," } else { "" }
-        ));
+    table
+        .column("threads", THREAD_COUNTS.iter().map(|&t| t as f64).collect())
+        .unwrap();
+    for k in &kernels {
+        table
+            .column(&format!("wall_seconds/{}", k.name), k.secs.clone())
+            .unwrap();
     }
-    json.push_str("  }\n}\n");
-    std::fs::write("BENCH_threads.json", &json).expect("write BENCH_threads.json");
+    table
+        .write_json("BENCH_threads.json")
+        .expect("write BENCH_threads.json");
     println!("\nwrote BENCH_threads.json ({host_cores} host cores)");
 }

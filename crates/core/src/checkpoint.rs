@@ -1,0 +1,548 @@
+//! The run-checkpoint schema: what `Simulation` persists through `pt-io`
+//! and how it comes back.
+//!
+//! A checkpoint captures the **full resumable state** of an rt-TDDFT run
+//! at a step boundary: ψ orbitals (and, for hybrids, the exchange
+//! orbitals Φ — equal to ψ in the parallel-transport gauge), the step
+//! density, occupations, time/step bookkeeping, laser parameters, the
+//! propagator's capturable state ([`PropagatorState`], incl. the Anderson
+//! mixer history) and every accumulated [`TimeSeries`] channel. With the
+//! default [`Wire::F64`] payloads a killed-and-resumed trajectory is
+//! bit-identical to an uninterrupted one; [`Wire::F32`] halves the orbital
+//! payload bytes and gives that guarantee up (~1e-7 relative loss on ψ).
+//!
+//! The byte-level container (magic, version, section table, per-section
+//! CRC-32) lives in [`pt_io::format`]; this module only defines which
+//! sections exist and what they mean — see `DESIGN.md` ("Snapshot format
+//! & resume semantics") for the full layout.
+
+use crate::anderson_c::AndersonState;
+use crate::laser::LaserPulse;
+use crate::propagator::{PropagatorState, PtCnOptions, Rk4Options, StepStats};
+use crate::simulation::TimeSeries;
+use pt_ham::{DistributedConfig, PtError, SystemSignature};
+use pt_io::{SnapshotFile, SnapshotWriter};
+use pt_linalg::CMat;
+use pt_mpi::Wire;
+use pt_num::c64;
+use std::path::{Path, PathBuf};
+
+/// How a [`crate::Simulation`] emits rolling snapshots from inside its
+/// time loop (configured via `SimulationBuilder::checkpoint_every`).
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Emit a snapshot after every `every` completed steps.
+    pub every: usize,
+    /// Directory the `ckpt_<step>.ptio` files land in (created on first
+    /// write).
+    pub dir: PathBuf,
+    /// How many snapshots to keep. After each write the emitting run
+    /// prunes the oldest of **its own** snapshots — files it did not write
+    /// (a previous run's, a different trajectory sharing the directory)
+    /// are never deleted.
+    pub keep: usize,
+    /// Payload precision for the orbital-sized sections. [`Wire::F64`]
+    /// (default) preserves the bit-exact resume guarantee; [`Wire::F32`]
+    /// halves those bytes at ~1e-7 relative loss.
+    pub wire: Wire,
+}
+
+impl CheckpointPolicy {
+    pub(crate) fn validate(&self) -> Result<(), PtError> {
+        if self.every == 0 {
+            return Err(PtError::InvalidConfig(
+                "checkpoint interval must be at least 1 step".into(),
+            ));
+        }
+        if self.keep == 0 {
+            return Err(PtError::InvalidConfig(
+                "checkpoint retention must keep at least 1 snapshot".into(),
+            ));
+        }
+        if self.dir.as_os_str().is_empty() {
+            return Err(PtError::InvalidConfig(
+                "checkpoint directory must be nonempty".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// File name of the snapshot emitted after absolute step `step`.
+pub fn checkpoint_path(dir: &Path, step: usize) -> PathBuf {
+    dir.join(format!("ckpt_{step:08}.ptio"))
+}
+
+/// The most recent snapshot in `dir` (by step number in the file name),
+/// if any — what a restarted job resumes from.
+pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, PtError> {
+    Ok(checkpoint_files(dir)?.into_iter().next_back())
+}
+
+/// All `ckpt_*.ptio` files in `dir`, sorted ascending by name (= by step:
+/// the step number is zero-padded).
+fn checkpoint_files(dir: &Path) -> Result<Vec<PathBuf>, PtError> {
+    let rd = std::fs::read_dir(dir).map_err(|e| PtError::Io {
+        path: dir.display().to_string(),
+        reason: e.to_string(),
+    })?;
+    let mut files: Vec<PathBuf> = rd
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "ptio")
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("ckpt_"))
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// One captured run state — everything [`crate::Simulation::resume`]
+/// needs. Produced inside the time loop; also constructible by hand for
+/// tooling.
+#[derive(Debug)]
+pub struct RunCheckpoint {
+    /// Shape fingerprint of the system the run was driving.
+    pub signature: SystemSignature,
+    /// Steps the interrupted `run` still had to take.
+    pub steps_remaining: usize,
+    /// Current time (a.u.), i.e. the post-step time of the last completed
+    /// step.
+    pub t: f64,
+    /// Step size.
+    pub dt: f64,
+    /// Occupations of the system (revalidated on resume).
+    pub occupations: Vec<f64>,
+    /// Propagated orbitals.
+    pub psi: CMat,
+    /// Exchange orbitals Φ (hybrids; `None` for semi-local runs — in the
+    /// PT gauge Φ = Ψ, stored explicitly so the capture is self-contained).
+    pub phi: Option<CMat>,
+    /// Density of `psi` (diagnostic/validation copy; resume recomputes it
+    /// from ψ).
+    pub rho: Vec<f64>,
+    /// Laser coupling.
+    pub laser: Option<LaserPulse>,
+    /// Propagator options + internal state.
+    pub propagator: PropagatorState,
+    /// Every step recorded so far (all observer channels).
+    pub series: TimeSeries,
+}
+
+/// Borrowed view of a run state for zero-copy serialization: the time
+/// loop writes snapshots through this (ψ, ρ, occupations and the growing
+/// `TimeSeries` are *borrowed*, never cloned, so a checkpoint does not
+/// transiently double the run's memory). [`RunCheckpoint::write`]
+/// delegates here.
+pub struct RunCheckpointView<'a> {
+    /// See [`RunCheckpoint::signature`].
+    pub signature: SystemSignature,
+    /// See [`RunCheckpoint::steps_remaining`].
+    pub steps_remaining: usize,
+    /// See [`RunCheckpoint::t`].
+    pub t: f64,
+    /// See [`RunCheckpoint::dt`].
+    pub dt: f64,
+    /// See [`RunCheckpoint::occupations`].
+    pub occupations: &'a [f64],
+    /// See [`RunCheckpoint::psi`].
+    pub psi: &'a CMat,
+    /// See [`RunCheckpoint::phi`].
+    pub phi: Option<&'a CMat>,
+    /// See [`RunCheckpoint::rho`].
+    pub rho: &'a [f64],
+    /// See [`RunCheckpoint::laser`].
+    pub laser: Option<&'a LaserPulse>,
+    /// See [`RunCheckpoint::propagator`].
+    pub propagator: &'a PropagatorState,
+    /// See [`RunCheckpoint::series`].
+    pub series: &'a TimeSeries,
+}
+
+impl RunCheckpointView<'_> {
+    /// Serialize into `path` (atomically: temporary sibling + rename).
+    /// `wire` selects the payload precision of the orbital-sized matrix
+    /// sections; everything else is always exact `f64`/`u64`.
+    pub fn write(&self, path: impl AsRef<Path>, wire: Wire) -> Result<(), PtError> {
+        let path = path.as_ref();
+        let mut w = SnapshotWriter::create(path);
+        w.put_u64s("sig", &self.signature.to_words())?;
+        w.put_u64s("steps", &[self.steps_remaining as u64])?;
+        w.put_f64s("time", &[self.t, self.dt])?;
+        w.put_f64s("occ", self.occupations)?;
+        w.put_cmat("psi", self.psi, wire)?;
+        if let Some(phi) = self.phi {
+            w.put_cmat("phi", phi, wire)?;
+        }
+        w.put_f64s("rho", self.rho)?;
+        if let Some(l) = self.laser {
+            w.put_f64s(
+                "laser",
+                &[
+                    l.a0,
+                    l.omega,
+                    l.t0,
+                    l.sigma,
+                    l.polarization[0],
+                    l.polarization[1],
+                    l.polarization[2],
+                ],
+            )?;
+        }
+        write_propagator(&mut w, self.propagator, wire)?;
+        write_series(&mut w, self.series)?;
+        w.finish()
+    }
+}
+
+impl RunCheckpoint {
+    /// Borrow every field as a [`RunCheckpointView`].
+    pub fn view(&self) -> RunCheckpointView<'_> {
+        RunCheckpointView {
+            signature: self.signature,
+            steps_remaining: self.steps_remaining,
+            t: self.t,
+            dt: self.dt,
+            occupations: &self.occupations,
+            psi: &self.psi,
+            phi: self.phi.as_ref(),
+            rho: &self.rho,
+            laser: self.laser.as_ref(),
+            propagator: &self.propagator,
+            series: &self.series,
+        }
+    }
+
+    /// Serialize into `path` — see [`RunCheckpointView::write`].
+    pub fn write(&self, path: impl AsRef<Path>, wire: Wire) -> Result<(), PtError> {
+        self.view().write(path, wire)
+    }
+
+    /// Read a checkpoint back (container defects — truncation, CRC,
+    /// version — and schema defects all surface as typed [`PtError`]s).
+    pub fn read(path: impl AsRef<Path>) -> Result<Self, PtError> {
+        let path = path.as_ref();
+        let f = SnapshotFile::open(path)?;
+        let schema = |reason: String| PtError::SnapshotFormat {
+            path: path.display().to_string(),
+            reason,
+        };
+        let signature = SystemSignature::from_words(&f.u64s("sig")?)
+            .ok_or_else(|| schema("'sig' section has the wrong arity".into()))?;
+        let steps_remaining = f.u64("steps")? as usize;
+        let (t, dt) = match f.f64s("time")?.as_slice() {
+            [t, dt] => (*t, *dt),
+            other => return Err(schema(format!("'time' holds {} values", other.len()))),
+        };
+        let occupations = f.f64s("occ")?;
+        let psi = f.cmat("psi")?;
+        let phi = if f.has("phi") {
+            Some(f.cmat("phi")?)
+        } else {
+            None
+        };
+        let rho = f.f64s("rho")?;
+        let laser = if f.has("laser") {
+            match f.f64s("laser")?.as_slice() {
+                [a0, omega, t0, sigma, px, py, pz] => Some(LaserPulse {
+                    a0: *a0,
+                    omega: *omega,
+                    t0: *t0,
+                    sigma: *sigma,
+                    polarization: [*px, *py, *pz],
+                }),
+                other => return Err(schema(format!("'laser' holds {} values", other.len()))),
+            }
+        } else {
+            None
+        };
+        let propagator = read_propagator(&f, &schema)?;
+        let series = read_series(&f, &schema)?;
+        Ok(RunCheckpoint {
+            signature,
+            steps_remaining,
+            t,
+            dt,
+            occupations,
+            psi,
+            phi,
+            rho,
+            laser,
+            propagator,
+            series,
+        })
+    }
+}
+
+fn write_propagator(
+    w: &mut SnapshotWriter,
+    state: &PropagatorState,
+    wire: Wire,
+) -> Result<(), PtError> {
+    let write_ptcn = |w: &mut SnapshotWriter, opts: &PtCnOptions| -> Result<(), PtError> {
+        w.put_f64s("prop/ptcn_f", &[opts.rho_tol, opts.beta])?;
+        w.put_u64s(
+            "prop/ptcn_u",
+            &[
+                opts.max_scf as u64,
+                opts.anderson_depth as u64,
+                u64::from(opts.strict),
+            ],
+        )
+    };
+    let write_anderson =
+        |w: &mut SnapshotWriter, a: &Option<AndersonState>| -> Result<(), PtError> {
+            let Some(a) = a else { return Ok(()) };
+            let hist = a.xs.first().map(|h| h.len()).unwrap_or(0);
+            let vec_len = a.xs.first().and_then(|h| h.first()).map_or(0, Vec::len);
+            w.put_u64s(
+                "prop/anderson/meta",
+                &[
+                    a.n_bands as u64,
+                    a.depth as u64,
+                    hist as u64,
+                    vec_len as u64,
+                ],
+            )?;
+            w.put_f64s("prop/anderson/beta", &[a.beta])?;
+            let flatten = |hists: &[Vec<Vec<c64>>]| -> CMat {
+                let mut m = CMat::zeros(vec_len, a.n_bands * hist);
+                for (b, h) in hists.iter().enumerate() {
+                    for (k, v) in h.iter().enumerate() {
+                        m.col_mut(b * hist + k).copy_from_slice(v);
+                    }
+                }
+                m
+            };
+            w.put_cmat("prop/anderson/xs", &flatten(&a.xs), wire)?;
+            w.put_cmat("prop/anderson/fs", &flatten(&a.fs), wire)
+        };
+    match state {
+        PropagatorState::PtCn { opts, anderson } => {
+            w.put_str("prop/name", "pt-cn")?;
+            write_ptcn(w, opts)?;
+            write_anderson(w, anderson)
+        }
+        PropagatorState::PtCnDistributed {
+            opts,
+            config,
+            anderson,
+        } => {
+            w.put_str("prop/name", "pt-cn-dist")?;
+            write_ptcn(w, opts)?;
+            if let Some(c) = config {
+                w.put_u64s(
+                    "prop/dist",
+                    &[
+                        c.ranks as u64,
+                        c.threads_per_rank as u64,
+                        u64::from(c.wire == Wire::F32),
+                    ],
+                )?;
+            }
+            write_anderson(w, anderson)
+        }
+        PropagatorState::Rk4 { opts } => {
+            w.put_str("prop/name", "rk4")?;
+            w.put_u64s("prop/rk4", &[u64::from(opts.reorthonormalize)])
+        }
+        PropagatorState::Opaque { name } => {
+            w.put_str("prop/name", name)?;
+            w.put_u64s("prop/opaque", &[1])
+        }
+    }
+}
+
+fn read_propagator(
+    f: &SnapshotFile,
+    schema: &impl Fn(String) -> PtError,
+) -> Result<PropagatorState, PtError> {
+    let name = f.str("prop/name")?;
+    let read_ptcn = || -> Result<PtCnOptions, PtError> {
+        let (rho_tol, beta) = match f.f64s("prop/ptcn_f")?.as_slice() {
+            [r, b] => (*r, *b),
+            other => {
+                return Err(schema(format!(
+                    "'prop/ptcn_f' holds {} values",
+                    other.len()
+                )))
+            }
+        };
+        let (max_scf, anderson_depth, strict) = match f.u64s("prop/ptcn_u")?.as_slice() {
+            [m, d, s] => (*m as usize, *d as usize, *s != 0),
+            other => {
+                return Err(schema(format!(
+                    "'prop/ptcn_u' holds {} values",
+                    other.len()
+                )))
+            }
+        };
+        Ok(PtCnOptions {
+            rho_tol,
+            max_scf,
+            anderson_depth,
+            beta,
+            strict,
+        })
+    };
+    let read_anderson = || -> Result<Option<AndersonState>, PtError> {
+        if !f.has("prop/anderson/meta") {
+            return Ok(None);
+        }
+        let (n_bands, depth, hist, vec_len) = match f.u64s("prop/anderson/meta")?.as_slice() {
+            [n, d, h, v] => (*n as usize, *d as usize, *h as usize, *v as usize),
+            other => {
+                return Err(schema(format!(
+                    "'prop/anderson/meta' holds {} values",
+                    other.len()
+                )))
+            }
+        };
+        let beta = match f.f64s("prop/anderson/beta")?.as_slice() {
+            [b] => *b,
+            other => {
+                return Err(schema(format!(
+                    "'prop/anderson/beta' holds {} values",
+                    other.len()
+                )))
+            }
+        };
+        let unflatten = |m: &CMat| -> Result<Vec<Vec<Vec<c64>>>, PtError> {
+            if m.nrows() != vec_len || m.ncols() != n_bands * hist {
+                return Err(schema(format!(
+                    "anderson history matrix is {}x{}, expected {}x{}",
+                    m.nrows(),
+                    m.ncols(),
+                    vec_len,
+                    n_bands * hist
+                )));
+            }
+            Ok((0..n_bands)
+                .map(|b| (0..hist).map(|k| m.col(b * hist + k).to_vec()).collect())
+                .collect())
+        };
+        let xs = unflatten(&f.cmat("prop/anderson/xs")?)?;
+        let fs = unflatten(&f.cmat("prop/anderson/fs")?)?;
+        Ok(Some(AndersonState {
+            depth,
+            beta,
+            n_bands,
+            xs,
+            fs,
+        }))
+    };
+    match name.as_str() {
+        "pt-cn" => Ok(PropagatorState::PtCn {
+            opts: read_ptcn()?,
+            anderson: read_anderson()?,
+        }),
+        "pt-cn-dist" => {
+            let config = if f.has("prop/dist") {
+                match f.u64s("prop/dist")?.as_slice() {
+                    [r, t, w] => Some(DistributedConfig {
+                        ranks: *r as usize,
+                        threads_per_rank: *t as usize,
+                        wire: if *w != 0 { Wire::F32 } else { Wire::F64 },
+                    }),
+                    other => {
+                        return Err(schema(format!("'prop/dist' holds {} values", other.len())))
+                    }
+                }
+            } else {
+                None
+            };
+            Ok(PropagatorState::PtCnDistributed {
+                opts: read_ptcn()?,
+                config,
+                anderson: read_anderson()?,
+            })
+        }
+        "rk4" => {
+            let reorthonormalize = f.u64("prop/rk4")? != 0;
+            Ok(PropagatorState::Rk4 {
+                opts: Rk4Options { reorthonormalize },
+            })
+        }
+        _ => Ok(PropagatorState::Opaque { name }),
+    }
+}
+
+fn write_series(w: &mut SnapshotWriter, s: &TimeSeries) -> Result<(), PtError> {
+    w.put_str("series/propagator", &s.propagator)?;
+    w.put_f64s("series/t", &s.t)?;
+    let mut a = Vec::with_capacity(3 * s.a_field.len());
+    for v in &s.a_field {
+        a.extend_from_slice(v);
+    }
+    w.put_f64s("series/a", &a)?;
+    let mut su = Vec::with_capacity(3 * s.stats.len());
+    let mut sf = Vec::with_capacity(s.stats.len());
+    for st in &s.stats {
+        su.push(st.scf_iterations as u64);
+        su.push(st.h_applications as u64);
+        su.push(u64::from(st.converged));
+        sf.push(st.rho_residual);
+    }
+    w.put_u64s("series/stats", &su)?;
+    w.put_f64s("series/stats_resid", &sf)?;
+    let names = s.channel_names();
+    w.put_str("series/channels", &names.join("\n"))?;
+    for name in names {
+        w.put_f64s(&format!("series/ch/{name}"), s.channel(name).unwrap())?;
+    }
+    Ok(())
+}
+
+fn read_series(
+    f: &SnapshotFile,
+    schema: &impl Fn(String) -> PtError,
+) -> Result<TimeSeries, PtError> {
+    let propagator = f.str("series/propagator")?;
+    let t = f.f64s("series/t")?;
+    let n = t.len();
+    let a_raw = f.f64s("series/a")?;
+    if a_raw.len() != 3 * n {
+        return Err(schema(format!(
+            "'series/a' holds {} values, expected {}",
+            a_raw.len(),
+            3 * n
+        )));
+    }
+    let a_field: Vec<[f64; 3]> = a_raw.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+    let su = f.u64s("series/stats")?;
+    let sf = f.f64s("series/stats_resid")?;
+    if su.len() != 3 * n || sf.len() != n {
+        return Err(schema(format!(
+            "'series/stats' holds {}+{} values, expected {}+{}",
+            su.len(),
+            sf.len(),
+            3 * n,
+            n
+        )));
+    }
+    let stats: Vec<StepStats> = su
+        .chunks_exact(3)
+        .zip(&sf)
+        .map(|(u, &resid)| StepStats {
+            scf_iterations: u[0] as usize,
+            h_applications: u[1] as usize,
+            rho_residual: resid,
+            converged: u[2] != 0,
+        })
+        .collect();
+    let names = f.str("series/channels")?;
+    let mut channels = Vec::new();
+    for name in names.split('\n').filter(|s| !s.is_empty()) {
+        let col = f.f64s(&format!("series/ch/{name}"))?;
+        if col.len() != n {
+            return Err(schema(format!(
+                "channel '{name}' holds {} values, expected {n}",
+                col.len()
+            )));
+        }
+        channels.push((name.to_string(), col));
+    }
+    TimeSeries::from_parts(propagator, t, a_field, stats, channels)
+}

@@ -21,8 +21,11 @@
 //! trades that for half the broadcast volume (~1e-7 relative loss, §3.2
 //! optimization 4).
 
+use crate::anderson_c::BandAndersonMixer;
 use crate::laser::LaserPulse;
-use crate::propagator::{ptcn_step_with, Propagator, PtCnOptions, StepStats, TdState};
+use crate::propagator::{
+    ptcn_step_with, Propagator, PropagatorState, PtCnOptions, StepStats, TdState,
+};
 use pt_ham::{distributed_fock_apply, BandDistribution, DistributedConfig, KsSystem, PtError};
 use pt_linalg::CMat;
 use pt_mpi::run_ranks_pinned;
@@ -34,19 +37,24 @@ use pt_mpi::run_ranks_pinned;
 /// without either, it falls back to the serial-equivalent 1 × 1 layout.
 /// `SimulationBuilder` selects this propagator automatically when the
 /// system carries a distributed config.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct DistributedPtCnPropagator {
     /// PT-CN options (same knobs as the serial propagator).
     pub opts: PtCnOptions,
     /// Layout override; `None` reads `KsSystem::distributed`.
     pub config: Option<DistributedConfig>,
+    pub(crate) mixer: Option<BandAndersonMixer>,
 }
 
 impl DistributedPtCnPropagator {
     /// Propagator with the given options, reading the layout from the
     /// system it steps.
     pub fn new(opts: PtCnOptions) -> Self {
-        DistributedPtCnPropagator { opts, config: None }
+        DistributedPtCnPropagator {
+            opts,
+            config: None,
+            mixer: None,
+        }
     }
 
     /// Pin an explicit layout, ignoring the system's.
@@ -59,6 +67,19 @@ impl DistributedPtCnPropagator {
         let cfg = self.config.or(sys.distributed).unwrap_or_default();
         cfg.validate()?;
         Ok(cfg)
+    }
+}
+
+impl std::fmt::Debug for DistributedPtCnPropagator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributedPtCnPropagator")
+            .field("opts", &self.opts)
+            .field("config", &self.config)
+            .field(
+                "anderson_history_len",
+                &self.mixer.as_ref().map(BandAndersonMixer::history_len),
+            )
+            .finish()
     }
 }
 
@@ -132,8 +153,17 @@ impl Propagator for DistributedPtCnPropagator {
             laser,
             state,
             dt,
+            &mut self.mixer,
             &mut |sys, rho, psi, a| distributed_apply_h(sys, cfg, rho, psi, a),
         )
+    }
+
+    fn capture(&self) -> PropagatorState {
+        PropagatorState::PtCnDistributed {
+            opts: self.opts,
+            config: self.config,
+            anderson: self.mixer.as_ref().map(BandAndersonMixer::state),
+        }
     }
 }
 

@@ -36,8 +36,18 @@
 //! gauge-invariant observables (energy, current, density-matrix
 //! invariants) and a stability probe used to demonstrate the RK4
 //! step-size ceiling.
+//!
+//! # Checkpoint / restart
+//!
+//! Long trajectories survive job-time limits through the `pt-io` snapshot
+//! subsystem: `SimulationBuilder::checkpoint_every` emits rolling
+//! [`RunCheckpoint`]s from inside the time loop and [`Simulation::resume`]
+//! reconstructs the run — bit-identical continuation at the default
+//! [`pt_mpi::Wire::F64`] payloads (see `DESIGN.md`, "Snapshot format &
+//! resume semantics").
 
 mod anderson_c;
+pub mod checkpoint;
 mod distributed;
 mod laser;
 mod observables;
@@ -45,12 +55,14 @@ mod propagator;
 mod simulation;
 mod stability;
 
-pub use anderson_c::BandAndersonMixer;
+pub use anderson_c::{AndersonState, BandAndersonMixer};
+pub use checkpoint::{latest_checkpoint, CheckpointPolicy, RunCheckpoint, RunCheckpointView};
 pub use distributed::DistributedPtCnPropagator;
 pub use laser::LaserPulse;
 pub use observables::{current_density, density_matrix_distance, orthonormality_error};
 pub use propagator::{
-    Propagator, PtCnOptions, PtCnPropagator, Rk4Options, Rk4Propagator, StepStats, TdState,
+    propagator_from_state, Propagator, PropagatorState, PtCnOptions, PtCnPropagator, Rk4Options,
+    Rk4Propagator, StepStats, TdState,
 };
 pub use pt_ham::PtError;
 pub use simulation::{

@@ -7,11 +7,12 @@
 //! reused across systems and boxed for runtime selection
 //! (`Box<dyn Propagator>`).
 
-use crate::anderson_c::BandAndersonMixer;
+use crate::anderson_c::{AndersonState, BandAndersonMixer};
 use crate::laser::LaserPulse;
-use pt_ham::{density_residual, KsSystem, PtError};
+use pt_ham::{density_residual, DistributedConfig, KsSystem, PtError};
 use pt_linalg::{gemm, orthonormalize_columns, CMat, Op};
 use pt_num::c64;
+use std::fmt;
 
 /// The propagated state.
 #[derive(Clone)]
@@ -62,6 +63,84 @@ pub trait Propagator {
         state: &mut TdState,
         dt: f64,
     ) -> Result<StepStats, PtError>;
+
+    /// Capture everything needed to reconstruct this propagator
+    /// mid-trajectory (options plus internal state like the Anderson mixer
+    /// history) — what a run snapshot records. The default is
+    /// [`PropagatorState::Opaque`], which round-trips the name but cannot
+    /// be reconstructed: custom propagators should override this to become
+    /// resumable.
+    fn capture(&self) -> PropagatorState {
+        PropagatorState::Opaque {
+            name: self.name().to_string(),
+        }
+    }
+}
+
+/// The capturable state of a [`Propagator`] — the bridge between the live
+/// trait object and the snapshot file (`pt-core`'s checkpoint schema
+/// serializes this, [`propagator_from_state`] rebuilds the trait object on
+/// resume).
+#[derive(Clone, Debug)]
+pub enum PropagatorState {
+    /// Serial PT-CN (Alg. 1).
+    PtCn {
+        /// Options.
+        opts: PtCnOptions,
+        /// Anderson history at the capture point (the last step's fixed
+        /// point; PT-CN resets it at the start of each step).
+        anderson: Option<AndersonState>,
+    },
+    /// Distributed PT-CN (`pt-cn-dist`).
+    PtCnDistributed {
+        /// Options.
+        opts: PtCnOptions,
+        /// Explicit layout override (`None` reads `KsSystem::distributed`).
+        config: Option<DistributedConfig>,
+        /// Anderson history at the capture point.
+        anderson: Option<AndersonState>,
+    },
+    /// RK4 baseline.
+    Rk4 {
+        /// Options.
+        opts: Rk4Options,
+    },
+    /// A propagator that did not implement [`Propagator::capture`]; its
+    /// name survives for diagnostics but it cannot be rebuilt.
+    Opaque {
+        /// [`Propagator::name`] of the original.
+        name: String,
+    },
+}
+
+/// Rebuild a boxed [`Propagator`] from a captured [`PropagatorState`].
+/// [`PropagatorState::Opaque`] is a typed error: the snapshot records that
+/// the original run used a propagator this crate cannot reconstruct, so
+/// the caller must supply one (`Simulation::resume_with`).
+pub fn propagator_from_state(state: PropagatorState) -> Result<Box<dyn Propagator>, PtError> {
+    match state {
+        PropagatorState::PtCn { opts, anderson } => {
+            let mixer = anderson.map(BandAndersonMixer::from_state).transpose()?;
+            Ok(Box::new(PtCnPropagator { opts, mixer }))
+        }
+        PropagatorState::PtCnDistributed {
+            opts,
+            config,
+            anderson,
+        } => {
+            let mixer = anderson.map(BandAndersonMixer::from_state).transpose()?;
+            Ok(Box::new(crate::distributed::DistributedPtCnPropagator {
+                opts,
+                config,
+                mixer,
+            }))
+        }
+        PropagatorState::Rk4 { opts } => Ok(Box::new(Rk4Propagator { opts })),
+        PropagatorState::Opaque { name } => Err(PtError::InvalidConfig(format!(
+            "snapshot was taken with propagator '{name}', which cannot be reconstructed; \
+             resume with an explicit propagator"
+        ))),
+    }
 }
 
 /// PT-CN options (§4 settings as defaults).
@@ -134,16 +213,33 @@ pub struct Rk4Options {
 }
 
 /// The implicit parallel-transport Crank–Nicolson propagator (Alg. 1).
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// Owns its [`BandAndersonMixer`] across steps (reset at the start of
+/// every step, as Alg. 1 requires) so the mixer history is part of the
+/// propagator's capturable state ([`Propagator::capture`]).
+#[derive(Clone, Default)]
 pub struct PtCnPropagator {
     /// Options.
     pub opts: PtCnOptions,
+    pub(crate) mixer: Option<BandAndersonMixer>,
 }
 
 impl PtCnPropagator {
     /// Propagator with the given options.
     pub fn new(opts: PtCnOptions) -> Self {
-        PtCnPropagator { opts }
+        PtCnPropagator { opts, mixer: None }
+    }
+}
+
+impl fmt::Debug for PtCnPropagator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PtCnPropagator")
+            .field("opts", &self.opts)
+            .field(
+                "anderson_history_len",
+                &self.mixer.as_ref().map(BandAndersonMixer::history_len),
+            )
+            .finish()
     }
 }
 
@@ -193,6 +289,7 @@ pub(crate) fn ptcn_step_with(
     laser: Option<&LaserPulse>,
     state: &mut TdState,
     dt: f64,
+    mixer_slot: &mut Option<BandAndersonMixer>,
     apply_h: &mut ApplyH<'_>,
 ) -> Result<StepStats, PtError> {
     opts.validate()?;
@@ -213,8 +310,19 @@ pub(crate) fn ptcn_step_with(
     }
     let mut psi_f = psi_half.clone();
 
-    // lines 3-10: fixed point via Anderson mixing
-    let mut mixer = BandAndersonMixer::new(nb, opts.anderson_depth, opts.beta);
+    // lines 3-10: fixed point via Anderson mixing. The mixer persists on
+    // the propagator (its history is capturable state for checkpoints) but
+    // is reset here — each step's fixed point starts with a clean history,
+    // so resumed and uninterrupted trajectories agree bit for bit.
+    let mixer = match mixer_slot {
+        Some(m)
+            if m.n_bands() == nb && m.depth() == opts.anderson_depth && m.beta() == opts.beta =>
+        {
+            m.reset();
+            m
+        }
+        slot => slot.insert(BandAndersonMixer::new(nb, opts.anderson_depth, opts.beta)),
+    };
     let mut rho_f = sys.density(&psi_f);
     let t_next = state.t + dt;
     for _ in 0..opts.max_scf {
@@ -290,7 +398,22 @@ impl Propagator for PtCnPropagator {
         state: &mut TdState,
         dt: f64,
     ) -> Result<StepStats, PtError> {
-        ptcn_step_with(&self.opts, sys, laser, state, dt, &mut serial_apply_h)
+        ptcn_step_with(
+            &self.opts,
+            sys,
+            laser,
+            state,
+            dt,
+            &mut self.mixer,
+            &mut serial_apply_h,
+        )
+    }
+
+    fn capture(&self) -> PropagatorState {
+        PropagatorState::PtCn {
+            opts: self.opts,
+            anderson: self.mixer.as_ref().map(BandAndersonMixer::state),
+        }
     }
 }
 
@@ -379,6 +502,10 @@ impl Propagator for Rk4Propagator {
         }
         state.t += dt;
         Ok(stats)
+    }
+
+    fn capture(&self) -> PropagatorState {
+        PropagatorState::Rk4 { opts: self.opts }
     }
 }
 

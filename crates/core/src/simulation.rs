@@ -29,13 +29,16 @@
 //! # }
 //! ```
 
+use crate::checkpoint::{checkpoint_path, CheckpointPolicy, RunCheckpoint, RunCheckpointView};
 use crate::laser::LaserPulse;
 use crate::observables::{current_density, orthonormality_error};
-use crate::propagator::{Propagator, PtCnPropagator, StepStats, TdState};
+use crate::propagator::{propagator_from_state, Propagator, PtCnPropagator, StepStats, TdState};
 use pt_ham::{integrate, KsSystem, PtError};
 use pt_linalg::CMat;
+use pt_mpi::Wire;
 use pt_par::{Parallelism, ThreadPool};
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Everything an [`Observer`] may look at after one completed step.
@@ -248,6 +251,83 @@ impl TimeSeries {
         }
         Ok(())
     }
+
+    /// Rebuild a series from its captured parts (the checkpoint read
+    /// path). Length mismatches are typed errors, so a doctored snapshot
+    /// cannot smuggle in a ragged series.
+    pub(crate) fn from_parts(
+        propagator: String,
+        t: Vec<f64>,
+        a_field: Vec<[f64; 3]>,
+        stats: Vec<StepStats>,
+        channels: Vec<(String, Vec<f64>)>,
+    ) -> Result<TimeSeries, PtError> {
+        let n = t.len();
+        if a_field.len() != n || stats.len() != n {
+            return Err(PtError::InvalidConfig(format!(
+                "series parts disagree: {} times, {} fields, {} stats",
+                n,
+                a_field.len(),
+                stats.len()
+            )));
+        }
+        let mut map = BTreeMap::new();
+        for (name, col) in channels {
+            if col.len() != n {
+                return Err(PtError::InvalidConfig(format!(
+                    "series channel '{name}' has {} values, expected {n}",
+                    col.len()
+                )));
+            }
+            if map.insert(name.clone(), col).is_some() {
+                return Err(PtError::InvalidConfig(format!(
+                    "series channel '{name}' appears twice"
+                )));
+            }
+        }
+        Ok(TimeSeries {
+            propagator,
+            t,
+            a_field,
+            stats,
+            channels: map,
+        })
+    }
+
+    /// Export as a [`pt_io::Table`] (one row per step: time, vector
+    /// potential, per-step stats and every observer channel) — the bridge
+    /// to `pt_io::export`'s JSON/CSV writers.
+    pub fn to_table(&self) -> Result<pt_io::Table, PtError> {
+        let mut table =
+            pt_io::Table::new().meta("propagator", pt_io::Value::Str(self.propagator.clone()));
+        table.column("t", self.t.clone())?;
+        for (d, axis) in ["a_x", "a_y", "a_z"].iter().enumerate() {
+            table.column(axis, self.a_field.iter().map(|a| a[d]).collect())?;
+        }
+        table.column(
+            "scf_iterations",
+            self.stats.iter().map(|s| s.scf_iterations as f64).collect(),
+        )?;
+        table.column(
+            "h_applications",
+            self.stats.iter().map(|s| s.h_applications as f64).collect(),
+        )?;
+        table.column(
+            "rho_residual",
+            self.stats.iter().map(|s| s.rho_residual).collect(),
+        )?;
+        table.column(
+            "converged",
+            self.stats
+                .iter()
+                .map(|s| if s.converged { 1.0 } else { 0.0 })
+                .collect(),
+        )?;
+        for (name, col) in &self.channels {
+            table.column(name, col.clone())?;
+        }
+        Ok(table)
+    }
 }
 
 /// Configures a [`Simulation`]. See the module docs for the full example.
@@ -261,6 +341,9 @@ pub struct SimulationBuilder<'a> {
     observers: Vec<Box<dyn Observer>>,
     initial: Option<CMat>,
     parallelism: Parallelism,
+    ckpt_every_dir: Option<(usize, PathBuf)>,
+    ckpt_keep: usize,
+    ckpt_wire: Wire,
 }
 
 impl<'a> SimulationBuilder<'a> {
@@ -276,6 +359,9 @@ impl<'a> SimulationBuilder<'a> {
             observers: Vec::new(),
             initial: None,
             parallelism: Parallelism::inherit(),
+            ckpt_every_dir: None,
+            ckpt_keep: 2,
+            ckpt_wire: Wire::F64,
         }
     }
 
@@ -320,11 +406,36 @@ impl<'a> SimulationBuilder<'a> {
 
     /// Append the standard pipeline: energy, current, dipole/norm,
     /// orthonormality.
-    pub fn standard_observers(self) -> Self {
-        self.observer(Box::new(EnergyObserver))
-            .observer(Box::new(CurrentObserver))
-            .observer(Box::new(DipoleNormObserver::default()))
-            .observer(Box::new(OrthonormalityObserver))
+    pub fn standard_observers(mut self) -> Self {
+        self.observers.extend(standard_observer_pipeline());
+        self
+    }
+
+    /// Emit a rolling snapshot into `dir` after every `every` completed
+    /// steps (the file is `ckpt_<absolute step>.ptio`; the directory is
+    /// created on first write). A killed run resumes from the newest one
+    /// via [`Simulation::resume`] and — at the default
+    /// [`Wire::F64`] payloads — continues **bit-identically** to an
+    /// uninterrupted run.
+    pub fn checkpoint_every(mut self, every: usize, dir: impl Into<PathBuf>) -> Self {
+        self.ckpt_every_dir = Some((every, dir.into()));
+        self
+    }
+
+    /// How many rolling snapshots to retain (default 2; older files are
+    /// pruned after each write).
+    pub fn checkpoint_keep(mut self, keep: usize) -> Self {
+        self.ckpt_keep = keep;
+        self
+    }
+
+    /// Payload precision of the orbital-sized snapshot sections.
+    /// [`Wire::F32`] halves those bytes — mirroring the §3.2 f32 wire
+    /// optimization — but a resume from such a snapshot is only ~1e-7
+    /// accurate, no longer bit-exact.
+    pub fn checkpoint_wire(mut self, wire: Wire) -> Self {
+        self.ckpt_wire = wire;
+        self
     }
 
     /// Initial orbitals (usually SCF ground-state orbitals). Required.
@@ -393,6 +504,19 @@ impl<'a> SimulationBuilder<'a> {
                 Box::new(PtCnPropagator::default())
             }
         });
+        let checkpoint = match self.ckpt_every_dir {
+            Some((every, dir)) => {
+                let policy = CheckpointPolicy {
+                    every,
+                    dir,
+                    keep: self.ckpt_keep,
+                    wire: self.ckpt_wire,
+                };
+                policy.validate()?;
+                Some(policy)
+            }
+            None => None,
+        };
         Ok(Simulation {
             sys: self.sys,
             laser: self.laser,
@@ -403,8 +527,23 @@ impl<'a> SimulationBuilder<'a> {
             state: TdState { psi, t: self.t0 },
             partial: None,
             pool: self.parallelism.build_pool(),
+            checkpoint,
+            ckpt_written: Vec::new(),
+            resume_base: None,
         })
     }
+}
+
+/// The standard observer pipeline (energy, current, dipole/norm,
+/// orthonormality) — shared by [`SimulationBuilder::standard_observers`]
+/// and [`Simulation::resume`].
+fn standard_observer_pipeline() -> Vec<Box<dyn Observer>> {
+    vec![
+        Box::new(EnergyObserver),
+        Box::new(CurrentObserver),
+        Box::<DipoleNormObserver>::default(),
+        Box::new(OrthonormalityObserver),
+    ]
 }
 
 /// A configured rt-TDDFT run: owns the state, the propagator and the
@@ -419,6 +558,15 @@ pub struct Simulation<'a> {
     state: TdState,
     partial: Option<TimeSeries>,
     pool: Option<Arc<ThreadPool>>,
+    checkpoint: Option<CheckpointPolicy>,
+    /// Snapshots THIS simulation wrote, oldest first — the rolling window
+    /// `CheckpointPolicy::keep` prunes over. Scoped to the run on purpose:
+    /// a directory shared with an earlier trajectory must never have that
+    /// trajectory's files deleted (or counted) by this one.
+    ckpt_written: Vec<PathBuf>,
+    /// Steps restored from a snapshot; the next `run` continues *into*
+    /// this series so the merged record matches an uninterrupted run.
+    resume_base: Option<TimeSeries>,
 }
 
 impl<'a> Simulation<'a> {
@@ -459,13 +607,18 @@ impl<'a> Simulation<'a> {
     }
 
     fn run_inner(&mut self) -> Result<TimeSeries, PtError> {
-        let mut series = TimeSeries {
+        // a resumed simulation continues into its restored series; the
+        // absolute step index keeps counting from there, so observers and
+        // channels line up with the uninterrupted run
+        let mut series = self.resume_base.take().unwrap_or_else(|| TimeSeries {
             propagator: self.propagator.name().to_string(),
             ..TimeSeries::default()
-        };
+        });
+        let base = series.len();
         self.partial = None;
         let needs_rho = self.observers.iter().any(|o| o.needs_density());
-        for step_index in 0..self.n_steps {
+        for local_step in 0..self.n_steps {
+            let step_index = base + local_step;
             let stats =
                 match self
                     .propagator
@@ -540,8 +693,173 @@ impl<'a> Simulation<'a> {
             series.t.push(self.state.t);
             series.a_field.push(a);
             series.stats.push(stats);
+            if let Some(policy) = &self.checkpoint {
+                if (local_step + 1) % policy.every == 0 {
+                    let policy = policy.clone();
+                    let remaining = self.n_steps - (local_step + 1);
+                    if let Err(e) = self.write_checkpoint(&policy, &series, remaining, rho) {
+                        self.partial = Some(series);
+                        return Err(e);
+                    }
+                }
+            }
         }
         Ok(series)
+    }
+
+    /// Serialize the current run state into `policy.dir` (borrowing ψ, ρ
+    /// and the series — no clones of orbital-sized data) and prune the
+    /// oldest of this run's own snapshots past `policy.keep`. `rho` reuses
+    /// the observer-step density when one was already computed.
+    fn write_checkpoint(
+        &mut self,
+        policy: &CheckpointPolicy,
+        series: &TimeSeries,
+        steps_remaining: usize,
+        rho: Option<Vec<f64>>,
+    ) -> Result<(), PtError> {
+        std::fs::create_dir_all(&policy.dir).map_err(|e| PtError::Io {
+            path: policy.dir.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        let rho = match rho {
+            Some(r) => r,
+            None => self.sys.density(&self.state.psi),
+        };
+        let propagator = self.propagator.capture();
+        let view = RunCheckpointView {
+            signature: self.sys.signature(),
+            steps_remaining,
+            t: self.state.t,
+            dt: self.dt,
+            occupations: &self.sys.occupations,
+            psi: &self.state.psi,
+            // parallel-transport gauge: Φ = Ψ defines the exchange
+            phi: self.sys.hybrid.map(|_| &self.state.psi),
+            rho: &rho,
+            laser: self.laser.as_ref(),
+            propagator: &propagator,
+            series,
+        };
+        let path = checkpoint_path(&policy.dir, series.len());
+        view.write(&path, policy.wire)?;
+        self.ckpt_written.push(path);
+        while self.ckpt_written.len() > policy.keep {
+            let old = self.ckpt_written.remove(0);
+            std::fs::remove_file(&old).map_err(|e| PtError::Io {
+                path: old.display().to_string(),
+                reason: e.to_string(),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Reconstruct a killed run from a snapshot, with the standard
+    /// observer pipeline and the propagator recorded in the snapshot.
+    /// `run` on the result takes the remaining steps and returns the
+    /// *full* series (restored + new steps) — bit-identical to an
+    /// uninterrupted run when the snapshot was written at the default
+    /// [`Wire::F64`] payloads and the original run used the standard
+    /// observers.
+    ///
+    /// The snapshot must have been taken against a system of the same
+    /// shape: the recorded [`pt_ham::SystemSignature`] and occupations are
+    /// revalidated and a mismatch is a typed error.
+    pub fn resume(sys: &'a KsSystem, path: impl AsRef<Path>) -> Result<Simulation<'a>, PtError> {
+        Self::resume_with(sys, path, standard_observer_pipeline(), None)
+    }
+
+    /// [`Simulation::resume`] with a custom observer pipeline and/or an
+    /// explicit propagator (required when the snapshot records a
+    /// propagator this crate cannot reconstruct). For a bit-identical
+    /// continuation the pipeline must emit the same channels as the
+    /// original run's.
+    pub fn resume_with(
+        sys: &'a KsSystem,
+        path: impl AsRef<Path>,
+        observers: Vec<Box<dyn Observer>>,
+        propagator: Option<Box<dyn Propagator>>,
+    ) -> Result<Simulation<'a>, PtError> {
+        let ck = RunCheckpoint::read(path)?;
+        let want = sys.signature();
+        if ck.signature != want {
+            return Err(PtError::InvalidConfig(format!(
+                "snapshot was taken on a different system: recorded {:?}, resuming against {:?}",
+                ck.signature, want
+            )));
+        }
+        let occ_match = ck.occupations.len() == sys.occupations.len()
+            && ck
+                .occupations
+                .iter()
+                .zip(&sys.occupations)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !occ_match {
+            return Err(PtError::InvalidConfig(
+                "snapshot occupations do not match the system's".into(),
+            ));
+        }
+        if ck.psi.nrows() != sys.grids.ng() {
+            return Err(PtError::ShapeMismatch {
+                context: "snapshot orbital rows (plane waves)",
+                expected: sys.grids.ng(),
+                got: ck.psi.nrows(),
+            });
+        }
+        if ck.psi.ncols() != sys.n_bands() {
+            return Err(PtError::ShapeMismatch {
+                context: "snapshot orbital columns (occupied bands)",
+                expected: sys.n_bands(),
+                got: ck.psi.ncols(),
+            });
+        }
+        if ck.rho.len() != sys.grids.n_dense() {
+            return Err(PtError::ShapeMismatch {
+                context: "snapshot density on the dense grid",
+                expected: sys.grids.n_dense(),
+                got: ck.rho.len(),
+            });
+        }
+        let propagator = match propagator {
+            Some(p) => p,
+            None => propagator_from_state(ck.propagator)?,
+        };
+        Ok(Simulation {
+            sys,
+            laser: ck.laser,
+            dt: ck.dt,
+            n_steps: ck.steps_remaining,
+            propagator,
+            observers,
+            state: TdState {
+                psi: ck.psi,
+                t: ck.t,
+            },
+            partial: None,
+            pool: None,
+            checkpoint: None,
+            ckpt_written: Vec::new(),
+            resume_base: Some(ck.series),
+        })
+    }
+
+    /// Turn checkpointing on for this (typically resumed) simulation:
+    /// rolling [`Wire::F64`] snapshots into `dir` every `every` steps,
+    /// keeping the newest two.
+    pub fn checkpoint_every(
+        mut self,
+        every: usize,
+        dir: impl Into<PathBuf>,
+    ) -> Result<Simulation<'a>, PtError> {
+        let policy = CheckpointPolicy {
+            every,
+            dir: dir.into(),
+            keep: 2,
+            wire: Wire::F64,
+        };
+        policy.validate()?;
+        self.checkpoint = Some(policy);
+        Ok(self)
     }
 }
 

@@ -22,8 +22,17 @@ use crate::grids::PwGrids;
 use pt_linalg::CMat;
 use pt_mpi::{Comm, Wire};
 use pt_num::c64;
+use pt_num::complex::zdotc;
 use pt_par::RankLayout;
 use std::ops::Range;
+
+/// Row width of one overlap-reduction chunk — the fixed grid the Alg. 3
+/// allreduce is re-associated over. Shape-only (independent of rank and
+/// thread counts), so the grouping of the floating-point sums that
+/// assemble the overlap matrix `S = Ψ_f^H (H_f Ψ_f)` is identical for
+/// every layout, making [`distributed_residual`] bit-deterministic across
+/// rank counts, not just thread counts.
+pub const OVERLAP_CHUNK_ROWS: usize = 64;
 
 /// Cyclic band ownership map: `owner(i) = i % n_ranks` (§3.1), so loads
 /// differ by at most one band when `n_bands % n_ranks ≠ 0`.
@@ -71,15 +80,23 @@ impl BandDistribution {
     }
 
     /// The sphere rows rank `rank` owns in the G-space layout of Alg. 3:
-    /// contiguous slices of `[0, ng)`, sizes differing by at most one —
-    /// the first `ng % n_ranks` ranks absorb the remainder. Ranks beyond
-    /// `ng` get an empty range (the `ng < n_ranks` edge case).
+    /// contiguous, **chunk-aligned** slices of `[0, ng)`. The row space is
+    /// first cut into fixed [`OVERLAP_CHUNK_ROWS`]-row chunks (a
+    /// shape-only grid: it depends on `ng`, never on the rank count), and
+    /// whole chunks are dealt to ranks with counts differing by at most
+    /// one — so every chunk has exactly one owner on *any* rank count,
+    /// which is what lets the overlap reduction of
+    /// [`distributed_residual`] re-associate its floating-point sums
+    /// identically across layouts. Ranks beyond the chunk count get an
+    /// empty range (the `ng < n_ranks` edge case).
     pub fn g_rows(&self, ng: usize, rank: usize) -> Range<usize> {
         let np = self.n_ranks;
-        let base = ng / np;
-        let rem = ng % np;
-        let start = rank * base + rank.min(rem);
-        start..start + base + usize::from(rank < rem)
+        let nc = ng.div_ceil(OVERLAP_CHUNK_ROWS);
+        let base = nc / np;
+        let rem = nc % np;
+        let c_start = rank * base + rank.min(rem);
+        let c_end = c_start + base + usize::from(rank < rem);
+        (c_start * OVERLAP_CHUNK_ROWS).min(ng)..(c_end * OVERLAP_CHUNK_ROWS).min(ng)
     }
 
     /// Extract `rank`'s local columns of a band-major matrix (a test and
@@ -278,22 +295,26 @@ pub fn distributed_fock_apply(
 ///
 /// Inputs are in the band-index layout (each rank owns its block-cyclic
 /// bands of Ψ_f, H_f Ψ_f and Ψ_{n+1/2}); the routine flips to the G-space
-/// layout with `MPI_Alltoallv`, forms the local overlap contribution
-/// `S_temp = Ψ_f^H (H_f Ψ_f)`, `MPI_Allreduce`s it into the global S,
-/// applies the rotation `Ψ_f S` locally, assembles
+/// layout with `MPI_Alltoallv`, forms per-chunk overlap partials
+/// `T_c = Ψ_f[c]^H (H_f Ψ_f)[c]` on the fixed [`OVERLAP_CHUNK_ROWS`]-row
+/// grid, `MPI_Allgatherv`s them and re-associates `S = Σ_c T_c` in
+/// ascending chunk order, applies the rotation `Ψ_f S` locally, assembles
 /// `R_f = Ψ_f + i·dt/2·(H_f Ψ_f − Ψ_f S) − Ψ_{n+1/2}` and flips back.
 ///
-/// Row partition: [`BandDistribution::g_rows`] — contiguous slices whose
-/// sizes differ by at most one (the first `ng % N_p` ranks absorb the
-/// remainder), covering the `ng < N_p` and `n_bands < N_p` edge cases.
+/// Row partition: [`BandDistribution::g_rows`] — contiguous chunk-aligned
+/// slices (whole chunks per rank, counts differing by at most one),
+/// covering the `ng < N_p` and `n_bands < N_p` edge cases.
 ///
-/// The overlap/rotation GEMMs and the element-wise residual assembly run
-/// on the calling thread's current pool (the rank's pinned pool under
-/// [`pt_mpi::run_ranks_pinned`]); per-column work is owned by single
-/// tasks, so the result bits are independent of the thread count. Across
-/// *rank* counts the result is equal only to reduction accuracy (~1e-12):
-/// the allreduce that assembles the overlap matrix sums rank partials
-/// whose grouping follows the row partition.
+/// # Determinism across the full layout grid
+///
+/// Every chunk partial is a fixed sequential dot product over that chunk's
+/// rows, computed by the chunk's single owner; the global combine walks
+/// the chunks in ascending index order on every rank. Both the chunk grid
+/// and the combine order depend only on `ng` — never on the rank or
+/// thread count — so with a [`Wire::F64`] wire the residual bits are
+/// **identical for every ranks × threads layout** (the fixed-chunk
+/// reduction tree that closed the old ~1e-12 cross-rank gap). A
+/// [`Wire::F32`] wire quantizes the gathered partials and gives that up.
 pub fn distributed_residual(
     comm: &mut Comm,
     dist: BandDistribution,
@@ -339,21 +360,37 @@ pub fn distributed_residual(
     let gh = flip_to_g(comm, hpsi_f);
     let ghalf = flip_to_g(comm, psi_half);
 
-    // lines 2-3: local overlap + allreduce
+    // lines 2-3: per-chunk overlap partials on the fixed row grid, then a
+    // chunk-ordered re-association (see the determinism note above). Each
+    // local chunk's nb×nb partial is one pool task (chunks are independent
+    // and internally sequential, so bits are thread-count-free too).
     let nb = dist.n_bands;
-    let mut s_local = CMat::zeros(nb, nb);
-    gemm(
-        c64::ONE,
-        &gp,
-        Op::ConjTrans,
-        &gh,
-        Op::None,
-        c64::ZERO,
-        &mut s_local,
-    );
-    let mut s_data = s_local.data().to_vec();
-    comm.allreduce_sum_c64(&mut s_data);
-    let s_global = CMat::from_vec(nb, nb, s_data);
+    let my_rows = rows_of(comm.rank());
+    let n_my_chunks = my_rows.len().div_ceil(OVERLAP_CHUNK_ROWS);
+    let partials: Vec<CMat> = pt_par::parallel_map(n_my_chunks, |c| {
+        let r0 = c * OVERLAP_CHUNK_ROWS;
+        let r1 = (r0 + OVERLAP_CHUNK_ROWS).min(my_rows.len());
+        let mut t = CMat::zeros(nb, nb);
+        for j in 0..nb {
+            let ghj = &gh.col(j)[r0..r1];
+            for i in 0..nb {
+                t[(i, j)] = zdotc(&gp.col(i)[r0..r1], ghj);
+            }
+        }
+        t
+    });
+    let flat: Vec<c64> = partials.iter().flat_map(|t| t.data().to_vec()).collect();
+    let gathered = comm.allgatherv_c64(&flat);
+    // ranks ascend ⇒ global chunk index ascends: summing rank-by-rank,
+    // chunk-by-chunk is the fixed `(((T_0 + T_1) + T_2) + …)` association
+    let mut s_global = CMat::zeros(nb, nb);
+    for blk in &gathered {
+        for t in blk.chunks_exact(nb * nb) {
+            for (s, v) in s_global.data_mut().iter_mut().zip(t) {
+                *s += *v;
+            }
+        }
+    }
 
     // lines 4-5: rotation and residual on my rows
     let mut rot = CMat::zeros(gp.nrows(), nb);
@@ -460,21 +497,40 @@ mod tests {
     }
 
     #[test]
-    fn g_rows_are_balanced_and_cover_every_row() {
-        for (ng, np) in [(10, 3), (64, 4), (7, 7), (3, 5), (0, 2), (100, 1)] {
+    fn g_rows_are_chunk_aligned_balanced_and_cover_every_row() {
+        for (ng, np) in [
+            (10usize, 3usize),
+            (64, 4),
+            (7, 7),
+            (3, 5),
+            (0, 2),
+            (100, 1),
+            (1000, 3),
+            (64 * 5 + 17, 4),
+        ] {
             let d = BandDistribution {
                 n_bands: 1,
                 n_ranks: np,
             };
+            let nc = ng.div_ceil(OVERLAP_CHUNK_ROWS);
             let mut covered = 0;
-            let base = ng / np;
             for r in 0..np {
                 let rows = d.g_rows(ng, r);
                 assert_eq!(rows.start, covered, "ng={ng} np={np} r={r}");
                 covered = rows.end;
-                // remainder spread over the first ng % np ranks
-                let want = base + usize::from(r < ng % np);
-                assert_eq!(rows.len(), want, "ng={ng} np={np} r={r}");
+                // whole chunks per rank: boundaries sit on the fixed grid
+                // (empty tail ranges are clamped to ng and own no chunk)
+                assert!(
+                    rows.start.is_multiple_of(OVERLAP_CHUNK_ROWS) || rows.is_empty(),
+                    "ng={ng} np={np} r={r}: start off the chunk grid"
+                );
+                assert!(rows.end.is_multiple_of(OVERLAP_CHUNK_ROWS) || rows.end == ng);
+                // balanced to within one chunk
+                let chunks = rows.len().div_ceil(OVERLAP_CHUNK_ROWS);
+                assert!(
+                    chunks <= nc / np + usize::from(nc % np != 0),
+                    "ng={ng} np={np} r={r}: {chunks} chunks"
+                );
             }
             assert_eq!(covered, ng);
         }
@@ -644,7 +700,8 @@ mod tests {
             });
             // three forward flips + one backward per rank
             assert_eq!(stats.alltoallv_calls, 4 * np as u64);
-            assert!(stats.allreduce_calls >= np as u64);
+            // the overlap partials travel by allgatherv (fixed-chunk tree)
+            assert_eq!(stats.allgatherv_calls, np as u64);
             let mut err = 0.0f64;
             for (mine, out) in outs {
                 for (lj, &b) in mine.iter().enumerate() {
@@ -684,6 +741,50 @@ mod tests {
             }
         }
         (psi, hpsi, half, want)
+    }
+
+    #[test]
+    fn distributed_residual_is_bit_identical_across_rank_counts() {
+        // the fixed-chunk reduction tree: same bits for every rank count,
+        // including sizes that straddle chunk boundaries unevenly
+        for (ng, nb) in [(200usize, 5usize), (64, 3), (65, 2), (700, 4)] {
+            let dt = 0.7;
+            let (psi, hpsi, half, _) = serial_residual(ng, nb, [61, 62, 63], dt);
+            let mut reference: Option<CMat> = None;
+            for np in [1usize, 2, 3, 5] {
+                let dist = BandDistribution {
+                    n_bands: nb,
+                    n_ranks: np,
+                };
+                let (p_, h_, f_) = (&psi, &hpsi, &half);
+                let (outs, _) = run_ranks(np, Wire::F64, move |comm| {
+                    let rank = comm.rank();
+                    let mine = dist.local_bands(rank);
+                    let take = |m: &CMat| dist.take_local(rank, m);
+                    let r =
+                        distributed_residual(comm, dist, ng, &take(p_), &take(h_), &take(f_), dt);
+                    (mine, r)
+                });
+                let mut full = CMat::zeros(ng, nb);
+                for (mine, out) in outs {
+                    for (lj, &b) in mine.iter().enumerate() {
+                        full.col_mut(b).copy_from_slice(out.col(lj));
+                    }
+                }
+                match &reference {
+                    None => reference = Some(full),
+                    Some(want) => {
+                        for (i, (x, y)) in want.data().iter().zip(full.data()).enumerate() {
+                            assert!(
+                                x.re.to_bits() == y.re.to_bits()
+                                    && x.im.to_bits() == y.im.to_bits(),
+                                "ng={ng} nb={nb} np={np} [{i}]: {x:?} vs {y:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

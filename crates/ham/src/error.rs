@@ -38,6 +38,22 @@ pub enum PtError {
     },
     /// A builder or options struct was given an invalid value.
     InvalidConfig(String),
+    /// A filesystem operation on a run artifact (snapshot, export) failed.
+    Io {
+        /// Path involved.
+        path: String,
+        /// OS-level reason.
+        reason: String,
+    },
+    /// A snapshot/artifact file is malformed: bad magic, unsupported
+    /// format version, CRC mismatch, truncation, or a missing/mistyped
+    /// section.
+    SnapshotFormat {
+        /// Path of the offending file.
+        path: String,
+        /// What exactly was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PtError {
@@ -55,6 +71,10 @@ impl fmt::Display for PtError {
                 write!(f, "shape mismatch in {context}: expected {expected}, got {got}")
             }
             PtError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PtError::Io { path, reason } => write!(f, "i/o error on {path}: {reason}"),
+            PtError::SnapshotFormat { path, reason } => {
+                write!(f, "malformed snapshot {path}: {reason}")
+            }
         }
     }
 }
@@ -82,5 +102,15 @@ mod tests {
             got: 8,
         };
         assert!(m.to_string().contains("16"));
+        let io = PtError::Io {
+            path: "/tmp/run.ptio".into(),
+            reason: "permission denied".into(),
+        };
+        assert!(io.to_string().contains("/tmp/run.ptio"));
+        let snap = PtError::SnapshotFormat {
+            path: "ckpt.ptio".into(),
+            reason: "crc mismatch in section 'psi'".into(),
+        };
+        assert!(snap.to_string().contains("crc mismatch"));
     }
 }

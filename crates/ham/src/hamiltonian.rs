@@ -114,7 +114,7 @@ mod tests {
         let grids = Arc::new(PwGrids::new(&s, 2.5));
         let sphere: &GSphere = &grids.sphere;
         let _ = sphere;
-        let nl = Arc::new(pt_pseudo::NonlocalPs::new(&s, &grids.sphere));
+        let nl = Arc::new(pt_pseudo::NonlocalPs::new(&s, &grids.sphere).unwrap());
         // a smooth local potential
         let vloc: Vec<f64> = (0..grids.n_dense())
             .map(|i| 0.05 * ((i % 7) as f64 - 3.0))

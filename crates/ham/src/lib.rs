@@ -31,11 +31,11 @@ pub use ace::AceOperator;
 pub use density::{density_from_orbitals, density_residual, integrate};
 pub use distributed::{
     distributed_fock_apply, distributed_residual, serial_fock_reference, BandDistribution,
-    DistributedConfig,
+    DistributedConfig, OVERLAP_CHUNK_ROWS,
 };
 pub use error::PtError;
 pub use fock::{FockMode, FockOperator, ScreenedKernel};
 pub use grids::PwGrids;
 pub use hamiltonian::Hamiltonian;
 pub use hartree::hartree_potential;
-pub use system::{Energies, HybridConfig, KsSystem, KsSystemBuilder, Potentials};
+pub use system::{Energies, HybridConfig, KsSystem, KsSystemBuilder, Potentials, SystemSignature};

@@ -292,7 +292,10 @@ impl KsSystemBuilder {
         let mut arr: Vec<c64> = lp.coeffs.iter().map(|c| c.scale(n as f64)).collect();
         grids.fft_dense.inverse(&mut arr);
         let vps_loc_r: Vec<f64> = arr.iter().map(|z| z.re).collect();
-        let nonlocal = Arc::new(NonlocalPs::new(&structure, &grids.sphere));
+        let nonlocal = Arc::new(
+            NonlocalPs::new(&structure, &grids.sphere)
+                .map_err(|e| PtError::InvalidConfig(e.to_string()))?,
+        );
         let xc = XcGridEvaluator::new(
             self.xc_kind,
             grids.gv_dense.clone(),
@@ -316,10 +319,69 @@ impl KsSystemBuilder {
     }
 }
 
+/// The shape fingerprint of a [`KsSystem`] — what a run snapshot records
+/// so that resuming it against a *different* problem (other cell, cutoff,
+/// band count) fails with a typed error instead of producing garbage.
+/// The cell volume is compared bit-exactly: two systems that agree on all
+/// extents but sit in different cells are still different problems.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SystemSignature {
+    /// Plane waves in the wavefunction sphere.
+    pub ng: usize,
+    /// Dense density-grid points.
+    pub n_dense: usize,
+    /// Occupied bands.
+    pub n_bands: usize,
+    /// Atoms in the cell.
+    pub n_atoms: usize,
+    /// `f64::to_bits` of the cell volume.
+    pub volume_bits: u64,
+}
+
+impl SystemSignature {
+    /// Serialize as a fixed word list (the snapshot `sig` section).
+    pub fn to_words(&self) -> [u64; 5] {
+        [
+            self.ng as u64,
+            self.n_dense as u64,
+            self.n_bands as u64,
+            self.n_atoms as u64,
+            self.volume_bits,
+        ]
+    }
+
+    /// Rebuild from [`SystemSignature::to_words`] output; `None` when the
+    /// word list has the wrong arity.
+    pub fn from_words(words: &[u64]) -> Option<Self> {
+        match *words {
+            [ng, n_dense, n_bands, n_atoms, volume_bits] => Some(SystemSignature {
+                ng: ng as usize,
+                n_dense: n_dense as usize,
+                n_bands: n_bands as usize,
+                n_atoms: n_atoms as usize,
+                volume_bits,
+            }),
+            _ => None,
+        }
+    }
+}
+
 impl KsSystem {
     /// Start a [`KsSystemBuilder`] for `structure`.
     pub fn builder(structure: Structure) -> KsSystemBuilder {
         KsSystemBuilder::new(structure)
+    }
+
+    /// This system's [`SystemSignature`] (recorded in run snapshots and
+    /// re-checked on resume).
+    pub fn signature(&self) -> SystemSignature {
+        SystemSignature {
+            ng: self.grids.ng(),
+            n_dense: self.grids.n_dense(),
+            n_bands: self.n_bands(),
+            n_atoms: self.structure.atoms.len(),
+            volume_bits: self.grids.volume.to_bits(),
+        }
     }
 
     /// Run `f` under this system's configured pool (a no-op wrapper when

@@ -1,0 +1,57 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) — the per-section integrity
+//! check of the snapshot container. Table-driven, std-only.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `data` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF` — the
+/// same convention as zlib/PNG, so values are checkable with external
+/// tools).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // standard check value for "123456789"
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"pt-io"), crc32(b"pt-io"));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"snapshot payload bytes".to_vec();
+        let want = crc32(&base);
+        for i in 0..base.len() {
+            let mut corrupted = base.clone();
+            corrupted[i] ^= 0x40;
+            assert_ne!(crc32(&corrupted), want, "flip at byte {i} undetected");
+        }
+    }
+}

@@ -1,0 +1,667 @@
+//! The versioned binary snapshot container.
+//!
+//! A snapshot file is a flat, little-endian, self-describing bag of named
+//! **sections**:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"PTIOSNAP"
+//! 8       4     u32 format version (currently 1)
+//! 12      4     u32 section count
+//! 16      8     u64 section-table offset
+//! 24      …     section payloads, back to back
+//! table   …     per section: u16 name length, name (UTF-8), u8 kind,
+//!               u64 payload offset, u64 payload length, u32 CRC-32
+//! ```
+//!
+//! Section kinds: `u64` arrays, `f64` arrays, UTF-8 strings, and complex
+//! column-major matrices whose payload is either full `f64` pairs or —
+//! mirroring [`pt_mpi::Wire`]'s single-precision wire mode — `f32` pairs
+//! at half the bytes (~1e-7 relative loss; a snapshot written that way can
+//! no longer resume bit-exactly).
+//!
+//! Every payload carries its own CRC-32; [`SnapshotFile::open`] verifies
+//! all of them (plus magic, version and table bounds) before returning, so
+//! truncation and corruption surface as [`PtError::SnapshotFormat`] — the
+//! reader never panics on malformed input. [`SnapshotWriter::finish`]
+//! writes to a temporary sibling and renames it into place, so a crash
+//! mid-write can never leave a half-written file under the final name.
+
+use crate::crc32::crc32;
+use pt_ham::PtError;
+use pt_linalg::CMat;
+use pt_mpi::Wire;
+use pt_num::c64;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// File magic.
+pub const MAGIC: [u8; 8] = *b"PTIOSNAP";
+/// Current container format version.
+pub const FORMAT_VERSION: u32 = 1;
+const HEADER_LEN: usize = 24;
+
+/// Payload type of one section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    U64s,
+    F64s,
+    Str,
+    CMatF64,
+    CMatF32,
+}
+
+impl Kind {
+    fn tag(self) -> u8 {
+        match self {
+            Kind::U64s => 1,
+            Kind::F64s => 2,
+            Kind::Str => 3,
+            Kind::CMatF64 => 4,
+            Kind::CMatF32 => 5,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Kind> {
+        match tag {
+            1 => Some(Kind::U64s),
+            2 => Some(Kind::F64s),
+            3 => Some(Kind::Str),
+            4 => Some(Kind::CMatF64),
+            5 => Some(Kind::CMatF32),
+            _ => None,
+        }
+    }
+
+    fn describe(self) -> &'static str {
+        match self {
+            Kind::U64s => "u64 array",
+            Kind::F64s => "f64 array",
+            Kind::Str => "string",
+            Kind::CMatF64 => "complex matrix (f64)",
+            Kind::CMatF32 => "complex matrix (f32)",
+        }
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> PtError {
+    PtError::Io {
+        path: path.display().to_string(),
+        reason: e.to_string(),
+    }
+}
+
+fn format_err(path: &Path, reason: impl Into<String>) -> PtError {
+    PtError::SnapshotFormat {
+        path: path.display().to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// Builds a snapshot in memory and writes it atomically on
+/// [`SnapshotWriter::finish`].
+pub struct SnapshotWriter {
+    path: PathBuf,
+    sections: Vec<(String, Kind, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// Start a snapshot destined for `path` (nothing touches the
+    /// filesystem until [`SnapshotWriter::finish`]).
+    pub fn create(path: impl Into<PathBuf>) -> Self {
+        SnapshotWriter {
+            path: path.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, name: &str, kind: Kind, payload: Vec<u8>) -> Result<(), PtError> {
+        if name.is_empty() || name.len() > u16::MAX as usize {
+            return Err(format_err(
+                &self.path,
+                format!("section name length {} out of range", name.len()),
+            ));
+        }
+        if self.sections.iter().any(|(n, _, _)| n == name) {
+            return Err(format_err(
+                &self.path,
+                format!("duplicate section '{name}'"),
+            ));
+        }
+        self.sections.push((name.to_string(), kind, payload));
+        Ok(())
+    }
+
+    /// Add a `u64` array section.
+    pub fn put_u64s(&mut self, name: &str, data: &[u64]) -> Result<(), PtError> {
+        let mut bytes = Vec::with_capacity(8 * data.len());
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.push(name, Kind::U64s, bytes)
+    }
+
+    /// Add an `f64` array section (exact bits).
+    pub fn put_f64s(&mut self, name: &str, data: &[f64]) -> Result<(), PtError> {
+        let mut bytes = Vec::with_capacity(8 * data.len());
+        for v in data {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self.push(name, Kind::F64s, bytes)
+    }
+
+    /// Add a UTF-8 string section.
+    pub fn put_str(&mut self, name: &str, value: &str) -> Result<(), PtError> {
+        self.push(name, Kind::Str, value.as_bytes().to_vec())
+    }
+
+    /// Add a complex column-major matrix section. `wire` selects the
+    /// payload precision: [`Wire::F64`] round-trips bit-exactly,
+    /// [`Wire::F32`] halves the bytes at ~1e-7 relative loss.
+    pub fn put_cmat(&mut self, name: &str, m: &CMat, wire: Wire) -> Result<(), PtError> {
+        let scalar = match wire {
+            Wire::F64 => 8,
+            Wire::F32 => 4,
+        };
+        let mut bytes = Vec::with_capacity(16 + 2 * scalar * m.data().len());
+        bytes.extend_from_slice(&(m.nrows() as u64).to_le_bytes());
+        bytes.extend_from_slice(&(m.ncols() as u64).to_le_bytes());
+        match wire {
+            Wire::F64 => {
+                for z in m.data() {
+                    bytes.extend_from_slice(&z.re.to_bits().to_le_bytes());
+                    bytes.extend_from_slice(&z.im.to_bits().to_le_bytes());
+                }
+                self.push(name, Kind::CMatF64, bytes)
+            }
+            Wire::F32 => {
+                for z in m.data() {
+                    bytes.extend_from_slice(&(z.re as f32).to_bits().to_le_bytes());
+                    bytes.extend_from_slice(&(z.im as f32).to_bits().to_le_bytes());
+                }
+                self.push(name, Kind::CMatF32, bytes)
+            }
+        }
+    }
+
+    /// Assemble the container and write it atomically (temporary sibling +
+    /// rename).
+    pub fn finish(self) -> Result<(), PtError> {
+        let n = self.sections.len();
+        let payload_total: usize = self.sections.iter().map(|(_, _, p)| p.len()).sum();
+        let table_offset = HEADER_LEN + payload_total;
+        let mut bytes = Vec::with_capacity(table_offset + 32 * n);
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(n as u32).to_le_bytes());
+        bytes.extend_from_slice(&(table_offset as u64).to_le_bytes());
+        let mut offsets = Vec::with_capacity(n);
+        for (_, _, payload) in &self.sections {
+            offsets.push(bytes.len() as u64);
+            bytes.extend_from_slice(payload);
+        }
+        debug_assert_eq!(bytes.len(), table_offset);
+        for ((name, kind, payload), offset) in self.sections.iter().zip(offsets) {
+            bytes.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            bytes.extend_from_slice(name.as_bytes());
+            bytes.push(kind.tag());
+            bytes.extend_from_slice(&offset.to_le_bytes());
+            bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        }
+        let tmp = self.path.with_extension("ptio.tmp");
+        std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| io_err(&self.path, e))
+    }
+}
+
+#[derive(Debug)]
+struct Section {
+    kind: Kind,
+    payload: Vec<u8>,
+}
+
+/// A fully-read, fully-verified snapshot: every access after
+/// [`SnapshotFile::open`] is in-memory and infallible except for
+/// missing-section / wrong-kind lookups.
+#[derive(Debug)]
+pub struct SnapshotFile {
+    path: PathBuf,
+    sections: BTreeMap<String, Section>,
+}
+
+/// Little-endian field cursor over a byte slice (bounds-checked).
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let out = self.bytes.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(out)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+}
+
+impl SnapshotFile {
+    /// Read and verify `path`: magic, format version, table bounds, and
+    /// the CRC-32 of every section payload. Any defect — including plain
+    /// truncation — is a typed [`PtError::SnapshotFormat`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, PtError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+        Self::parse(path, &bytes)
+    }
+
+    fn parse(path: &Path, bytes: &[u8]) -> Result<Self, PtError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(format_err(
+                path,
+                format!("file is {} bytes, shorter than the header", bytes.len()),
+            ));
+        }
+        if bytes[..8] != MAGIC {
+            return Err(format_err(path, "bad magic (not a pt-io snapshot)"));
+        }
+        let mut cur = Cursor { bytes, pos: 8 };
+        let version = cur.u32().unwrap();
+        if version != FORMAT_VERSION {
+            return Err(format_err(
+                path,
+                format!("format version {version} (this build reads {FORMAT_VERSION})"),
+            ));
+        }
+        let n_sections = cur.u32().unwrap() as usize;
+        let table_offset = cur.u64().unwrap() as usize;
+        if table_offset < HEADER_LEN || table_offset > bytes.len() {
+            return Err(format_err(
+                path,
+                format!("section table offset {table_offset} out of bounds"),
+            ));
+        }
+        let mut table = Cursor {
+            bytes,
+            pos: table_offset,
+        };
+        let mut sections = BTreeMap::new();
+        for i in 0..n_sections {
+            let entry = (|| {
+                let name_len = table.u16()? as usize;
+                let name = std::str::from_utf8(table.take(name_len)?).ok()?.to_string();
+                let tag = table.take(1)?[0];
+                let offset = table.u64()? as usize;
+                let len = table.u64()? as usize;
+                let crc = table.u32()?;
+                Some((name, tag, offset, len, crc))
+            })();
+            let Some((name, tag, offset, len, crc)) = entry else {
+                return Err(format_err(
+                    path,
+                    format!("section table truncated at entry {i}"),
+                ));
+            };
+            let Some(kind) = Kind::from_tag(tag) else {
+                return Err(format_err(
+                    path,
+                    format!("section '{name}' has unknown kind tag {tag}"),
+                ));
+            };
+            let payload = bytes
+                .get(offset..offset.saturating_add(len))
+                .ok_or_else(|| {
+                    format_err(
+                        path,
+                        format!(
+                            "section '{name}' payload [{offset}, {offset}+{len}) out of bounds"
+                        ),
+                    )
+                })?;
+            let got = crc32(payload);
+            if got != crc {
+                return Err(format_err(
+                    path,
+                    format!("crc mismatch in section '{name}': stored {crc:#010x}, computed {got:#010x}"),
+                ));
+            }
+            sections.insert(
+                name,
+                Section {
+                    kind,
+                    payload: payload.to_vec(),
+                },
+            );
+        }
+        Ok(SnapshotFile {
+            path: path.to_path_buf(),
+            sections,
+        })
+    }
+
+    /// Names of all sections (sorted).
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.keys().map(String::as_str).collect()
+    }
+
+    /// Whether a section exists.
+    pub fn has(&self, name: &str) -> bool {
+        self.sections.contains_key(name)
+    }
+
+    fn section(&self, name: &str, want: Kind) -> Result<&Section, PtError> {
+        let s = self
+            .sections
+            .get(name)
+            .ok_or_else(|| format_err(&self.path, format!("missing section '{name}'")))?;
+        if s.kind != want && !(want == Kind::CMatF64 && s.kind == Kind::CMatF32) {
+            return Err(format_err(
+                &self.path,
+                format!(
+                    "section '{name}' is a {}, expected a {}",
+                    s.kind.describe(),
+                    want.describe()
+                ),
+            ));
+        }
+        Ok(s)
+    }
+
+    /// A `u64` array section.
+    pub fn u64s(&self, name: &str) -> Result<Vec<u64>, PtError> {
+        let s = self.section(name, Kind::U64s)?;
+        if s.payload.len() % 8 != 0 {
+            return Err(format_err(
+                &self.path,
+                format!(
+                    "section '{name}' length {} is not a u64 multiple",
+                    s.payload.len()
+                ),
+            ));
+        }
+        Ok(s.payload
+            .chunks_exact(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .collect())
+    }
+
+    /// An `f64` array section (exact bits).
+    pub fn f64s(&self, name: &str) -> Result<Vec<f64>, PtError> {
+        let s = self.section(name, Kind::F64s)?;
+        if s.payload.len() % 8 != 0 {
+            return Err(format_err(
+                &self.path,
+                format!(
+                    "section '{name}' length {} is not an f64 multiple",
+                    s.payload.len()
+                ),
+            ));
+        }
+        Ok(s.payload
+            .chunks_exact(8)
+            .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+            .collect())
+    }
+
+    /// A UTF-8 string section.
+    pub fn str(&self, name: &str) -> Result<String, PtError> {
+        let s = self.section(name, Kind::Str)?;
+        String::from_utf8(s.payload.clone())
+            .map_err(|_| format_err(&self.path, format!("section '{name}' is not valid UTF-8")))
+    }
+
+    /// A complex matrix section (either payload precision; `f32` payloads
+    /// are widened back to `f64` on read, like [`pt_mpi::Wire::F32`]
+    /// receive paths).
+    pub fn cmat(&self, name: &str) -> Result<CMat, PtError> {
+        let s = self.section(name, Kind::CMatF64)?;
+        let scalar = match s.kind {
+            Kind::CMatF64 => 8usize,
+            _ => 4,
+        };
+        let mut cur = Cursor {
+            bytes: &s.payload,
+            pos: 0,
+        };
+        let (Some(nrows), Some(ncols)) = (cur.u64(), cur.u64()) else {
+            return Err(format_err(
+                &self.path,
+                format!("section '{name}' is too short for a matrix header"),
+            ));
+        };
+        let (nrows, ncols) = (nrows as usize, ncols as usize);
+        // fully checked arithmetic: a doctored header claiming huge extents
+        // must fall through to the typed error, not overflow (the read
+        // path's no-panic contract)
+        let n = nrows.checked_mul(ncols).filter(|&n| {
+            n.checked_mul(2 * scalar)
+                .and_then(|b| b.checked_add(16))
+                .is_some_and(|want| s.payload.len() == want)
+        });
+        let Some(n) = n else {
+            return Err(format_err(
+                &self.path,
+                format!(
+                    "section '{name}' payload length {} does not match a {nrows}x{ncols} matrix",
+                    s.payload.len()
+                ),
+            ));
+        };
+        let mut data = Vec::with_capacity(n);
+        match s.kind {
+            Kind::CMatF64 => {
+                for pair in s.payload[16..].chunks_exact(16) {
+                    let re = f64::from_bits(u64::from_le_bytes(pair[..8].try_into().unwrap()));
+                    let im = f64::from_bits(u64::from_le_bytes(pair[8..].try_into().unwrap()));
+                    data.push(c64::new(re, im));
+                }
+            }
+            _ => {
+                for pair in s.payload[16..].chunks_exact(8) {
+                    let re = f32::from_bits(u32::from_le_bytes(pair[..4].try_into().unwrap()));
+                    let im = f32::from_bits(u32::from_le_bytes(pair[4..].try_into().unwrap()));
+                    data.push(c64::new(re as f64, im as f64));
+                }
+            }
+        }
+        Ok(CMat::from_vec(nrows, ncols, data))
+    }
+
+    /// The wire precision a matrix section was written with.
+    pub fn cmat_wire(&self, name: &str) -> Result<Wire, PtError> {
+        let s = self.section(name, Kind::CMatF64)?;
+        Ok(match s.kind {
+            Kind::CMatF32 => Wire::F32,
+            _ => Wire::F64,
+        })
+    }
+
+    /// Typed convenience: a `u64` section expected to hold exactly one
+    /// value.
+    pub fn u64(&self, name: &str) -> Result<u64, PtError> {
+        match self.u64s(name)?.as_slice() {
+            [v] => Ok(*v),
+            other => Err(format_err(
+                &self.path,
+                format!("section '{name}' holds {} values, expected 1", other.len()),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pt_io_format_{}_{tag}.ptio", std::process::id()))
+    }
+
+    fn sample(path: &Path) {
+        let mut w = SnapshotWriter::create(path);
+        w.put_u64s("meta", &[3, u64::MAX, 0]).unwrap();
+        w.put_f64s("t", &[0.25, -1.5e-300, f64::MAX]).unwrap();
+        w.put_str("prop/name", "pt-cn").unwrap();
+        w.put_cmat("psi", &CMat::rand_normalized(17, 3, 9), Wire::F64)
+            .unwrap();
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn round_trips_every_section_kind_exactly() {
+        let path = tmp_path("roundtrip");
+        sample(&path);
+        let f = SnapshotFile::open(&path).unwrap();
+        assert_eq!(f.section_names(), vec!["meta", "prop/name", "psi", "t"]);
+        assert_eq!(f.u64s("meta").unwrap(), vec![3, u64::MAX, 0]);
+        let t = f.f64s("t").unwrap();
+        assert_eq!(t[0].to_bits(), 0.25f64.to_bits());
+        assert_eq!(t[1].to_bits(), (-1.5e-300f64).to_bits());
+        assert_eq!(f.str("prop/name").unwrap(), "pt-cn");
+        let psi = f.cmat("psi").unwrap();
+        let want = CMat::rand_normalized(17, 3, 9);
+        for (a, b) in psi.data().iter().zip(want.data()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        assert_eq!(f.cmat_wire("psi").unwrap(), Wire::F64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn f32_payload_mode_halves_bytes_and_loses_little() {
+        let p64 = tmp_path("wire64");
+        let p32 = tmp_path("wire32");
+        let m = CMat::rand_normalized(64, 4, 21);
+        for (p, wire) in [(&p64, Wire::F64), (&p32, Wire::F32)] {
+            let mut w = SnapshotWriter::create(p);
+            w.put_cmat("psi", &m, wire).unwrap();
+            w.finish().unwrap();
+        }
+        let len64 = std::fs::metadata(&p64).unwrap().len();
+        let len32 = std::fs::metadata(&p32).unwrap().len();
+        assert!(len32 < len64, "{len32} !< {len64}");
+        let f = SnapshotFile::open(&p32).unwrap();
+        assert_eq!(f.cmat_wire("psi").unwrap(), Wire::F32);
+        let got = f.cmat("psi").unwrap();
+        let err = got.max_diff(&m);
+        assert!(err > 0.0 && err < 1e-6, "f32 payload error {err}");
+        std::fs::remove_file(&p64).unwrap();
+        std::fs::remove_file(&p32).unwrap();
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_typed_errors() {
+        let path = tmp_path("corrupt");
+        sample(&path);
+        let bytes = std::fs::read(&path).unwrap();
+        // truncate at several depths, including mid-table
+        for keep in [0usize, 7, HEADER_LEN - 1, HEADER_LEN + 5, bytes.len() - 3] {
+            std::fs::write(&path, &bytes[..keep]).unwrap();
+            assert!(
+                matches!(
+                    SnapshotFile::open(&path),
+                    Err(PtError::SnapshotFormat { .. })
+                ),
+                "truncation to {keep} bytes not detected"
+            );
+        }
+        // flip one payload byte: CRC must catch it
+        let mut flipped = bytes.clone();
+        flipped[HEADER_LEN + 2] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        let err = SnapshotFile::open(&path).unwrap_err();
+        assert!(err.to_string().contains("crc mismatch"), "{err}");
+        // wrong version
+        let mut vbad = bytes.clone();
+        vbad[8] = 0xEE;
+        std::fs::write(&path, &vbad).unwrap();
+        let err = SnapshotFile::open(&path).unwrap_err();
+        assert!(err.to_string().contains("format version"), "{err}");
+        // wrong magic
+        let mut mbad = bytes;
+        mbad[0] = b'X';
+        std::fs::write(&path, &mbad).unwrap();
+        assert!(matches!(
+            SnapshotFile::open(&path),
+            Err(PtError::SnapshotFormat { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lookup_misuse_is_typed() {
+        let path = tmp_path("lookup");
+        sample(&path);
+        let f = SnapshotFile::open(&path).unwrap();
+        assert!(matches!(
+            f.u64s("nope"),
+            Err(PtError::SnapshotFormat { .. })
+        ));
+        assert!(matches!(f.str("meta"), Err(PtError::SnapshotFormat { .. })));
+        assert!(matches!(f.u64("meta"), Err(PtError::SnapshotFormat { .. })));
+        assert!(matches!(f.cmat("t"), Err(PtError::SnapshotFormat { .. })));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn huge_matrix_header_is_a_typed_error_not_an_overflow() {
+        // hand-assemble a container whose (CRC-valid) matrix section
+        // header claims astronomical extents over a 16-byte payload: the
+        // byte-count validation must use checked arithmetic and return the
+        // typed error, not trip overflow checks
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(1u64 << 60).to_le_bytes());
+        payload.extend_from_slice(&2u64.to_le_bytes());
+        let name = b"m";
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&((HEADER_LEN + payload.len()) as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        bytes.extend_from_slice(name);
+        bytes.push(4); // CMatF64
+        bytes.extend_from_slice(&(HEADER_LEN as u64).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        let path = tmp_path("hugehdr");
+        std::fs::write(&path, &bytes).unwrap();
+        let f = SnapshotFile::open(&path).unwrap();
+        let err = f.cmat("m").unwrap_err();
+        assert!(matches!(err, PtError::SnapshotFormat { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn writer_rejects_duplicate_sections() {
+        let mut w = SnapshotWriter::create(tmp_path("dup"));
+        w.put_u64s("a", &[1]).unwrap();
+        assert!(matches!(
+            w.put_f64s("a", &[1.0]),
+            Err(PtError::SnapshotFormat { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(matches!(
+            SnapshotFile::open("/nonexistent/dir/x.ptio"),
+            Err(PtError::Io { .. })
+        ));
+    }
+}

@@ -24,4 +24,4 @@ mod nonlocal;
 
 pub use gth::{gth_parameters, GthParams};
 pub use local::LocalPotential;
-pub use nonlocal::{NonlocalPs, Projector};
+pub use nonlocal::{NonlocalPs, Projector, UnsupportedAngularMomentum, MAX_ANGULAR_MOMENTUM};

@@ -15,13 +15,43 @@
 //! vectors on every processor, >5× faster than reciprocal space for
 //! hundreds of atoms, zero communication).
 
-use crate::gth::gth_parameters;
-use pt_lattice::{GSphere, Structure};
+use crate::gth::{gth_parameters, GthParams};
+use pt_lattice::{GSphere, Species, Structure};
 use pt_num::c64;
 use rayon::prelude::*;
+use std::fmt;
 
-/// Spherical Bessel functions j_0, j_1 (all GTH channels used here have
-/// l ≤ 1).
+/// Highest angular momentum channel this implementation evaluates (the
+/// GTH Si/C/H sets here stop at p channels).
+pub const MAX_ANGULAR_MOMENTUM: usize = 1;
+
+/// A pseudopotential requested an angular-momentum channel this
+/// implementation does not evaluate (`l > 1`: no j_l / Y_lm tables).
+/// Construction reports it as a value — `KsSystemBuilder::build` converts
+/// it into `PtError::InvalidConfig`, so an exotic pseudopotential request
+/// fails cleanly instead of aborting the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnsupportedAngularMomentum {
+    /// Species whose parameter set carries the channel.
+    pub species: Species,
+    /// The offending angular momentum.
+    pub l: usize,
+}
+
+impl fmt::Display for UnsupportedAngularMomentum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pseudopotential for {:?} requests an l = {} channel; this implementation evaluates l <= {}",
+            self.species, self.l, MAX_ANGULAR_MOMENTUM
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedAngularMomentum {}
+
+/// Spherical Bessel functions j_0, j_1. Callers are guarded by the l ≤ 1
+/// channel validation in [`NonlocalPs::with_parameters`].
 fn sph_bessel(l: usize, x: f64) -> f64 {
     if x.abs() < 0.05 {
         // series to O(x⁴): avoids the 1/x − 1/x cancellation in the exact
@@ -29,27 +59,25 @@ fn sph_bessel(l: usize, x: f64) -> f64 {
         let x2 = x * x;
         return match l {
             0 => 1.0 - x2 / 6.0 + x2 * x2 / 120.0,
-            1 => x / 3.0 * (1.0 - x2 / 10.0 + x2 * x2 / 280.0),
-            _ => 0.0,
+            _ => x / 3.0 * (1.0 - x2 / 10.0 + x2 * x2 / 280.0),
         };
     }
     match l {
         0 => x.sin() / x,
-        1 => x.sin() / (x * x) - x.cos() / x,
-        _ => unimplemented!("l > 1 not needed for GTH Si/C/H"),
+        _ => x.sin() / (x * x) - x.cos() / x,
     }
 }
 
 /// Real spherical harmonics with unit L² norm on the sphere
-/// (Y_00 = 1/√4π, Y_1m = √(3/4π)·{x̂,ŷ,ẑ}).
+/// (Y_00 = 1/√4π, Y_1m = √(3/4π)·{x̂,ŷ,ẑ}). Callers are guarded by the
+/// l ≤ 1 channel validation in [`NonlocalPs::with_parameters`].
 fn real_ylm(l: usize, m: usize, ghat: [f64; 3]) -> f64 {
     let fourpi = 4.0 * std::f64::consts::PI;
     match (l, m) {
         (0, 0) => 1.0 / fourpi.sqrt(),
         (1, 0) => (3.0 / fourpi).sqrt() * ghat[0],
         (1, 1) => (3.0 / fourpi).sqrt() * ghat[1],
-        (1, 2) => (3.0 / fourpi).sqrt() * ghat[2],
-        _ => unimplemented!("l > 1 not needed"),
+        _ => (3.0 / fourpi).sqrt() * ghat[2],
     }
 }
 
@@ -74,13 +102,49 @@ pub struct NonlocalPs {
 }
 
 impl NonlocalPs {
-    /// Build every projector for `structure` over `sphere`.
-    pub fn new(structure: &Structure, sphere: &GSphere) -> Self {
+    /// Build every projector for `structure` over `sphere` using the
+    /// built-in GTH parameter tables.
+    pub fn new(
+        structure: &Structure,
+        sphere: &GSphere,
+    ) -> Result<Self, UnsupportedAngularMomentum> {
+        let params: Vec<GthParams> = structure
+            .atoms
+            .iter()
+            .map(|a| gth_parameters(a.species))
+            .collect();
+        Self::with_parameters(structure, sphere, &params)
+    }
+
+    /// Build from explicit per-atom parameter sets (one entry per atom of
+    /// `structure`, in order). Channels beyond the implemented angular
+    /// momenta are rejected up front with a typed error — this is the
+    /// validation gate behind which [`sph_bessel`] / [`real_ylm`] may
+    /// assume `l ≤ 1`.
+    pub fn with_parameters(
+        structure: &Structure,
+        sphere: &GSphere,
+        per_atom: &[GthParams],
+    ) -> Result<Self, UnsupportedAngularMomentum> {
+        assert_eq!(
+            per_atom.len(),
+            structure.atoms.len(),
+            "one GthParams entry per atom"
+        );
+        for params in per_atom {
+            for &(l, _, _) in &params.channels {
+                if l > MAX_ANGULAR_MOMENTUM {
+                    return Err(UnsupportedAngularMomentum {
+                        species: params.species,
+                        l,
+                    });
+                }
+            }
+        }
         let vol = structure.cell.volume();
         let positions = structure.cart_positions();
         let mut projectors = Vec::new();
-        for (ia, atom) in structure.atoms.iter().enumerate() {
-            let params = gth_parameters(atom.species);
+        for (ia, params) in per_atom.iter().enumerate() {
             let tau = positions[ia];
             for &(l, rl, h12) in &params.channels {
                 for i in 1..=2usize {
@@ -152,7 +216,7 @@ impl NonlocalPs {
                 }
             }
         }
-        NonlocalPs { projectors }
+        Ok(NonlocalPs { projectors })
     }
 
     /// Apply `V_NL` to a single orbital's coefficients: `out += V_NL ψ`.
@@ -309,7 +373,7 @@ mod tests {
         let s = silicon_cubic_supercell(1, 1, 1);
         let dims = fft_dims_for_cutoff(&s.cell, 3.0);
         let sphere = GSphere::new(&s.cell, 3.0, dims);
-        let nl = NonlocalPs::new(&s, &sphere);
+        let nl = NonlocalPs::new(&s, &sphere).unwrap();
         // Si: 2 s-projectors + 3 p-projectors per atom = 5 × 8 atoms
         assert_eq!(nl.projectors.len(), 40);
         let ng = sphere.len();
@@ -335,7 +399,7 @@ mod tests {
         let s = silicon_cubic_supercell(1, 1, 1);
         let dims = fft_dims_for_cutoff(&s.cell, 2.0);
         let sphere = GSphere::new(&s.cell, 2.0, dims);
-        let nl = NonlocalPs::new(&s, &sphere);
+        let nl = NonlocalPs::new(&s, &sphere).unwrap();
         let ng = sphere.len();
         let nb = 3;
         let mut rng = pt_num::rng::XorShift64::new(99u64);
@@ -354,5 +418,22 @@ mod tests {
             .map(|(x, y)| (*x - *y).abs())
             .fold(0.0, f64::max);
         assert!(err < 1e-12);
+    }
+
+    #[test]
+    fn exotic_angular_momentum_is_a_typed_error_not_a_panic() {
+        // a d channel (l = 2) has no j_2 / Y_2m tables here; requesting it
+        // must fail cleanly with the offending channel identified
+        let s = silicon_cubic_supercell(1, 1, 1);
+        let dims = fft_dims_for_cutoff(&s.cell, 2.0);
+        let sphere = GSphere::new(&s.cell, 2.0, dims);
+        let mut per_atom: Vec<GthParams> =
+            s.atoms.iter().map(|a| gth_parameters(a.species)).collect();
+        per_atom[0].channels.push((2, 0.4, [1.0, 0.0]));
+        let err = NonlocalPs::with_parameters(&s, &sphere, &per_atom).unwrap_err();
+        assert_eq!(err.l, 2);
+        assert!(err.to_string().contains("l = 2"), "{err}");
+        // the stock tables stay valid
+        assert!(NonlocalPs::new(&s, &sphere).is_ok());
     }
 }

@@ -72,6 +72,7 @@
 pub use pt_core as core;
 pub use pt_fft as fft;
 pub use pt_ham as ham;
+pub use pt_io as io;
 pub use pt_lattice as lattice;
 pub use pt_linalg as linalg;
 pub use pt_mpi as mpi;
@@ -86,13 +87,15 @@ pub use pt_xc as xc;
 /// Everything a typical simulation needs, one `use` away.
 pub mod prelude {
     pub use pt_core::{
-        current_density, density_matrix_distance, max_stable_rk4_dt, orthonormality_error,
-        CurrentObserver, DipoleNormObserver, DistributedPtCnPropagator, EnergyObserver, LaserPulse,
-        Observer, ObserverContext, OrthonormalityObserver, Propagator, PtCnOptions, PtCnPropagator,
-        PtError, Rk4Options, Rk4Propagator, Simulation, SimulationBuilder, StepStats, TdState,
-        TimeSeries,
+        current_density, density_matrix_distance, latest_checkpoint, max_stable_rk4_dt,
+        orthonormality_error, CheckpointPolicy, CurrentObserver, DipoleNormObserver,
+        DistributedPtCnPropagator, EnergyObserver, LaserPulse, Observer, ObserverContext,
+        OrthonormalityObserver, Propagator, PropagatorState, PtCnOptions, PtCnPropagator, PtError,
+        Rk4Options, Rk4Propagator, RunCheckpoint, Simulation, SimulationBuilder, StepStats,
+        TdState, TimeSeries,
     };
-    pub use pt_ham::{DistributedConfig, HybridConfig, KsSystem, KsSystemBuilder};
+    pub use pt_ham::{DistributedConfig, HybridConfig, KsSystem, KsSystemBuilder, SystemSignature};
+    pub use pt_io::{SnapshotFile, SnapshotWriter, Table};
     pub use pt_lattice::silicon_cubic_supercell;
     pub use pt_mpi::Wire;
     pub use pt_num::units::{attosecond_to_au, au_to_attosecond};

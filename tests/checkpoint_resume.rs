@@ -1,0 +1,408 @@
+//! The `pt-io` acceptance path: a run checkpointed at step k and resumed
+//! produces a `TimeSeries` with `to_bits`-equal channels to the
+//! uninterrupted run — serially and at the 2 × 2 ranks × threads layout —
+//! and malformed snapshots surface as typed `PtError`s, never panics.
+
+use pwdft_rt::core::{latest_checkpoint, RunCheckpoint};
+use pwdft_rt::prelude::*;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pt_ckpt_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn assert_series_bits_eq(a: &TimeSeries, b: &TimeSeries) {
+    assert_eq!(a.len(), b.len(), "step counts differ");
+    assert_eq!(a.channel_names(), b.channel_names());
+    for name in a.channel_names() {
+        for (i, (x, y)) in a
+            .channel(name)
+            .unwrap()
+            .iter()
+            .zip(b.channel(name).unwrap())
+            .enumerate()
+        {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "channel '{name}'[{i}]: {x:e} != {y:e} (resume leaked into the numbers)"
+            );
+        }
+    }
+    for (i, (x, y)) in a.t.iter().zip(&b.t).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "t[{i}]");
+    }
+    for (i, (sa, sb)) in a.stats.iter().zip(&b.stats).enumerate() {
+        assert_eq!(sa.scf_iterations, sb.scf_iterations, "stats[{i}]");
+        assert_eq!(sa.h_applications, sb.h_applications, "stats[{i}]");
+        assert_eq!(sa.rho_residual.to_bits(), sb.rho_residual.to_bits());
+        assert_eq!(sa.converged, sb.converged);
+    }
+}
+
+fn lda_system() -> KsSystem {
+    KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+        .ecut(2.0)
+        .xc(XcKind::Lda)
+        .build()
+        .unwrap()
+}
+
+fn laser() -> LaserPulse {
+    LaserPulse::paper_380nm(0.02, attosecond_to_au(200.0), attosecond_to_au(100.0))
+}
+
+#[test]
+fn serial_killed_and_resumed_run_is_bit_identical() {
+    let sys = lda_system();
+    let gs = scf_loop(&sys, ScfOptions::default()).expect("SCF converges");
+    let steps = 4usize;
+    let uninterrupted = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser())
+        .dt(attosecond_to_au(25.0))
+        .steps(steps)
+        .standard_observers()
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+
+    // the same 4-step run with rolling snapshots every 2 steps (keep=2
+    // retains both the mid-window and the final one)
+    let dir = tmp_dir("serial");
+    let mut sim = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser())
+        .dt(attosecond_to_au(25.0))
+        .steps(steps)
+        .standard_observers()
+        .checkpoint_every(2, &dir)
+        .build()
+        .unwrap();
+    sim.run().unwrap();
+
+    // a job kill at step k means the process vanishes and only the disk
+    // state survives — here: the step-2 snapshot, mid-window
+    let mid = dir.join("ckpt_00000002.ptio");
+    assert!(mid.exists(), "mid-window snapshot missing");
+    let ck_mid = RunCheckpoint::read(&mid).unwrap();
+    assert_eq!(ck_mid.series.len(), 2);
+    assert_eq!(ck_mid.steps_remaining, 2);
+    assert!(ck_mid.phi.is_none(), "semi-local run must not store phi");
+    let mut resumed = Simulation::resume(&sys, &mid).unwrap();
+    let merged = resumed.run().unwrap();
+    assert_series_bits_eq(&uninterrupted, &merged);
+
+    // the final snapshot reports a finished window and resumes to a no-op
+    let last = latest_checkpoint(&dir).unwrap().expect("snapshot written");
+    let ck_last = RunCheckpoint::read(&last).unwrap();
+    assert_eq!(ck_last.series.len(), 4);
+    assert_eq!(ck_last.steps_remaining, 0);
+    let restored = Simulation::resume(&sys, &last).unwrap().run().unwrap();
+    assert_series_bits_eq(&uninterrupted, &restored);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // rolling retention: keep=1 leaves exactly one (the newest) snapshot
+    let dir2 = tmp_dir("keep1");
+    let mut sim = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser())
+        .dt(attosecond_to_au(25.0))
+        .steps(steps)
+        .standard_observers()
+        .checkpoint_every(1, &dir2)
+        .checkpoint_keep(1)
+        .build()
+        .unwrap();
+    sim.run().unwrap();
+    let files: Vec<_> = std::fs::read_dir(&dir2)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.file_name().into_string().unwrap()))
+        .collect();
+    assert_eq!(files, vec!["ckpt_00000004.ptio".to_string()], "{files:?}");
+    let _ = std::fs::remove_dir_all(dir2);
+}
+
+#[test]
+fn rolling_pruning_never_touches_another_runs_snapshots() {
+    // a stale high-numbered snapshot from an earlier trajectory shares the
+    // directory: the new run's rolling window must neither delete it nor
+    // let it crowd out (i.e. cause deletion of) the new run's own files
+    let sys = lda_system();
+    let gs = scf_loop(&sys, ScfOptions::default()).unwrap();
+    let dir = tmp_dir("stale");
+    std::fs::create_dir_all(&dir).unwrap();
+    let stale = dir.join("ckpt_99999999.ptio");
+    std::fs::write(&stale, b"an earlier run's snapshot").unwrap();
+    let mut sim = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .dt(attosecond_to_au(25.0))
+        .steps(3)
+        .standard_observers()
+        .checkpoint_every(1, &dir)
+        .checkpoint_keep(1)
+        .build()
+        .unwrap();
+    sim.run().unwrap();
+    assert!(stale.exists(), "stale snapshot was deleted");
+    let own = dir.join("ckpt_00000003.ptio");
+    assert!(
+        own.exists(),
+        "the run's own newest snapshot was pruned away"
+    );
+    assert!(
+        !dir.join("ckpt_00000001.ptio").exists(),
+        "keep=1 not applied"
+    );
+    // the surviving own snapshot resumes fine
+    assert!(Simulation::resume(&sys, &own).is_ok());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn distributed_2x2_killed_and_resumed_run_is_bit_identical() {
+    // the acceptance layout: ranks × threads = 2 × 2 through the builder
+    // API (hybrid HSE06, distributed PT-CN selected automatically)
+    let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+        .ecut(2.0)
+        .xc(XcKind::Pbe)
+        .hybrid(HybridConfig::hse06())
+        .occupations(vec![2.0; 4])
+        .distributed(DistributedConfig::new(2, 2))
+        .build()
+        .unwrap();
+    let gs = scf_loop(&sys, ScfOptions::default()).expect("SCF converges");
+    let steps = 2usize;
+    let uninterrupted = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser())
+        .dt(attosecond_to_au(25.0))
+        .steps(steps)
+        .standard_observers()
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(uninterrupted.propagator, "pt-cn-dist");
+
+    let dir = tmp_dir("dist");
+    let mut sim = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser())
+        .dt(attosecond_to_au(25.0))
+        .steps(steps)
+        .standard_observers()
+        .checkpoint_every(1, &dir)
+        .build()
+        .unwrap();
+    sim.run().unwrap();
+    // resume from the step-1 snapshot and finish the trajectory
+    let mid = dir.join("ckpt_00000001.ptio");
+    assert!(mid.exists());
+    let ck = RunCheckpoint::read(&mid).unwrap();
+    assert_eq!(ck.steps_remaining, 1);
+    // hybrid snapshot carries Φ explicitly (Φ = Ψ in the PT gauge)
+    let phi = ck.phi.as_ref().expect("hybrid snapshot records phi");
+    assert_eq!((phi.nrows(), phi.ncols()), (ck.psi.nrows(), ck.psi.ncols()));
+    let mut resumed = Simulation::resume(&sys, &mid).unwrap();
+    let merged = resumed.run().unwrap();
+    assert_eq!(merged.propagator, "pt-cn-dist");
+    assert_series_bits_eq(&uninterrupted, &merged);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn snapshot_from_a_different_system_shape_is_a_typed_error() {
+    let sys = lda_system();
+    let gs = scf_loop(&sys, ScfOptions::default()).unwrap();
+    let dir = tmp_dir("shape");
+    let mut sim = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .dt(attosecond_to_au(25.0))
+        .steps(1)
+        .standard_observers()
+        .checkpoint_every(1, &dir)
+        .build()
+        .unwrap();
+    sim.run().unwrap();
+    let ckpt = latest_checkpoint(&dir).unwrap().unwrap();
+
+    // same structure, different band count → signature mismatch
+    let other = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+        .ecut(2.0)
+        .xc(XcKind::Lda)
+        .occupations(vec![2.0; 4])
+        .build()
+        .unwrap();
+    assert_ne!(other.n_bands(), sys.n_bands());
+    match Simulation::resume(&other, &ckpt) {
+        Err(PtError::InvalidConfig(msg)) => {
+            assert!(msg.contains("different system"), "{msg}")
+        }
+        Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+        Ok(_) => panic!("resume on a different system unexpectedly succeeded"),
+    }
+
+    // different cutoff → different plane-wave count → typed error too
+    let coarser = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+        .ecut(3.0)
+        .xc(XcKind::Lda)
+        .occupations(vec![2.0; 4])
+        .build()
+        .unwrap();
+    assert!(matches!(
+        Simulation::resume(&coarser, &ckpt),
+        Err(PtError::InvalidConfig(_))
+    ));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn malformed_snapshots_never_panic() {
+    let sys = lda_system();
+    let gs = scf_loop(&sys, ScfOptions::default()).unwrap();
+    let dir = tmp_dir("malformed");
+    let mut sim = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .dt(attosecond_to_au(25.0))
+        .steps(1)
+        .standard_observers()
+        .checkpoint_every(1, &dir)
+        .build()
+        .unwrap();
+    sim.run().unwrap();
+    let ckpt = latest_checkpoint(&dir).unwrap().unwrap();
+    let good = std::fs::read(&ckpt).unwrap();
+
+    // truncations at every interesting depth
+    for keep in [0usize, 10, 23, good.len() / 2, good.len() - 1] {
+        std::fs::write(&ckpt, &good[..keep]).unwrap();
+        assert!(
+            matches!(
+                Simulation::resume(&sys, &ckpt),
+                Err(PtError::SnapshotFormat { .. })
+            ),
+            "truncation to {keep} bytes"
+        );
+    }
+    // corrupted payload byte → CRC failure
+    let mut bad = good.clone();
+    bad[40] ^= 0x80;
+    std::fs::write(&ckpt, &bad).unwrap();
+    match Simulation::resume(&sys, &ckpt) {
+        Err(PtError::SnapshotFormat { reason, .. }) => {
+            assert!(reason.contains("crc"), "{reason}")
+        }
+        Err(other) => panic!("expected SnapshotFormat, got {other:?}"),
+        Ok(_) => panic!("corrupt snapshot unexpectedly resumed"),
+    }
+    // wrong format version
+    let mut vbad = good.clone();
+    vbad[8] = 0x7F;
+    std::fs::write(&ckpt, &vbad).unwrap();
+    match Simulation::resume(&sys, &ckpt) {
+        Err(PtError::SnapshotFormat { reason, .. }) => {
+            assert!(reason.contains("format version"), "{reason}")
+        }
+        Err(other) => panic!("expected SnapshotFormat, got {other:?}"),
+        Ok(_) => panic!("wrong-version snapshot unexpectedly resumed"),
+    }
+    // not a snapshot at all
+    std::fs::write(&ckpt, b"definitely not a snapshot").unwrap();
+    assert!(matches!(
+        Simulation::resume(&sys, &ckpt),
+        Err(PtError::SnapshotFormat { .. })
+    ));
+    // missing file → Io
+    assert!(matches!(
+        Simulation::resume(&sys, dir.join("nope.ptio")),
+        Err(PtError::Io { .. })
+    ));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn f32_payload_snapshots_resume_close_but_not_bit_exact() {
+    let sys = lda_system();
+    let gs = scf_loop(&sys, ScfOptions::default()).unwrap();
+    let steps = 2usize;
+    let uninterrupted = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser())
+        .dt(attosecond_to_au(25.0))
+        .steps(steps)
+        .standard_observers()
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let dir = tmp_dir("f32");
+    let mut sim = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser())
+        .dt(attosecond_to_au(25.0))
+        .steps(steps)
+        .standard_observers()
+        .checkpoint_every(1, &dir)
+        .checkpoint_wire(Wire::F32)
+        .build()
+        .unwrap();
+    sim.run().unwrap();
+    let mid = dir.join("ckpt_00000001.ptio");
+    let mut resumed = Simulation::resume(&sys, &mid).unwrap();
+    let merged = resumed.run().unwrap();
+    // the ψ payload was quantized to f32: trajectories agree to ~1e-6
+    // relative but NOT bit-exactly — the documented Wire::F32 caveat
+    let a = uninterrupted.channel("energy").unwrap();
+    let b = merged.channel("energy").unwrap();
+    let last = a.len() - 1;
+    assert!(
+        (a[last] - b[last]).abs() <= 1e-5 * a[last].abs(),
+        "{} vs {}",
+        a[last],
+        b[last]
+    );
+    assert_ne!(
+        a[last].to_bits(),
+        b[last].to_bits(),
+        "f32 payload unexpectedly preserved the bits — wire mode not exercised?"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn exported_series_tables_round_trip_through_json_and_csv() {
+    let sys = lda_system();
+    let gs = scf_loop(&sys, ScfOptions::default()).unwrap();
+    let series = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .dt(attosecond_to_au(25.0))
+        .steps(2)
+        .standard_observers()
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let table = series.to_table().unwrap();
+    assert_eq!(table.n_rows(), 2);
+    let energy = table.get("energy").unwrap();
+    assert_eq!(energy.len(), 2);
+    let json = table.to_json();
+    assert!(json.contains("\"propagator\": \"pt-cn\""), "{json}");
+    assert!(json.contains("\"energy\""));
+    let csv = table.to_csv();
+    assert!(csv.lines().any(|l| l.contains("energy")));
+    // JSON numbers parse back to the exact recorded bits
+    let tail = json.split("\"t\": [").nth(1).unwrap();
+    let first_t: f64 = tail
+        .split([',', ']'])
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert_eq!(first_t.to_bits(), series.t[0].to_bits());
+}
