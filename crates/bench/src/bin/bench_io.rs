@@ -81,6 +81,9 @@ fn main() {
                 "SnapshotWriter/SnapshotFile round trip, {NG}-row orbital blocks"
             )),
         );
+    // throughput timing needs at least one idle core — a 1-core host
+    // contends the timed region with everything else on the machine
+    table = pt_bench::flag_reliability(table, host_cores, 2);
     table.column("n_bands", cols_nb).unwrap();
     table.column("wire_bits", cols_wire).unwrap();
     table.column("file_bytes", cols_bytes).unwrap();

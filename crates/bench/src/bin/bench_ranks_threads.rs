@@ -122,7 +122,9 @@ fn main() {
     let baseline = rows[0].2;
 
     // artifact via pt_io::export (columns over the layout sweep) instead
-    // of hand-rolled format strings
+    // of hand-rolled format strings; the reliability verdict flags hosts
+    // too narrow to run the widest layout without oversubscribing
+    let widest = layouts.iter().map(|&(r, t)| r * t).max().unwrap();
     let mut table = pt_io::Table::new()
         .meta("bench", pt_io::Value::Str("ranks_threads_smoke".into()))
         .meta("host_cores", pt_io::Value::U64(host_cores as u64))
@@ -132,6 +134,7 @@ fn main() {
                 "distributed_fock_apply + distributed_residual, Si-8 ecut 3.0, 8 bands".into(),
             ),
         );
+    table = pt_bench::flag_reliability(table, host_cores, widest);
     table
         .column("ranks", rows.iter().map(|r| r.0 as f64).collect())
         .unwrap();

@@ -162,10 +162,14 @@ fn main() {
 
     // artifact: one row per thread count, one column per kernel, plus the
     // headline speedups as metadata — written through pt_io::export
-    // instead of hand-rolled format strings
+    // instead of hand-rolled format strings. The reliability verdict
+    // flags a host too narrow for the sweep, so a 1-core runner's flat
+    // speedup column reads as UNRELIABLE, not as a regression.
+    let widest = *THREAD_COUNTS.iter().max().unwrap();
     let mut table = pt_io::Table::new()
         .meta("bench", pt_io::Value::Str("thread_scaling_smoke".into()))
         .meta("host_cores", pt_io::Value::U64(host_cores as u64));
+    table = pt_bench::flag_reliability(table, host_cores, widest);
     for k in &kernels {
         table = table.meta(
             &format!("speedup_at_4_threads/{}", k.name),
@@ -178,6 +182,12 @@ fn main() {
     for k in &kernels {
         table
             .column(&format!("wall_seconds/{}", k.name), k.secs.clone())
+            .unwrap();
+        table
+            .column(
+                &format!("speedup_vs_1_thread/{}", k.name),
+                k.secs.iter().map(|&s| k.secs[0] / s).collect(),
+            )
             .unwrap();
     }
     table

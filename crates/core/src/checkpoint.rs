@@ -74,29 +74,11 @@ pub fn checkpoint_path(dir: &Path, step: usize) -> PathBuf {
 }
 
 /// The most recent snapshot in `dir` (by step number in the file name),
-/// if any — what a restarted job resumes from.
+/// if any — what a restarted job resumes from. Purely name-based; use
+/// [`crate::Simulation::resume_latest`] (which validates via
+/// [`pt_io::scan_snapshots`]) when the directory may hold corrupt files.
 pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, PtError> {
-    Ok(checkpoint_files(dir)?.into_iter().next_back())
-}
-
-/// All `ckpt_*.ptio` files in `dir`, sorted ascending by name (= by step:
-/// the step number is zero-padded).
-fn checkpoint_files(dir: &Path) -> Result<Vec<PathBuf>, PtError> {
-    let rd = std::fs::read_dir(dir).map_err(|e| PtError::Io {
-        path: dir.display().to_string(),
-        reason: e.to_string(),
-    })?;
-    let mut files: Vec<PathBuf> = rd
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| {
-            p.extension().is_some_and(|x| x == "ptio")
-                && p.file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with("ckpt_"))
-        })
-        .collect();
-    files.sort();
-    Ok(files)
+    Ok(pt_io::snapshot_files(dir)?.into_iter().next_back())
 }
 
 /// One captured run state — everything [`crate::Simulation::resume`]

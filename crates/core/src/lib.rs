@@ -66,7 +66,7 @@ pub use propagator::{
 };
 pub use pt_ham::PtError;
 pub use simulation::{
-    CurrentObserver, DipoleNormObserver, EnergyObserver, Observer, ObserverContext,
-    OrthonormalityObserver, Simulation, SimulationBuilder, TimeSeries,
+    CancelToken, CurrentObserver, DipoleNormObserver, EnergyObserver, Observer, ObserverContext,
+    OrthonormalityObserver, Simulation, SimulationBuilder, StepTap, StepUpdate, TimeSeries,
 };
 pub use stability::max_stable_rk4_dt;

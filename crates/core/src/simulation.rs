@@ -39,7 +39,55 @@ use pt_mpi::Wire;
 use pt_par::{Parallelism, ThreadPool};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Cooperative cancellation for a running [`Simulation`]: cheap to clone,
+/// safe to trip from any thread. The time loop checks it once per step;
+/// on cancellation it writes a final checkpoint (when a checkpoint policy
+/// is armed) and returns [`PtError::Cancelled`] — a cancelled-then-resumed
+/// trajectory is bit-identical to an uninterrupted one.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation (idempotent; takes effect at the next step
+    /// boundary).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Everything one committed step emitted — handed to the
+/// [step tap](SimulationBuilder::step_tap) right after the observers ran,
+/// so a live consumer (the `pt-serve` streaming hub, a progress bar) sees
+/// the run incrementally instead of waiting for the final [`TimeSeries`].
+pub struct StepUpdate<'a> {
+    /// 0-based absolute step index (continues across a resume).
+    pub step_index: usize,
+    /// Post-step time (a.u.).
+    pub t: f64,
+    /// Vector potential at `t`.
+    pub a_field: [f64; 3],
+    /// The propagator's diagnostics for this step.
+    pub stats: &'a StepStats,
+    /// Every observer sample of this step, in emission order — the same
+    /// `(channel, value)` pairs the series records.
+    pub samples: &'a [(String, f64)],
+}
+
+/// A per-step callback observing committed steps (see [`StepUpdate`]).
+pub type StepTap<'a> = Box<dyn FnMut(&StepUpdate<'_>) + Send + 'a>;
 
 /// Everything an [`Observer`] may look at after one completed step.
 pub struct ObserverContext<'a> {
@@ -344,6 +392,8 @@ pub struct SimulationBuilder<'a> {
     ckpt_every_dir: Option<(usize, PathBuf)>,
     ckpt_keep: usize,
     ckpt_wire: Wire,
+    cancel: Option<CancelToken>,
+    tap: Option<StepTap<'a>>,
 }
 
 impl<'a> SimulationBuilder<'a> {
@@ -362,6 +412,8 @@ impl<'a> SimulationBuilder<'a> {
             ckpt_every_dir: None,
             ckpt_keep: 2,
             ckpt_wire: Wire::F64,
+            cancel: None,
+            tap: None,
         }
     }
 
@@ -441,6 +493,23 @@ impl<'a> SimulationBuilder<'a> {
     /// Initial orbitals (usually SCF ground-state orbitals). Required.
     pub fn initial_orbitals(mut self, psi: CMat) -> Self {
         self.initial = Some(psi);
+        self
+    }
+
+    /// Arm cooperative cancellation: the time loop checks the token once
+    /// per step and, when tripped, writes a final checkpoint (if a
+    /// checkpoint policy is configured) before returning
+    /// [`PtError::Cancelled`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Install a per-step tap: called after every committed step with that
+    /// step's [`StepUpdate`] (time, field, stats, every observer sample).
+    /// The tap only observes — it cannot fail the run.
+    pub fn step_tap(mut self, tap: impl FnMut(&StepUpdate<'_>) + Send + 'a) -> Self {
+        self.tap = Some(Box::new(tap));
         self
     }
 
@@ -530,6 +599,8 @@ impl<'a> SimulationBuilder<'a> {
             checkpoint,
             ckpt_written: Vec::new(),
             resume_base: None,
+            cancel: self.cancel,
+            tap: self.tap,
         })
     }
 }
@@ -567,6 +638,8 @@ pub struct Simulation<'a> {
     /// Steps restored from a snapshot; the next `run` continues *into*
     /// this series so the merged record matches an uninterrupted run.
     resume_base: Option<TimeSeries>,
+    cancel: Option<CancelToken>,
+    tap: Option<StepTap<'a>>,
 }
 
 impl<'a> Simulation<'a> {
@@ -619,6 +692,22 @@ impl<'a> Simulation<'a> {
         let needs_rho = self.observers.iter().any(|o| o.needs_density());
         for local_step in 0..self.n_steps {
             let step_index = base + local_step;
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                // honor the cancellation at the step boundary: persist a
+                // final snapshot so a later resume continues bit-exactly,
+                // then surface the typed non-failure
+                if let Some(policy) = self.checkpoint.clone() {
+                    let remaining = self.n_steps - local_step;
+                    if let Err(e) = self.write_checkpoint(&policy, &series, remaining, None) {
+                        self.partial = Some(series);
+                        return Err(e);
+                    }
+                }
+                self.partial = Some(series);
+                return Err(PtError::Cancelled {
+                    completed_steps: step_index,
+                });
+            }
             let stats =
                 match self
                     .propagator
@@ -662,9 +751,9 @@ impl<'a> Simulation<'a> {
             }
             if failure.is_none() {
                 let mut committed: Vec<String> = Vec::new();
-                for (name, value) in step_samples {
-                    match series.push_sample(name.clone(), value, step_index) {
-                        Ok(()) => committed.push(name),
+                for (name, value) in &step_samples {
+                    match series.push_sample(name.clone(), *value, step_index) {
+                        Ok(()) => committed.push(name.clone()),
                         Err(e) => {
                             failure = Some(e);
                             break;
@@ -689,6 +778,15 @@ impl<'a> Simulation<'a> {
             if let Some(e) = failure {
                 self.partial = Some(series);
                 return Err(e);
+            }
+            if let Some(tap) = &mut self.tap {
+                tap(&StepUpdate {
+                    step_index,
+                    t: self.state.t,
+                    a_field: a,
+                    stats: &stats,
+                    samples: &step_samples,
+                });
             }
             series.t.push(self.state.t);
             series.a_field.push(a);
@@ -743,7 +841,12 @@ impl<'a> Simulation<'a> {
         };
         let path = checkpoint_path(&policy.dir, series.len());
         view.write(&path, policy.wire)?;
-        self.ckpt_written.push(path);
+        // a cancel right after a rolling boundary rewrites the same step's
+        // file (atomically); don't double-track it or pruning would try to
+        // delete it twice
+        if self.ckpt_written.last() != Some(&path) {
+            self.ckpt_written.push(path);
+        }
         while self.ckpt_written.len() > policy.keep {
             let old = self.ckpt_written.remove(0);
             std::fs::remove_file(&old).map_err(|e| PtError::Io {
@@ -840,7 +943,53 @@ impl<'a> Simulation<'a> {
             checkpoint: None,
             ckpt_written: Vec::new(),
             resume_base: Some(ck.series),
+            cancel: None,
+            tap: None,
         })
+    }
+
+    /// Resume from the **newest valid** snapshot in `dir`: the
+    /// crash-recovery orchestration (scan → validate → newest → resume) in
+    /// one call. Files whose container fails to verify (truncated by the
+    /// kill, corrupt) or whose schema this crate cannot read are skipped
+    /// in favor of the next-older snapshot — their defects are typed, so
+    /// skipping is safe. `Ok(None)` when the directory holds no usable
+    /// snapshot (the caller should start the run fresh). Snapshots for a
+    /// *different system* are a real error, not a skip: resuming an
+    /// unrelated trajectory silently would be worse than failing.
+    pub fn resume_latest(
+        sys: &'a KsSystem,
+        dir: impl AsRef<Path>,
+    ) -> Result<Option<Simulation<'a>>, PtError> {
+        let scan = pt_io::scan_snapshots(dir.as_ref())?;
+        for path in scan.valid.iter().rev() {
+            match Self::resume(sys, path) {
+                Ok(sim) => return Ok(Some(sim)),
+                Err(PtError::SnapshotFormat { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// The steps restored from the snapshot a resumed simulation will
+    /// continue into (`None` once `run` has consumed them, or for a fresh
+    /// simulation). Lets a supervisor republish the already-recorded
+    /// prefix — e.g. to a streaming hub — before the run continues.
+    pub fn restored_series(&self) -> Option<&TimeSeries> {
+        self.resume_base.as_ref()
+    }
+
+    /// Arm cooperative cancellation on an existing (typically resumed)
+    /// simulation — see [`SimulationBuilder::cancel_token`].
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Install a per-step tap on an existing (typically resumed)
+    /// simulation — see [`SimulationBuilder::step_tap`].
+    pub fn set_step_tap(&mut self, tap: impl FnMut(&StepUpdate<'_>) + Send + 'a) {
+        self.tap = Some(Box::new(tap));
     }
 
     /// Turn checkpointing on for this (typically resumed) simulation:

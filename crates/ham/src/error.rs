@@ -54,6 +54,13 @@ pub enum PtError {
         /// What exactly was wrong.
         reason: String,
     },
+    /// The run was cooperatively cancelled via its `CancelToken` — not a
+    /// failure: the state up to the cancellation is intact (and, when
+    /// checkpointing was armed, persisted for a bit-exact resume).
+    Cancelled {
+        /// Steps completed before the cancellation was honored.
+        completed_steps: usize,
+    },
 }
 
 impl fmt::Display for PtError {
@@ -74,6 +81,9 @@ impl fmt::Display for PtError {
             PtError::Io { path, reason } => write!(f, "i/o error on {path}: {reason}"),
             PtError::SnapshotFormat { path, reason } => {
                 write!(f, "malformed snapshot {path}: {reason}")
+            }
+            PtError::Cancelled { completed_steps } => {
+                write!(f, "run cancelled after {completed_steps} completed steps")
             }
         }
     }

@@ -16,6 +16,11 @@
 //!   default `f64` payloads).
 //! * [`export`] — columnar [`export::Table`] → JSON / CSV, used by the
 //!   `pt-bench` artifact writers and `TimeSeries` export.
+//! * [`json`] — a hand-rolled JSON value ([`Json`]): parser + serializer
+//!   for job specs and the `pt-serve` wire protocol (no serde offline).
+//! * [`scan`] — checkpoint-directory scanning: validate every
+//!   `ckpt_*.ptio` and pick the [newest resumable
+//!   one](latest_valid_snapshot), skipping corrupt/truncated files.
 //!
 //! Std-only by design (the build environment is offline; no serde): the
 //! byte layout is hand-rolled, documented in `DESIGN.md` ("Snapshot
@@ -26,6 +31,10 @@
 pub mod crc32;
 pub mod export;
 pub mod format;
+pub mod json;
+pub mod scan;
 
 pub use export::{Table, Value};
 pub use format::{SnapshotFile, SnapshotWriter, FORMAT_VERSION, MAGIC};
+pub use json::Json;
+pub use scan::{latest_valid_snapshot, scan_snapshots, snapshot_files, SnapshotScan};

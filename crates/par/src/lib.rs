@@ -74,6 +74,20 @@ impl RankLayout {
             .unwrap_or(1)
     }
 
+    /// Cores this layout occupies — [`RankLayout::total_threads`] under
+    /// its scheduling name: the quantity a job server charges against its
+    /// core budget.
+    pub fn cores(&self) -> usize {
+        self.total_threads()
+    }
+
+    /// Whether the layout fits within an explicit core budget (a server's
+    /// configured capacity, as opposed to the physical
+    /// [host](RankLayout::fits_host)).
+    pub fn fits_budget(&self, budget_cores: usize) -> bool {
+        self.total_threads() <= budget_cores
+    }
+
     /// Whether `ranks × threads_per_rank` fits the host's cores.
     /// Oversubscription is allowed (it cannot change results — the
     /// determinism contract is schedule-independent) but contends for
@@ -162,6 +176,16 @@ mod tests {
             Parallelism::threads(0).build_pool().unwrap().num_threads(),
             1
         );
+    }
+
+    #[test]
+    fn rank_layout_budget_arithmetic() {
+        let l = RankLayout::new(2, 3);
+        assert_eq!(l.cores(), 6);
+        assert!(l.fits_budget(6));
+        assert!(l.fits_budget(7));
+        assert!(!l.fits_budget(5));
+        assert!(!l.fits_budget(0));
     }
 
     #[test]

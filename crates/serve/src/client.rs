@@ -1,0 +1,246 @@
+//! Blocking client for the pt-serve protocol: submit, status, tail
+//! (live-streaming), cancel, fetch, shutdown — one persistent connection,
+//! any number of sequential requests.
+
+use crate::hub::JobState;
+use crate::protocol::{check_response, read_frame, write_frame};
+use crate::server::read_port_file;
+use crate::spec::JobSpec;
+use pt_ham::PtError;
+use pt_io::Json;
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// One job's row in a `status` response.
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    /// Server-assigned job id.
+    pub id: u64,
+    /// The spec's name.
+    pub name: String,
+    /// Current state-machine state.
+    pub state: JobState,
+    /// Steps streamed so far.
+    pub steps_done: usize,
+    /// Steps the spec asks for.
+    pub steps: usize,
+    /// Cores the job occupies while running.
+    pub cores: usize,
+    /// Failure message, when failed.
+    pub error: Option<String>,
+}
+
+/// One `tail` stream frame: the rows past the previous cursor.
+#[derive(Clone, Debug)]
+pub struct TailChunk {
+    /// Absolute row index of the first entry.
+    pub start: usize,
+    /// Times of the new rows.
+    pub t: Vec<f64>,
+    /// Channel values of the new rows.
+    pub values: Vec<f64>,
+    /// Job state when the frame was cut.
+    pub state: JobState,
+}
+
+/// A connected pt-serve client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to an explicit `host:port`.
+    pub fn connect(addr: &str) -> Result<Client, PtError> {
+        let stream = TcpStream::connect(addr).map_err(|e| PtError::Io {
+            path: addr.to_string(),
+            reason: format!("connecting: {e}"),
+        })?;
+        Ok(Client { stream })
+    }
+
+    /// Connect to the server that owns `run_dir` (via its port file).
+    pub fn for_run_dir(run_dir: &Path) -> Result<Client, PtError> {
+        Self::connect(&read_port_file(run_dir)?)
+    }
+
+    fn request(&mut self, msg: &Json) -> Result<Json, PtError> {
+        write_frame(&mut self.stream, msg)?;
+        let reply = read_frame(&mut self.stream)?.ok_or_else(|| PtError::Io {
+            path: "<pt-serve socket>".into(),
+            reason: "server closed the connection mid-request".into(),
+        })?;
+        check_response(reply)
+    }
+
+    /// Submit a job; returns its server-assigned id. Never-fitting or
+    /// malformed specs are refused here, with the server's typed message.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, PtError> {
+        let reply = self.request(&Json::Obj(vec![
+            ("cmd".to_string(), Json::Str("submit".into())),
+            ("spec".to_string(), spec.to_value()),
+        ]))?;
+        reply
+            .get("job")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| PtError::InvalidConfig("malformed submit response".into()))
+    }
+
+    /// All jobs the server knows, in id order.
+    pub fn status(&mut self) -> Result<Vec<JobStatus>, PtError> {
+        let reply = self.request(&Json::Obj(vec![(
+            "cmd".to_string(),
+            Json::Str("status".into()),
+        )]))?;
+        let jobs = reply
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| PtError::InvalidConfig("malformed status response".into()))?;
+        jobs.iter()
+            .map(|j| {
+                let field = |k: &str| j.get(k).and_then(Json::as_u64);
+                let state = j
+                    .get("state")
+                    .and_then(Json::as_str)
+                    .and_then(JobState::parse);
+                match (field("id"), state) {
+                    (Some(id), Some(state)) => Ok(JobStatus {
+                        id,
+                        name: j
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                        state,
+                        steps_done: field("steps_done").unwrap_or(0) as usize,
+                        steps: field("steps").unwrap_or(0) as usize,
+                        cores: field("cores").unwrap_or(0) as usize,
+                        error: j.get("error").and_then(Json::as_str).map(str::to_string),
+                    }),
+                    _ => Err(PtError::InvalidConfig(
+                        "malformed job row in status response".into(),
+                    )),
+                }
+            })
+            .collect()
+    }
+
+    /// Request cancellation; returns the job's state as of the request
+    /// (a running job turns `cancelled` at its next step boundary).
+    pub fn cancel(&mut self, job: u64) -> Result<JobState, PtError> {
+        let reply = self.request(&Json::Obj(vec![
+            ("cmd".to_string(), Json::Str("cancel".into())),
+            ("job".to_string(), Json::Num(job as f64)),
+        ]))?;
+        reply
+            .get("state")
+            .and_then(Json::as_str)
+            .and_then(JobState::parse)
+            .ok_or_else(|| PtError::InvalidConfig("malformed cancel response".into()))
+    }
+
+    /// Fetch a done job's full result table (the parsed `result.json`:
+    /// meta keys, `n_rows`, and `columns` of exact shortest-round-trip
+    /// floats).
+    pub fn fetch(&mut self, job: u64) -> Result<Json, PtError> {
+        let reply = self.request(&Json::Obj(vec![
+            ("cmd".to_string(), Json::Str("fetch".into())),
+            ("job".to_string(), Json::Num(job as f64)),
+        ]))?;
+        reply
+            .get("table")
+            .cloned()
+            .ok_or_else(|| PtError::InvalidConfig("malformed fetch response".into()))
+    }
+
+    /// A column from a fetched table (see [`Client::fetch`]).
+    pub fn table_column(table: &Json, name: &str) -> Option<Vec<f64>> {
+        table
+            .get("columns")?
+            .get(name)?
+            .as_arr()
+            .map(|a| a.iter().filter_map(Json::as_f64).collect())
+    }
+
+    /// Stream one channel of a job, starting `after` rows in. Each
+    /// server frame is handed to `on_chunk`; with `follow` the stream
+    /// runs until the job is terminal. Returns the job's final state.
+    pub fn tail(
+        &mut self,
+        job: u64,
+        channel: &str,
+        after: usize,
+        follow: bool,
+        mut on_chunk: impl FnMut(&TailChunk),
+    ) -> Result<JobState, PtError> {
+        write_frame(
+            &mut self.stream,
+            &Json::Obj(vec![
+                ("cmd".to_string(), Json::Str("tail".into())),
+                ("job".to_string(), Json::Num(job as f64)),
+                ("channel".to_string(), Json::Str(channel.to_string())),
+                ("after".to_string(), Json::Num(after as f64)),
+                ("follow".to_string(), Json::Bool(follow)),
+            ]),
+        )?;
+        loop {
+            let frame = read_frame(&mut self.stream)?.ok_or_else(|| PtError::Io {
+                path: "<pt-serve socket>".into(),
+                reason: "server closed the connection mid-tail".into(),
+            })?;
+            let frame = check_response(frame)?;
+            let nums = |k: &str| -> Vec<f64> {
+                frame
+                    .get(k)
+                    .and_then(Json::as_arr)
+                    .map(|a| a.iter().filter_map(Json::as_f64).collect())
+                    .unwrap_or_default()
+            };
+            let state = frame
+                .get("state")
+                .and_then(Json::as_str)
+                .and_then(JobState::parse)
+                .ok_or_else(|| PtError::InvalidConfig("malformed tail frame".into()))?;
+            on_chunk(&TailChunk {
+                start: frame.get("start").and_then(Json::as_u64).unwrap_or(0) as usize,
+                t: nums("t"),
+                values: nums("values"),
+                state: state.clone(),
+            });
+            if frame.get("done").and_then(Json::as_bool) == Some(true) {
+                return Ok(state);
+            }
+        }
+    }
+
+    /// Ask the server to shut down (it drains: running jobs finish).
+    pub fn shutdown(&mut self) -> Result<(), PtError> {
+        self.request(&Json::Obj(vec![(
+            "cmd".to_string(),
+            Json::Str("shutdown".into()),
+        )]))
+        .map(|_| ())
+    }
+
+    /// Poll `status` until `job` reaches a terminal state (or `timeout`
+    /// elapses — a typed error, so tests fail loudly instead of hanging).
+    pub fn wait_terminal(&mut self, job: u64, timeout: Duration) -> Result<JobStatus, PtError> {
+        let start = std::time::Instant::now();
+        loop {
+            let all = self.status()?;
+            if let Some(row) = all.into_iter().find(|r| r.id == job) {
+                if row.state.is_terminal() {
+                    return Ok(row);
+                }
+            } else {
+                return Err(PtError::InvalidConfig(format!("unknown job {job}")));
+            }
+            if start.elapsed() > timeout {
+                return Err(PtError::InvalidConfig(format!(
+                    "job {job} still not terminal after {timeout:?}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}

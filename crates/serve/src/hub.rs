@@ -1,0 +1,270 @@
+//! Per-job streaming hub: the job state machine, the incrementally-built
+//! observable record every `tail` reader broadcasts from, and the typed
+//! events jobs publish into the server's mpsc fan-in.
+//!
+//! Running jobs do not talk to clients. Each job's step tap sends
+//! [`JobEvent`]s down a cloned channel sender (Collector-style fan-in:
+//! many producers, one pump); the server's event pump appends them to the
+//! job's [`JobProgress`] under the state lock and notifies a condvar.
+//! `tail` handlers are pull-based broadcast consumers — each keeps its own
+//! cursor into the progress columns, so any number of live tails can
+//! follow one job without backpressure into the time loop.
+
+use crate::spec::JobSpec;
+use pt_core::{CancelToken, StepStats, StepUpdate, TimeSeries};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// The job state machine:
+/// `queued → running → checkpointed → done | failed | cancelled`
+/// (`checkpointed` is "running, with at least one durable snapshot on
+/// disk" — from there a server crash costs at most `checkpoint_every`
+/// steps). `failed` and `cancelled` can also be entered from `queued`
+/// (spec rejected at start, cancel before start).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for cores.
+    Queued,
+    /// Started; no durable snapshot yet.
+    Running,
+    /// Running with at least one durable snapshot behind it.
+    Checkpointed,
+    /// Completed; `result.json` is on disk.
+    Done,
+    /// Errored or panicked (message in [`JobRecord::error`]).
+    Failed,
+    /// Cancelled by request (a final snapshot is on disk if the job had
+    /// started and checkpointing was armed).
+    Cancelled,
+}
+
+impl JobState {
+    /// Wire name (`status` responses, marker-file content).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Checkpointed => "checkpointed",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Inverse of [`JobState::as_str`].
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "checkpointed" => JobState::Checkpointed,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            _ => return None,
+        })
+    }
+
+    /// Whether the job will never change state again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Whether the job currently occupies cores.
+    pub fn is_active(&self) -> bool {
+        matches!(self, JobState::Running | JobState::Checkpointed)
+    }
+}
+
+/// The incrementally-built observable record of one job — same columns as
+/// the final `TimeSeries` table (`t`, `a_x/y/z`, per-step stats, every
+/// observer channel), grown one step at a time by the event pump.
+#[derive(Clone, Debug, Default)]
+pub struct JobProgress {
+    /// Post-step times (a.u.).
+    pub t: Vec<f64>,
+    /// Every other column, keyed by channel name.
+    pub channels: BTreeMap<String, Vec<f64>>,
+}
+
+impl JobProgress {
+    /// Steps recorded so far.
+    pub fn steps_done(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Append one step's samples.
+    pub fn push_step(&mut self, t: f64, samples: &[(String, f64)]) {
+        self.t.push(t);
+        for (name, value) in samples {
+            self.channels.entry(name.clone()).or_default().push(*value);
+        }
+    }
+
+    /// A column by name; `"t"` serves the time column itself.
+    pub fn channel(&self, name: &str) -> Option<&[f64]> {
+        if name == "t" {
+            return Some(&self.t);
+        }
+        self.channels.get(name).map(Vec::as_slice)
+    }
+
+    /// Names of every available column (`t` first).
+    pub fn channel_names(&self) -> Vec<&str> {
+        let mut names = vec!["t"];
+        names.extend(self.channels.keys().map(String::as_str));
+        names
+    }
+
+    /// Rebuild progress from an already-recorded series — used to
+    /// republish the restored prefix of a resumed job and to rehydrate
+    /// completed jobs after a server restart.
+    pub fn absorb_series(&mut self, series: &TimeSeries) {
+        for i in 0..series.len() {
+            let mut samples = stats_samples(series.a_field[i], &series.stats[i]);
+            for name in series.channel_names() {
+                if let Some(col) = series.channel(name) {
+                    samples.push((name.to_string(), col[i]));
+                }
+            }
+            self.push_step(series.t[i], &samples);
+        }
+    }
+}
+
+/// The non-observer columns of one step, named exactly as
+/// `TimeSeries::to_table` names them — so live-streamed columns and the
+/// final fetched table agree.
+pub fn stats_samples(a_field: [f64; 3], stats: &StepStats) -> Vec<(String, f64)> {
+    vec![
+        ("a_x".to_string(), a_field[0]),
+        ("a_y".to_string(), a_field[1]),
+        ("a_z".to_string(), a_field[2]),
+        ("scf_iterations".to_string(), stats.scf_iterations as f64),
+        ("h_applications".to_string(), stats.h_applications as f64),
+        ("rho_residual".to_string(), stats.rho_residual),
+        (
+            "converged".to_string(),
+            if stats.converged { 1.0 } else { 0.0 },
+        ),
+    ]
+}
+
+/// Flatten a [`StepUpdate`] into the full column sample list for one step
+/// (stats columns + every observer sample).
+pub fn update_samples(u: &StepUpdate<'_>) -> Vec<(String, f64)> {
+    let mut samples = stats_samples(u.a_field, u.stats);
+    samples.extend(u.samples.iter().cloned());
+    samples
+}
+
+/// One tracked job: spec, on-disk home, live state and progress.
+#[derive(Debug)]
+pub struct JobRecord {
+    /// Server-assigned id (monotonic, stable across restarts).
+    pub id: u64,
+    /// The submitted spec (persisted as `spec.json` in [`JobRecord::dir`]).
+    pub spec: JobSpec,
+    /// The job's directory: spec, rolling snapshots, result, markers.
+    pub dir: PathBuf,
+    /// Current state-machine state.
+    pub state: JobState,
+    /// Failure message when [`JobState::Failed`].
+    pub error: Option<String>,
+    /// Live observable record (broadcast source for `tail`).
+    pub progress: JobProgress,
+    /// Trip to request cooperative cancellation of a running job.
+    pub cancel: CancelToken,
+}
+
+/// Events jobs publish into the server's single-consumer pump.
+#[derive(Debug)]
+pub enum JobEvent {
+    /// One committed step, with every column sample. `durable` reports
+    /// whether a snapshot covering some earlier step already exists on
+    /// disk (drives the `running → checkpointed` transition).
+    Step {
+        /// Job id.
+        id: u64,
+        /// Post-step time (a.u.).
+        t: f64,
+        /// `(column, value)` samples for this step.
+        samples: Vec<(String, f64)>,
+        /// Whether a durable snapshot exists for this job.
+        durable: bool,
+    },
+    /// A resumed job republishing the steps restored from its snapshot
+    /// (sent before any new [`JobEvent::Step`], so it *replaces* the
+    /// job's progress), plus the implied `running → checkpointed` jump.
+    Restored {
+        /// Job id.
+        id: u64,
+        /// The restored prefix, already in column form.
+        progress: JobProgress,
+    },
+    /// Terminal: result written.
+    Finished {
+        /// Job id.
+        id: u64,
+    },
+    /// Terminal: error or panic.
+    Failed {
+        /// Job id.
+        id: u64,
+        /// Human-readable failure.
+        error: String,
+    },
+    /// Terminal: cancellation honored.
+    Cancelled {
+        /// Job id.
+        id: u64,
+    },
+    /// Tell the event pump to exit (sent by the shutdown path, never by a
+    /// job).
+    Stop,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_names_round_trip() {
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Checkpointed,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
+            assert_eq!(JobState::parse(s.as_str()), Some(s.clone()));
+            assert_eq!(
+                s.is_terminal(),
+                !matches!(
+                    s,
+                    JobState::Queued | JobState::Running | JobState::Checkpointed
+                )
+            );
+        }
+        assert_eq!(JobState::parse("nope"), None);
+        assert!(JobState::Running.is_active());
+        assert!(JobState::Checkpointed.is_active());
+        assert!(!JobState::Queued.is_active());
+        assert!(!JobState::Done.is_active());
+    }
+
+    #[test]
+    fn progress_accumulates_columns() {
+        let mut p = JobProgress::default();
+        p.push_step(0.1, &[("energy".into(), -1.0), ("a_z".into(), 0.5)]);
+        p.push_step(0.2, &[("energy".into(), -1.1), ("a_z".into(), 0.4)]);
+        assert_eq!(p.steps_done(), 2);
+        assert_eq!(p.channel("t"), Some(&[0.1, 0.2][..]));
+        assert_eq!(p.channel("energy"), Some(&[-1.0, -1.1][..]));
+        assert_eq!(p.channel("missing"), None);
+        assert_eq!(p.channel_names(), vec!["t", "a_z", "energy"]);
+    }
+}

@@ -1,0 +1,838 @@
+//! The pt-serve server: accept loop, core-packing admission, supervised
+//! job runners, the event pump, and crash recovery.
+//!
+//! # Run-directory layout
+//!
+//! ```text
+//! <run_dir>/port                      "127.0.0.1:<port>" (rewritten on start)
+//! <run_dir>/jobs/job_00000003/
+//!     spec.json                       the submitted JobSpec, verbatim
+//!     ckpt_<step>.ptio                rolling snapshots (pt-io container)
+//!     result.json                     final series table — written atomically,
+//!                                     so its existence IS the "done" marker
+//!     cancelled | failed              terminal markers for the other exits
+//! ```
+//!
+//! # Crash durability
+//!
+//! Nothing the server knows lives only in memory: specs, snapshots and
+//! terminal markers are all on disk, every one written atomically
+//! (tmp + rename) or CRC-verified on read (snapshots). On startup the
+//! server rescans `jobs/`: finished/failed/cancelled jobs are rehydrated
+//! into their terminal states and every other job is re-enqueued; when its
+//! runner starts it resumes from the newest *valid* snapshot
+//! ([`Simulation::resume_latest`] skips truncated or corrupt files with
+//! typed errors) or from scratch if none survived. A `kill -9` mid-fleet
+//! therefore costs at most `checkpoint_every` steps per job and zero
+//! bits of the final series.
+//!
+//! # Threads
+//!
+//! One listener (accept loop), one connection handler per client, one
+//! supervised runner per running job, and one event pump. Runners never
+//! touch the state lock mid-step: they publish [`JobEvent`]s over an mpsc
+//! fan-in and the pump is the only writer of job progress. Runner panics
+//! are caught by the supervisor and become typed `failed` states, not a
+//! dead server.
+
+use crate::hub::{update_samples, JobEvent, JobProgress, JobRecord, JobState};
+use crate::protocol::{error_response, ok_response, read_frame, write_frame};
+use crate::scheduler::CorePackingScheduler;
+use crate::spec::JobSpec;
+use pt_core::{CancelToken, Simulation};
+use pt_ham::PtError;
+use pt_io::Json;
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Root of the durable run state (created if missing).
+    pub run_dir: PathBuf,
+    /// Total cores the scheduler may hand out concurrently.
+    pub budget_cores: usize,
+    /// Bind address; the default `127.0.0.1:0` picks a free port.
+    pub addr: String,
+}
+
+impl ServerConfig {
+    /// A loopback server over `run_dir` with the given core budget.
+    pub fn new(run_dir: impl Into<PathBuf>, budget_cores: usize) -> Self {
+        ServerConfig {
+            run_dir: run_dir.into(),
+            budget_cores,
+            addr: "127.0.0.1:0".into(),
+        }
+    }
+}
+
+/// The port file a started server maintains under its run dir, so
+/// clients (and the CLI) can find it by directory alone.
+pub fn port_file(run_dir: &Path) -> PathBuf {
+    run_dir.join("port")
+}
+
+/// Read the address a server under `run_dir` is listening on.
+pub fn read_port_file(run_dir: &Path) -> Result<String, PtError> {
+    let path = port_file(run_dir);
+    let text = std::fs::read_to_string(&path).map_err(|e| PtError::Io {
+        path: path.display().to_string(),
+        reason: format!("reading server port file: {e}"),
+    })?;
+    Ok(text.trim().to_string())
+}
+
+fn io_err(path: &Path, what: &str, e: &std::io::Error) -> PtError {
+    PtError::Io {
+        path: path.display().to_string(),
+        reason: format!("{what}: {e}"),
+    }
+}
+
+/// Write `text` to `path` atomically (tmp + rename), so readers — and
+/// the recovery scan — never observe a half-written file.
+fn write_atomic(path: &Path, text: &str) -> Result<(), PtError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, text).map_err(|e| io_err(&tmp, "writing", &e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, "renaming into place", &e))
+}
+
+struct ServerState {
+    scheduler: CorePackingScheduler,
+    jobs: BTreeMap<u64, JobRecord>,
+    next_id: u64,
+}
+
+struct Shared {
+    state: Mutex<ServerState>,
+    /// Notified on every job state/progress change (tail waiters).
+    cv: Condvar,
+    /// Cloned into each runner; `Mutex` only to stay `Sync` across rustc
+    /// versions where `mpsc::Sender` is not.
+    events: Mutex<Sender<JobEvent>>,
+    /// Signals the owner that a client requested shutdown.
+    shutdown_req: Mutex<Sender<()>>,
+    runners: Mutex<Vec<JoinHandle<()>>>,
+    stop: AtomicBool,
+    jobs_dir: PathBuf,
+}
+
+impl Shared {
+    fn lock_state(&self) -> MutexGuard<'_, ServerState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn sender(&self) -> Sender<JobEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// A started server: owns its threads, exposes the bound address, and
+/// tears everything down (draining jobs) on [`ServerHandle::stop`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener_join: Option<JoinHandle<()>>,
+    pump_join: Option<JoinHandle<()>>,
+    shutdown_rx: Receiver<()>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until some client sends the `shutdown` command (the server
+    /// binary's main thread parks here).
+    pub fn wait_for_shutdown_request(&self) {
+        let _ = self.shutdown_rx.recv();
+    }
+
+    /// Stop accepting connections, let every admitted job run to a
+    /// terminal state (drain), then stop the pump and join all threads.
+    pub fn stop(mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // wake the accept loop with a throwaway connection
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.listener_join.take() {
+            let _ = j.join();
+        }
+        // drain: runners finishing make the pump start queued jobs, which
+        // pushes new handles — loop until no handles AND no live jobs
+        loop {
+            let handles: Vec<JoinHandle<()>> = {
+                let mut r = self
+                    .shared
+                    .runners
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                r.drain(..).collect()
+            };
+            if handles.is_empty() {
+                let busy = {
+                    let st = self.shared.lock_state();
+                    st.jobs.values().any(|j| !j.state.is_terminal())
+                };
+                if !busy {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        let _ = self.shared.sender().send(JobEvent::Stop);
+        if let Some(j) = self.pump_join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Start a server. Recovers any jobs found under `run_dir/jobs` (terminal
+/// jobs rehydrate; interrupted jobs re-enqueue and auto-resume), binds the
+/// listener, writes the port file and spawns the worker threads.
+pub fn start(config: ServerConfig) -> Result<ServerHandle, PtError> {
+    let jobs_dir = config.run_dir.join("jobs");
+    std::fs::create_dir_all(&jobs_dir).map_err(|e| io_err(&jobs_dir, "creating", &e))?;
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| io_err(Path::new(&config.addr), "binding", &e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| io_err(Path::new(&config.addr), "querying bound address", &e))?;
+    write_atomic(&port_file(&config.run_dir), &addr.to_string())?;
+
+    let mut state = ServerState {
+        scheduler: CorePackingScheduler::new(config.budget_cores)?,
+        jobs: BTreeMap::new(),
+        next_id: 0,
+    };
+    recover_jobs(&jobs_dir, &mut state);
+
+    let (tx, rx) = channel::<JobEvent>();
+    let (sd_tx, sd_rx) = channel::<()>();
+    let shared = Arc::new(Shared {
+        state: Mutex::new(state),
+        cv: Condvar::new(),
+        events: Mutex::new(tx),
+        shutdown_req: Mutex::new(sd_tx),
+        runners: Mutex::new(Vec::new()),
+        stop: AtomicBool::new(false),
+        jobs_dir,
+    });
+
+    // start whatever the recovered queue allows right away
+    kick(&shared);
+
+    let pump_shared = shared.clone();
+    let pump_join = std::thread::spawn(move || pump(&pump_shared, &rx));
+    let listen_shared = shared.clone();
+    let listener_join = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if listen_shared.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let conn_shared = listen_shared.clone();
+            std::thread::spawn(move || handle_conn(&conn_shared, stream));
+        }
+    });
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        listener_join: Some(listener_join),
+        pump_join: Some(pump_join),
+        shutdown_rx: sd_rx,
+    })
+}
+
+/// Rescan `jobs/` after a restart (or a crash): every job directory is
+/// classified by its durable markers and either rehydrated into a
+/// terminal state or re-enqueued for auto-resume. A job whose spec cannot
+/// be read back, or that no longer fits the (possibly re-configured)
+/// budget, is recorded as failed — visibly, never silently dropped.
+fn recover_jobs(jobs_dir: &Path, state: &mut ServerState) {
+    let Ok(entries) = std::fs::read_dir(jobs_dir) else {
+        return;
+    };
+    let mut dirs: Vec<(u64, PathBuf)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            let id: u64 = name.strip_prefix("job_")?.parse().ok()?;
+            e.file_type().ok()?.is_dir().then(|| (id, e.path()))
+        })
+        .collect();
+    dirs.sort();
+    for (id, dir) in dirs {
+        state.next_id = state.next_id.max(id + 1);
+        let spec_path = dir.join("spec.json");
+        let spec = std::fs::read_to_string(&spec_path)
+            .map_err(|e| io_err(&spec_path, "reading job spec", &e))
+            .and_then(|text| JobSpec::from_json(&text));
+        let mut record = match spec {
+            Ok(spec) => JobRecord {
+                id,
+                spec,
+                dir: dir.clone(),
+                state: JobState::Queued,
+                error: None,
+                progress: JobProgress::default(),
+                cancel: CancelToken::new(),
+            },
+            Err(e) => {
+                // keep the slot visible: the directory exists, so the job
+                // existed — surfacing "failed: unreadable spec" beats
+                // resurrecting nothing
+                let mut spec = JobSpec::from_json(
+                    r#"{"name":"<unreadable>","system":{"ecut":1.0},"dt_as":1.0,"steps":1}"#,
+                )
+                .expect("placeholder spec is valid");
+                spec.name = format!("job_{id:08}");
+                state.jobs.insert(
+                    id,
+                    JobRecord {
+                        id,
+                        spec,
+                        dir,
+                        state: JobState::Failed,
+                        error: Some(format!("recovery: {e}")),
+                        progress: JobProgress::default(),
+                        cancel: CancelToken::new(),
+                    },
+                );
+                continue;
+            }
+        };
+        if dir.join("result.json").exists() {
+            record.state = JobState::Done;
+            rehydrate_progress(&mut record);
+        } else if dir.join("cancelled").exists() {
+            record.state = JobState::Cancelled;
+        } else if let Ok(msg) = std::fs::read_to_string(dir.join("failed")) {
+            record.state = JobState::Failed;
+            record.error = Some(msg);
+        } else if let Err(e) = state.scheduler.admit(id, record.spec.cores()) {
+            record.state = JobState::Failed;
+            record.error = Some(e.to_string());
+        }
+        state.jobs.insert(id, record);
+    }
+}
+
+/// Reload a completed job's streamed columns from its `result.json`, so
+/// `tail` keeps working across restarts.
+fn rehydrate_progress(record: &mut JobRecord) {
+    let path = record.dir.join("result.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return;
+    };
+    let Ok(table) = Json::parse(&text) else {
+        return;
+    };
+    let Some(cols) = table.get("columns").and_then(Json::as_obj) else {
+        return;
+    };
+    let decode = |j: &Json| -> Option<Vec<f64>> {
+        j.as_arr()
+            .map(|a| a.iter().filter_map(Json::as_f64).collect())
+    };
+    for (name, col) in cols {
+        let Some(values) = decode(col) else { continue };
+        if name == "t" {
+            record.progress.t = values;
+        } else {
+            record.progress.channels.insert(name.clone(), values);
+        }
+    }
+}
+
+/// Run `start_batch` under the lock and spawn a supervised runner for
+/// every job the scheduler releases.
+fn kick(shared: &Arc<Shared>) {
+    let to_start: Vec<u64> = {
+        let mut st = shared.lock_state();
+        let batch = st.scheduler.start_batch();
+        batch
+            .iter()
+            .map(|&(id, _)| {
+                if let Some(j) = st.jobs.get_mut(&id) {
+                    j.state = JobState::Running;
+                }
+                id
+            })
+            .collect()
+    };
+    shared.cv.notify_all();
+    for id in to_start {
+        spawn_runner(shared, id);
+    }
+}
+
+/// Spawn the supervised runner thread for job `id`: the job body runs
+/// under `catch_unwind`, so a panicking propagator (or any bug below us)
+/// becomes a typed `failed` job with the panic text as its error — the
+/// server itself never goes down with a job.
+fn spawn_runner(shared: &Arc<Shared>, id: u64) {
+    let runner_shared = shared.clone();
+    let tx = shared.sender();
+    let handle = std::thread::spawn(move || {
+        let dir = {
+            let st = runner_shared.lock_state();
+            st.jobs.get(&id).map(|j| j.dir.clone())
+        };
+        let Some(dir) = dir else { return };
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(&runner_shared, id, &tx)));
+        let event = match outcome {
+            Ok(Ok(())) => JobEvent::Finished { id },
+            Ok(Err(PtError::Cancelled { .. })) => {
+                let _ = write_atomic(&dir.join("cancelled"), "cancelled\n");
+                JobEvent::Cancelled { id }
+            }
+            Ok(Err(e)) => {
+                let msg = e.to_string();
+                let _ = write_atomic(&dir.join("failed"), &msg);
+                JobEvent::Failed { id, error: msg }
+            }
+            Err(panic) => {
+                let msg = format!("job panicked: {}", panic_text(panic.as_ref()));
+                let _ = write_atomic(&dir.join("failed"), &msg);
+                JobEvent::Failed { id, error: msg }
+            }
+        };
+        let _ = tx.send(event);
+    });
+    shared
+        .runners
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(handle);
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The job body: build the system, auto-resume from the newest valid
+/// snapshot (or start fresh), re-arm checkpointing and cancellation,
+/// stream every step through the tap, and atomically publish the final
+/// series as `result.json`.
+fn run_job(shared: &Arc<Shared>, id: u64, tx: &Sender<JobEvent>) -> Result<(), PtError> {
+    let (spec, dir, cancel) = {
+        let st = shared.lock_state();
+        let j = st
+            .jobs
+            .get(&id)
+            .ok_or_else(|| PtError::InvalidConfig(format!("job {id} vanished before start")))?;
+        (j.spec.clone(), j.dir.clone(), j.cancel.clone())
+    };
+    let sys = spec.build_system()?;
+    let resumed;
+    let mut sim = match Simulation::resume_latest(&sys, &dir)? {
+        Some(sim) => {
+            resumed = true;
+            if let Some(series) = sim.restored_series() {
+                let mut progress = JobProgress::default();
+                progress.absorb_series(series);
+                let _ = tx.send(JobEvent::Restored { id, progress });
+            }
+            sim
+        }
+        None => {
+            resumed = false;
+            spec.build_fresh_simulation(&sys)?
+        }
+    };
+    sim = sim.checkpoint_every(spec.checkpoint_every, &dir)?;
+    sim.set_cancel_token(cancel);
+    let every = spec.checkpoint_every;
+    let tap_tx = tx.clone();
+    sim.set_step_tap(move |u| {
+        // a snapshot of an *earlier* step is on disk once we've passed
+        // the first checkpoint boundary (or restored from one)
+        let durable = resumed || u.step_index >= every;
+        let _ = tap_tx.send(JobEvent::Step {
+            id,
+            t: u.t,
+            samples: update_samples(u),
+            durable,
+        });
+    });
+    let series = sim.run()?;
+    let table = series.to_table()?;
+    write_atomic(&dir.join("result.json"), &table.to_json())
+}
+
+/// The single consumer of the job-event fan-in: applies each event to the
+/// shared state, wakes tail waiters, and starts newly-fitting jobs when
+/// cores drain.
+fn pump(shared: &Arc<Shared>, rx: &Receiver<JobEvent>) {
+    while let Ok(ev) = rx.recv() {
+        let mut to_start: Vec<u64> = Vec::new();
+        {
+            let mut st = shared.lock_state();
+            match ev {
+                JobEvent::Stop => break,
+                JobEvent::Step {
+                    id,
+                    t,
+                    samples,
+                    durable,
+                } => {
+                    if let Some(j) = st.jobs.get_mut(&id) {
+                        if j.state.is_active() {
+                            j.progress.push_step(t, &samples);
+                            if durable && j.state == JobState::Running {
+                                j.state = JobState::Checkpointed;
+                            }
+                        }
+                    }
+                }
+                JobEvent::Restored { id, progress } => {
+                    if let Some(j) = st.jobs.get_mut(&id) {
+                        if j.state.is_active() {
+                            j.progress = progress;
+                            j.state = JobState::Checkpointed;
+                        }
+                    }
+                }
+                JobEvent::Finished { id } => {
+                    settle(&mut st, id, JobState::Done, None, &mut to_start);
+                }
+                JobEvent::Failed { id, error } => {
+                    settle(&mut st, id, JobState::Failed, Some(error), &mut to_start);
+                }
+                JobEvent::Cancelled { id } => {
+                    settle(&mut st, id, JobState::Cancelled, None, &mut to_start);
+                }
+            }
+        }
+        shared.cv.notify_all();
+        for id in to_start {
+            spawn_runner(shared, id);
+        }
+    }
+}
+
+/// Move a job to a terminal state, return its cores and promote whatever
+/// now fits.
+fn settle(
+    st: &mut ServerState,
+    id: u64,
+    terminal: JobState,
+    error: Option<String>,
+    to_start: &mut Vec<u64>,
+) {
+    let active_cores = st
+        .jobs
+        .get(&id)
+        .filter(|j| j.state.is_active())
+        .map(|j| j.spec.cores());
+    if let Some(cores) = active_cores {
+        st.scheduler.release(cores);
+    }
+    if let Some(j) = st.jobs.get_mut(&id) {
+        j.state = terminal;
+        j.error = error;
+    }
+    for (bid, _) in st.scheduler.start_batch() {
+        if let Some(j) = st.jobs.get_mut(&bid) {
+            j.state = JobState::Running;
+        }
+        to_start.push(bid);
+    }
+}
+
+/// One client connection: a loop of length-prefixed requests. Exits on
+/// clean EOF, protocol error, or `shutdown`.
+fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
+    loop {
+        let msg = match read_frame(&mut stream) {
+            Ok(Some(m)) => m,
+            Ok(None) | Err(_) => return,
+        };
+        let cmd = msg.get("cmd").and_then(Json::as_str).unwrap_or("");
+        let sent = match cmd {
+            "submit" => respond(&mut stream, handle_submit(shared, &msg)),
+            "status" => respond(&mut stream, Ok(handle_status(shared))),
+            "tail" => handle_tail(shared, &mut stream, &msg),
+            "cancel" => respond(&mut stream, handle_cancel(shared, &msg)),
+            "fetch" => respond(&mut stream, handle_fetch(shared, &msg)),
+            "shutdown" => {
+                let _ = respond(&mut stream, Ok(ok_response(vec![])));
+                let _ = shared
+                    .shutdown_req
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .send(());
+                return;
+            }
+            other => respond(
+                &mut stream,
+                Err(PtError::InvalidConfig(format!("unknown command '{other}'"))),
+            ),
+        };
+        if sent.is_err() {
+            return; // peer went away mid-response
+        }
+    }
+}
+
+/// Write either the handler's response or its error as one frame.
+fn respond(stream: &mut TcpStream, result: Result<Json, PtError>) -> Result<(), PtError> {
+    let frame = match result {
+        Ok(msg) => msg,
+        Err(e) => error_response(&e.to_string()),
+    };
+    write_frame(stream, &frame)
+}
+
+fn job_id_of(msg: &Json) -> Result<u64, PtError> {
+    msg.get("job")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| PtError::InvalidConfig("'job' (integer) is required".into()))
+}
+
+fn handle_submit(shared: &Arc<Shared>, msg: &Json) -> Result<Json, PtError> {
+    if shared.stop.load(Ordering::Acquire) {
+        return Err(PtError::InvalidConfig("server is shutting down".into()));
+    }
+    let spec_value = msg
+        .get("spec")
+        .ok_or_else(|| PtError::InvalidConfig("'spec' (object) is required".into()))?;
+    let spec = JobSpec::from_value(spec_value)?;
+    spec.validate()?;
+    let (id, dir) = {
+        let mut st = shared.lock_state();
+        let id = st.next_id;
+        // admission can reject (never-fits) — do it before anything
+        // touches the disk or the id counter
+        st.scheduler.admit(id, spec.cores())?;
+        st.next_id += 1;
+        let dir = shared.jobs_dir.join(format!("job_{id:08}"));
+        if let Err(e) = std::fs::create_dir_all(&dir)
+            .map_err(|e| io_err(&dir, "creating job dir", &e))
+            .and_then(|()| write_atomic(&dir.join("spec.json"), &spec.to_json()))
+        {
+            st.scheduler.withdraw(id);
+            return Err(e);
+        }
+        st.jobs.insert(
+            id,
+            JobRecord {
+                id,
+                spec,
+                dir: dir.clone(),
+                state: JobState::Queued,
+                error: None,
+                progress: JobProgress::default(),
+                cancel: CancelToken::new(),
+            },
+        );
+        (id, dir)
+    };
+    let _ = dir;
+    kick(shared);
+    Ok(ok_response(vec![("job".to_string(), Json::Num(id as f64))]))
+}
+
+fn handle_status(shared: &Arc<Shared>) -> Json {
+    let st = shared.lock_state();
+    let jobs: Vec<Json> = st
+        .jobs
+        .values()
+        .map(|j| {
+            let mut pairs = vec![
+                ("id".to_string(), Json::Num(j.id as f64)),
+                ("name".to_string(), Json::Str(j.spec.name.clone())),
+                ("state".to_string(), Json::Str(j.state.as_str().to_string())),
+                (
+                    "steps_done".to_string(),
+                    Json::Num(j.progress.steps_done() as f64),
+                ),
+                ("steps".to_string(), Json::Num(j.spec.steps as f64)),
+                ("cores".to_string(), Json::Num(j.spec.cores() as f64)),
+            ];
+            if let Some(e) = &j.error {
+                pairs.push(("error".to_string(), Json::Str(e.clone())));
+            }
+            Json::Obj(pairs)
+        })
+        .collect();
+    let scheduler = Json::Obj(vec![
+        (
+            "budget_cores".to_string(),
+            Json::Num(st.scheduler.budget() as f64),
+        ),
+        (
+            "cores_in_use".to_string(),
+            Json::Num(st.scheduler.in_use() as f64),
+        ),
+        (
+            "queued".to_string(),
+            Json::Num(st.scheduler.queued() as f64),
+        ),
+    ]);
+    ok_response(vec![
+        ("jobs".to_string(), Json::Arr(jobs)),
+        ("scheduler".to_string(), scheduler),
+    ])
+}
+
+fn handle_cancel(shared: &Arc<Shared>, msg: &Json) -> Result<Json, PtError> {
+    let id = job_id_of(msg)?;
+    let (state, marker_dir) = {
+        let mut st = shared.lock_state();
+        let Some(before) = st.jobs.get(&id).map(|j| j.state.clone()) else {
+            return Err(PtError::InvalidConfig(format!("unknown job {id}")));
+        };
+        match before {
+            JobState::Queued => {
+                st.scheduler.withdraw(id);
+                let j = st.jobs.get_mut(&id).expect("checked above");
+                j.state = JobState::Cancelled;
+                (JobState::Cancelled, Some(j.dir.clone()))
+            }
+            JobState::Running | JobState::Checkpointed => {
+                // cooperative: the time loop honors it at the next step
+                // boundary and writes a final snapshot first
+                st.jobs[&id].cancel.cancel();
+                (before, None)
+            }
+            terminal => (terminal, None),
+        }
+    };
+    if let Some(dir) = marker_dir {
+        let _ = write_atomic(&dir.join("cancelled"), "cancelled\n");
+    }
+    shared.cv.notify_all();
+    kick(shared); // a withdrawn queue head may unblock others
+    Ok(ok_response(vec![(
+        "state".to_string(),
+        Json::Str(state.as_str().to_string()),
+    )]))
+}
+
+fn handle_fetch(shared: &Arc<Shared>, msg: &Json) -> Result<Json, PtError> {
+    let id = job_id_of(msg)?;
+    let (state, dir) = {
+        let st = shared.lock_state();
+        let Some(j) = st.jobs.get(&id) else {
+            return Err(PtError::InvalidConfig(format!("unknown job {id}")));
+        };
+        (j.state.clone(), j.dir.clone())
+    };
+    if state != JobState::Done {
+        return Err(PtError::InvalidConfig(format!(
+            "job {id} is {}; results exist only for done jobs",
+            state.as_str()
+        )));
+    }
+    let path = dir.join("result.json");
+    let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, "reading result", &e))?;
+    let table = Json::parse(&text)?;
+    Ok(ok_response(vec![("table".to_string(), table)]))
+}
+
+/// The streaming command. Each frame carries the rows past the client's
+/// cursor for one channel; with `follow: true` the handler waits on the
+/// condvar for more until the job is terminal.
+fn handle_tail(shared: &Arc<Shared>, stream: &mut TcpStream, msg: &Json) -> Result<(), PtError> {
+    let id = match job_id_of(msg) {
+        Ok(id) => id,
+        Err(e) => return respond(stream, Err(e)),
+    };
+    let channel = msg.get("channel").and_then(Json::as_str).unwrap_or("t");
+    let mut cursor = msg.get("after").and_then(Json::as_u64).unwrap_or(0) as usize;
+    let follow = msg.get("follow").and_then(Json::as_bool).unwrap_or(false);
+    loop {
+        enum Batch {
+            Rows {
+                t: Vec<f64>,
+                values: Vec<f64>,
+                state: &'static str,
+                done: bool,
+            },
+            Gone(PtError),
+        }
+        let batch = {
+            let mut st = shared.lock_state();
+            loop {
+                let Some(j) = st.jobs.get(&id) else {
+                    break Batch::Gone(PtError::InvalidConfig(format!("unknown job {id}")));
+                };
+                let n = j.progress.steps_done();
+                let terminal = j.state.is_terminal();
+                if n > cursor || terminal || !follow {
+                    let col = j.progress.channel(channel);
+                    if col.is_none() && n > 0 && channel != "t" {
+                        break Batch::Gone(PtError::InvalidConfig(format!(
+                            "job {id} has no channel '{channel}' (available: {})",
+                            j.progress.channel_names().join(", ")
+                        )));
+                    }
+                    let hi = n.max(cursor);
+                    let slice = |v: &[f64]| v.get(cursor..hi.min(v.len())).unwrap_or(&[]).to_vec();
+                    break Batch::Rows {
+                        t: slice(&j.progress.t),
+                        values: col.map(slice).unwrap_or_default(),
+                        state: j.state.as_str(),
+                        done: terminal || !follow,
+                    };
+                }
+                let (guard, _) = shared
+                    .cv
+                    .wait_timeout(st, Duration::from_millis(200))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st = guard;
+            }
+        };
+        match batch {
+            Batch::Gone(e) => return respond(stream, Err(e)),
+            Batch::Rows {
+                t,
+                values,
+                state,
+                done,
+            } => {
+                cursor += t.len();
+                let nums = |v: Vec<f64>| Json::Arr(v.into_iter().map(Json::Num).collect());
+                write_frame(
+                    stream,
+                    &ok_response(vec![
+                        ("start".to_string(), Json::Num((cursor - t.len()) as f64)),
+                        ("t".to_string(), nums(t)),
+                        ("values".to_string(), nums(values)),
+                        ("state".to_string(), Json::Str(state.to_string())),
+                        ("done".to_string(), Json::Bool(done)),
+                    ]),
+                )?;
+                if done {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The job server in five minutes: start an in-process `pt-serve` server,
+//! submit a two-job fleet against a shared core budget, tail one job's
+//! energy live over TCP while it runs, then fetch both finished tables
+//! and verify the served numbers are bit-identical to solo in-process
+//! runs of the same specs.
+//!
+//! ```sh
+//! cargo run --release --example job_server
+//! ```
+//!
+//! This is also the CI serve-smoke demo: it exits nonzero if serving
+//! changed a single bit.
+
+use pwdft_rt::prelude::*;
+use pwdft_rt::serve::{self, LaserSpec, SystemSpec};
+
+fn spec(name: &str, steps: usize) -> JobSpec {
+    JobSpec {
+        name: name.to_string(),
+        system: SystemSpec {
+            supercell: [1, 1, 1],
+            ecut: 2.0,
+            xc: XcKind::Lda,
+            hybrid: false,
+            bands: None,
+        },
+        laser: Some(LaserSpec {
+            a0: 0.02,
+            t0_as: 200.0,
+            sigma_as: 100.0,
+        }),
+        dt_as: 25.0,
+        steps,
+        checkpoint_every: 1,
+        layout: RankLayout::new(1, 1),
+    }
+}
+
+fn main() -> Result<(), PtError> {
+    let dir = std::env::temp_dir().join(format!("pt_serve_example_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let specs = [spec("fleet-a", 4), spec("fleet-b", 3)];
+    // solo references: what each spec computes with no server involved
+    let references: Vec<Table> = specs
+        .iter()
+        .map(|s| s.run_reference()?.to_table())
+        .collect::<Result<_, _>>()?;
+
+    // a 2-core budget runs both 1-core jobs concurrently
+    let handle = serve::start(ServerConfig::new(&dir, 2))?;
+    println!("server listening on {}", handle.addr());
+    let mut client = Client::connect(&handle.addr().to_string())?;
+    let ids: Vec<u64> = specs
+        .iter()
+        .map(|s| client.submit(s))
+        .collect::<Result<_, _>>()?;
+
+    // live-tail job A's energy on a second connection while it runs
+    let mut tail = Client::connect(&handle.addr().to_string())?;
+    let mut rows = 0usize;
+    let state = tail.tail(ids[0], "energy", 0, true, |chunk| {
+        for (i, e) in chunk.values.iter().enumerate() {
+            println!(
+                "  live: {} step {} energy {e:.12}",
+                specs[0].name,
+                chunk.start + i + 1
+            );
+        }
+        rows += chunk.values.len();
+    })?;
+    println!(
+        "tail of {} ended in state {state:?} after {rows} rows",
+        specs[0].name
+    );
+
+    // fetch both results and hold them to the bit-exactness contract
+    let mut checked = 0usize;
+    for ((&id, s), reference) in ids.iter().zip(&specs).zip(&references) {
+        let row = client.wait_terminal(id, std::time::Duration::from_secs(600))?;
+        assert_eq!(
+            row.state,
+            serve::JobState::Done,
+            "{}: {:?}",
+            s.name,
+            row.error
+        );
+        let table = client.fetch(id)?;
+        for column in ["t", "energy", "current_z", "n_electrons"] {
+            let got = Client::table_column(&table, column).expect("served column");
+            let want = reference.get(column).expect("reference column");
+            assert_eq!(got.len(), want.len(), "{}: column {column}", s.name);
+            for (a, b) in got.iter().zip(want) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}: column {column}", s.name);
+                checked += 1;
+            }
+        }
+        println!("{}: done, served bits match the solo run", s.name);
+    }
+    println!("fleet OK: {checked} served samples bit-identical to solo runs");
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

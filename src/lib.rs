@@ -24,6 +24,12 @@
 //! * **Layer B (Summit model)** — machine constants ([`summit`]) and the
 //!   anchored performance model ([`perf`]) that regenerate every table and
 //!   figure of the paper's evaluation.
+//! * **Serving layer** — [`serve`]: a std-only simulation job server
+//!   (queue + core-packing scheduler over [`par::RankLayout`] widths,
+//!   live observable streaming over length-prefixed JSON/TCP, and
+//!   crash-durable auto-resume built on the [`io`] snapshot subsystem) —
+//!   the fleet workflow of a real allocation, with the same bit-exactness
+//!   guarantees as a single run.
 //!
 //! # The unified simulation API
 //!
@@ -81,6 +87,7 @@ pub use pt_par as par;
 pub use pt_perf as perf;
 pub use pt_pseudo as pseudo;
 pub use pt_scf as scf;
+pub use pt_serve as serve;
 pub use pt_summit as summit;
 pub use pt_xc as xc;
 
@@ -88,18 +95,22 @@ pub use pt_xc as xc;
 pub mod prelude {
     pub use pt_core::{
         current_density, density_matrix_distance, latest_checkpoint, max_stable_rk4_dt,
-        orthonormality_error, CheckpointPolicy, CurrentObserver, DipoleNormObserver,
+        orthonormality_error, CancelToken, CheckpointPolicy, CurrentObserver, DipoleNormObserver,
         DistributedPtCnPropagator, EnergyObserver, LaserPulse, Observer, ObserverContext,
         OrthonormalityObserver, Propagator, PropagatorState, PtCnOptions, PtCnPropagator, PtError,
         Rk4Options, Rk4Propagator, RunCheckpoint, Simulation, SimulationBuilder, StepStats,
-        TdState, TimeSeries,
+        StepUpdate, TdState, TimeSeries,
     };
     pub use pt_ham::{DistributedConfig, HybridConfig, KsSystem, KsSystemBuilder, SystemSignature};
-    pub use pt_io::{SnapshotFile, SnapshotWriter, Table};
+    pub use pt_io::{
+        latest_valid_snapshot, scan_snapshots, Json, SnapshotFile, SnapshotScan, SnapshotWriter,
+        Table,
+    };
     pub use pt_lattice::silicon_cubic_supercell;
     pub use pt_mpi::Wire;
     pub use pt_num::units::{attosecond_to_au, au_to_attosecond};
     pub use pt_par::{Parallelism, RankLayout, ThreadPool};
     pub use pt_scf::{scf_loop, ScfOptions, ScfResult};
+    pub use pt_serve::{Client, CorePackingScheduler, JobSpec, JobState, ServerConfig};
     pub use pt_xc::XcKind;
 }

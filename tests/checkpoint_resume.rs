@@ -374,6 +374,101 @@ fn f32_payload_snapshots_resume_close_but_not_bit_exact() {
 }
 
 #[test]
+fn cancelled_then_resumed_run_is_bit_identical() {
+    let sys = lda_system();
+    let gs = scf_loop(&sys, ScfOptions::default()).unwrap();
+    let steps = 4usize;
+    let uninterrupted = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser())
+        .dt(attosecond_to_au(25.0))
+        .steps(steps)
+        .standard_observers()
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+
+    // trip the token from inside the step tap after the second step; the
+    // rolling cadence (every 3) is deliberately unaligned with the cancel
+    // point, so the boundary snapshot must come from the cancel path
+    let dir = tmp_dir("cancel");
+    let token = CancelToken::new();
+    let tap_token = token.clone();
+    let mut sim = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser())
+        .dt(attosecond_to_au(25.0))
+        .steps(steps)
+        .standard_observers()
+        .checkpoint_every(3, &dir)
+        .cancel_token(token.clone())
+        .step_tap(move |u| {
+            if u.step_index == 1 {
+                tap_token.cancel();
+            }
+        })
+        .build()
+        .unwrap();
+    match sim.run() {
+        Err(PtError::Cancelled { completed_steps }) => assert_eq!(completed_steps, 2),
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    assert!(token.is_cancelled());
+    // the two committed steps survive for post-mortems
+    let partial = sim.take_partial_series().expect("partial series kept");
+    assert_eq!(partial.len(), 2);
+    // and the cancel wrote a resumable boundary snapshot
+    assert!(dir.join("ckpt_00000002.ptio").exists());
+    let mut resumed = Simulation::resume_latest(&sys, &dir)
+        .unwrap()
+        .expect("cancel snapshot found");
+    let merged = resumed.run().unwrap();
+    assert_series_bits_eq(&uninterrupted, &merged);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn resume_latest_skips_corrupt_snapshots_in_favor_of_older_valid_ones() {
+    let sys = lda_system();
+    let gs = scf_loop(&sys, ScfOptions::default()).unwrap();
+    let dir = tmp_dir("skipnewest");
+    let mut sim = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser())
+        .dt(attosecond_to_au(25.0))
+        .steps(3)
+        .standard_observers()
+        .checkpoint_every(1, &dir)
+        .checkpoint_keep(3)
+        .build()
+        .unwrap();
+    let uninterrupted = sim.run().unwrap();
+    // corrupt the newest snapshot the way a kill -9 mid-write would:
+    // truncate it — resume_latest must fall back to the step-2 snapshot
+    // and still finish with identical bits
+    let newest = dir.join("ckpt_00000003.ptio");
+    let bytes = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &bytes[..bytes.len() / 3]).unwrap();
+    let mut resumed = Simulation::resume_latest(&sys, &dir)
+        .unwrap()
+        .expect("older valid snapshot found");
+    assert_eq!(
+        resumed.restored_series().map(TimeSeries::len),
+        Some(2),
+        "should have fallen back to the step-2 snapshot"
+    );
+    let merged = resumed.run().unwrap();
+    assert_series_bits_eq(&uninterrupted, &merged);
+    // an empty dir resumes to None (fresh start), not an error
+    let empty = tmp_dir("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    assert!(Simulation::resume_latest(&sys, &empty).unwrap().is_none());
+    let _ = std::fs::remove_dir_all(dir);
+    let _ = std::fs::remove_dir_all(empty);
+}
+
+#[test]
 fn exported_series_tables_round_trip_through_json_and_csv() {
     let sys = lda_system();
     let gs = scf_loop(&sys, ScfOptions::default()).unwrap();

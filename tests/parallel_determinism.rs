@@ -241,7 +241,7 @@ fn hybrid_distributed_run_via_builders_is_layout_invariant() {
             .build()
             .expect("valid distributed system");
         let gs = scf_loop(&sys, ScfOptions::default()).expect("SCF converges");
-        SimulationBuilder::new(&sys)
+        let mut sim = SimulationBuilder::new(&sys)
             .initial_orbitals(gs.orbitals.clone())
             .laser(LaserPulse::paper_380nm(
                 0.02,
@@ -252,9 +252,8 @@ fn hybrid_distributed_run_via_builders_is_layout_invariant() {
             .steps(2)
             .standard_observers()
             .build()
-            .expect("valid simulation")
-            .run()
-            .expect("distributed propagation succeeds")
+            .expect("valid simulation");
+        sim.run().expect("distributed propagation succeeds")
     };
     let ts11 = run_layout(1, 1);
     let ts22 = run_layout(2, 2);
