@@ -20,7 +20,7 @@ use pt_ham::{
 };
 use pt_lattice::silicon_cubic_supercell;
 use pt_linalg::CMat;
-use pt_mpi::{env_ranks, run_ranks_pinned, Wire};
+use pt_mpi::{env_ranks, run_ranks_pinned, Comm, RankEngine, Wire};
 use pt_par::RankLayout;
 use std::hint::black_box;
 use std::time::Instant;
@@ -54,40 +54,67 @@ impl Workload {
         }
     }
 
-    /// Best-of-`reps` wall seconds for one full Alg. 2 + Alg. 3 pass over
-    /// the layout (rank spawn + pinned-pool setup included: that overhead
-    /// is part of what the sweep is measuring).
+    /// One full Alg. 2 + Alg. 3 pass for `layout` — the per-rank body
+    /// both timers drive.
+    fn step_job(&self, dist: BandDistribution) -> impl Fn(&mut Comm) -> usize + Sync + '_ {
+        let ng = self.grids.ng();
+        move |comm| {
+            let rank = comm.rank();
+            let fock = distributed_fock_apply(
+                comm,
+                &self.grids,
+                dist,
+                &dist.take_local(rank, &self.phi),
+                &dist.take_local(rank, &self.psi),
+                0.25,
+                &self.kernel,
+            );
+            let resid = distributed_residual(
+                comm,
+                dist,
+                ng,
+                &dist.take_local(rank, &self.psi),
+                &dist.take_local(rank, &self.hpsi),
+                &dist.take_local(rank, &self.half),
+                0.7,
+            );
+            fock.ncols() + resid.ncols()
+        }
+    }
+
+    /// Best-of-`reps` wall seconds for one pass with a fresh team per
+    /// call (rank spawn + pinned-pool setup included: this is the old
+    /// per-call execution model, kept as the overhead baseline).
     fn time_layout(&self, layout: RankLayout, reps: usize) -> f64 {
         let dist = BandDistribution {
             n_bands: self.nb,
             n_ranks: layout.ranks,
         };
-        let ng = self.grids.ng();
+        let job = self.step_job(dist);
         let mut best = f64::INFINITY;
         for _ in 0..reps {
             let t0 = Instant::now();
-            let (out, _) = run_ranks_pinned(layout, Wire::F64, |comm| {
-                let rank = comm.rank();
-                let fock = distributed_fock_apply(
-                    comm,
-                    &self.grids,
-                    dist,
-                    &dist.take_local(rank, &self.phi),
-                    &dist.take_local(rank, &self.psi),
-                    0.25,
-                    &self.kernel,
-                );
-                let resid = distributed_residual(
-                    comm,
-                    dist,
-                    ng,
-                    &dist.take_local(rank, &self.psi),
-                    &dist.take_local(rank, &self.hpsi),
-                    &dist.take_local(rank, &self.half),
-                    0.7,
-                );
-                fock.ncols() + resid.ncols()
-            });
+            let (out, _) = run_ranks_pinned(layout, Wire::F64, &job);
+            black_box(out);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    }
+
+    /// Best-of-`reps` per-step seconds on a persistent [`RankEngine`]:
+    /// the team is spawned once outside the timed region, so this is the
+    /// steady-state per-step latency of a long propagation.
+    fn time_layout_engine(&self, layout: RankLayout, reps: usize) -> f64 {
+        let dist = BandDistribution {
+            n_bands: self.nb,
+            n_ranks: layout.ranks,
+        };
+        let job = self.step_job(dist);
+        let mut engine = RankEngine::new(layout, Wire::F64);
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let (out, _) = engine.run(&job).expect("healthy engine");
             black_box(out);
             best = best.min(t0.elapsed().as_secs_f64());
         }
@@ -108,16 +135,22 @@ fn main() {
     for &(ranks, threads) in &layouts {
         let layout = RankLayout::new(ranks, threads);
         let secs = w.time_layout(layout, 3);
+        let engine_secs = w.time_layout_engine(layout, 3);
+        // per-call minus persistent per-step: what spawning a fresh rank
+        // team + pinned pools costs every step of the old model
+        let spawn_overhead = secs - engine_secs;
         println!(
-            "ranks={ranks} threads_per_rank={threads}  {:10.3} ms{}",
+            "ranks={ranks} threads_per_rank={threads}  per-call {:10.3} ms  engine {:10.3} ms  spawn {:+8.3} ms{}",
             secs * 1e3,
+            engine_secs * 1e3,
+            spawn_overhead * 1e3,
             if layout.fits_host() {
                 ""
             } else {
                 "  (oversubscribed)"
             }
         );
-        rows.push((ranks, threads, secs));
+        rows.push((ranks, threads, secs, engine_secs, spawn_overhead));
     }
     let baseline = rows[0].2;
 
@@ -152,6 +185,15 @@ fn main() {
             "speedup_vs_1x1",
             rows.iter().map(|r| baseline / r.2).collect(),
         )
+        .unwrap();
+    table
+        .column(
+            "per_step_seconds_engine",
+            rows.iter().map(|r| r.3).collect(),
+        )
+        .unwrap();
+    table
+        .column("spawn_overhead_seconds", rows.iter().map(|r| r.4).collect())
         .unwrap();
     table
         .write_json("BENCH_ranks_threads.json")

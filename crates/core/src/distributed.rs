@@ -2,48 +2,80 @@
 //! rank-pinned compute pools — the paper's execution model (one MPI rank
 //! per GPU plus a CPU-thread slice) reproduced in process.
 //!
-//! Each `HΨ` application inside the PT-CN fixed point fans out over
-//! `ranks` virtual-MPI rank threads: every rank applies the local
-//! (kinetic + V_loc + V_NL) part to its cyclic share of the bands and
-//! joins the Alg. 2 broadcast loop for the Fock exchange
-//! ([`pt_ham::distributed_fock_apply`]), all on its own pinned
-//! `threads_per_rank`-wide pool. The parallel-transport algebra around it
-//! (density, overlap, Anderson mixing, re-orthonormalization) runs
+//! The propagator owns a persistent [`RankEngine`]: the rank threads and
+//! their pinned `threads_per_rank`-wide pools are spawned **once**, on
+//! the first step, and every subsequent `HΨ` application and residual
+//! evaluation is a job submitted to the same parked team. Each `HΨ` job
+//! applies the local (kinetic + V_loc + V_NL) part to the rank's cyclic
+//! share of the bands and joins the Alg. 2 broadcast loop for the Fock
+//! exchange ([`pt_ham::distributed_fock_apply`]); the fixed-point
+//! residual runs G-space-parallel via [`pt_ham::distributed_residual`]
+//! with its tree chunk reduction. The parallel-transport algebra around
+//! them (density, Anderson mixing, re-orthonormalization) runs
 //! replicated on the driver thread, exactly as in the serial propagator.
+//!
+//! The engine is runtime-only state: it is not cloned, captured, or
+//! snapshotted — a resumed or cloned propagator rebuilds its team lazily
+//! on the next step. If a rank dies, the panic surfaces on the driver
+//! with the original payload (poison-cascade semantics) and later steps
+//! on the dead engine are refused with [`PtError::EngineDown`].
 //!
 //! # Layout invariance
 //!
 //! With a `Wire::F64` wire the observables of a run are **bit-identical
 //! for every `ranks × threads_per_rank` layout** (including 1 × 1): band
 //! ownership only partitions work whose per-band results are computed
-//! independently in a fixed order, and the broadcast loop accumulates
-//! `i = 0..N_e` identically on every rank count. A `Wire::F32` wire
-//! trades that for half the broadcast volume (~1e-7 relative loss, §3.2
+//! independently in a fixed order, the broadcast loop accumulates
+//! `i = 0..N_e` identically on every rank count, and the residual's
+//! tree reduction joins fixed 64-row chunks in ascending order
+//! regardless of which rank owns them. A `Wire::F32` wire trades that
+//! for half the broadcast volume (~1e-7 relative loss, §3.2
 //! optimization 4).
 
 use crate::anderson_c::BandAndersonMixer;
 use crate::laser::LaserPulse;
 use crate::propagator::{
-    ptcn_step_with, Propagator, PropagatorState, PtCnOptions, StepStats, TdState,
+    ptcn_step_with, Propagator, PropagatorState, PtCnOptions, StepKernels, StepStats, TdState,
 };
-use pt_ham::{distributed_fock_apply, BandDistribution, DistributedConfig, KsSystem, PtError};
+use pt_ham::{
+    distributed_fock_apply, distributed_residual, BandDistribution, DistributedConfig, KsSystem,
+    PtError,
+};
 use pt_linalg::CMat;
-use pt_mpi::run_ranks_pinned;
+use pt_mpi::{EnginePoisoned, RankEngine};
 
-/// The PT-CN propagator with distributed `HΨ` applications.
+/// The PT-CN propagator with distributed `HΨ` applications on a
+/// persistent rank engine.
 ///
 /// The ranks × threads decomposition comes from the system
 /// ([`pt_ham::KsSystemBuilder::distributed`]) unless overridden here;
 /// without either, it falls back to the serial-equivalent 1 × 1 layout.
 /// `SimulationBuilder` selects this propagator automatically when the
 /// system carries a distributed config.
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct DistributedPtCnPropagator {
     /// PT-CN options (same knobs as the serial propagator).
     pub opts: PtCnOptions,
     /// Layout override; `None` reads `KsSystem::distributed`.
     pub config: Option<DistributedConfig>,
     pub(crate) mixer: Option<BandAndersonMixer>,
+    /// The spawn-once rank team; built lazily on the first step so a
+    /// freshly constructed (or resumed) propagator costs nothing until
+    /// it actually runs.
+    pub(crate) engine: Option<RankEngine>,
+}
+
+impl Clone for DistributedPtCnPropagator {
+    /// Clones configuration and mixer history; the rank engine is
+    /// runtime-only state and is rebuilt lazily by the clone.
+    fn clone(&self) -> Self {
+        DistributedPtCnPropagator {
+            opts: self.opts,
+            config: self.config,
+            mixer: self.mixer.clone(),
+            engine: None,
+        }
+    }
 }
 
 impl DistributedPtCnPropagator {
@@ -54,6 +86,7 @@ impl DistributedPtCnPropagator {
             opts,
             config: None,
             mixer: None,
+            engine: None,
         }
     }
 
@@ -79,14 +112,49 @@ impl std::fmt::Debug for DistributedPtCnPropagator {
                 "anderson_history_len",
                 &self.mixer.as_ref().map(BandAndersonMixer::history_len),
             )
+            .field("engine", &self.engine)
             .finish()
     }
 }
 
+fn engine_down(e: EnginePoisoned) -> PtError {
+    PtError::EngineDown { cause: e.cause }
+}
+
+/// Reuse the parked rank team when it matches `cfg`; build it on first
+/// use or after a layout/wire change. A poisoned engine is never reused
+/// or silently replaced — the caller gets the typed error so the failure
+/// stays visible.
+fn acquire_engine(
+    slot: &mut Option<RankEngine>,
+    cfg: DistributedConfig,
+) -> Result<&mut RankEngine, PtError> {
+    let stale = match slot {
+        Some(e) => {
+            if let Some(cause) = e.poison_cause() {
+                return Err(PtError::EngineDown {
+                    cause: cause.to_string(),
+                });
+            }
+            e.layout() != cfg.layout() || e.wire() != cfg.wire
+        }
+        None => false,
+    };
+    if stale {
+        *slot = None;
+    }
+    Ok(match slot {
+        Some(e) => e,
+        None => slot.insert(RankEngine::new(cfg.layout(), cfg.wire)),
+    })
+}
+
 /// One distributed `H[ρ(Ψ), Ψ] Ψ` application: local parts rank-parallel
 /// by band, Fock exchange via the Alg. 2 broadcast loop, results gathered
-/// back into the full band-major block.
+/// back into the full band-major block. Runs as one job on the parked
+/// rank team — no threads are spawned here.
 pub(crate) fn distributed_apply_h(
+    engine: &mut RankEngine,
     sys: &KsSystem,
     cfg: DistributedConfig,
     rho: &[f64],
@@ -108,20 +176,23 @@ pub(crate) fn distributed_apply_h(
     let grids = &sys.grids;
     let h_ref = &h_local;
     let alpha = sys.hybrid.map(|h| h.alpha);
-    let (blocks, _stats) = run_ranks_pinned(cfg.layout(), cfg.wire, move |comm| {
-        let psi_local = dist.take_local(comm.rank(), psi);
-        let mut out = CMat::zeros(ng, psi_local.ncols());
-        h_ref.apply_block(&psi_local, &mut out);
-        if let (Some(alpha), Some(kernel)) = (alpha, kernel) {
-            // parallel-transport gauge: Φ = Ψ defines the exchange
-            let vx =
-                distributed_fock_apply(comm, grids, dist, &psi_local, &psi_local, alpha, kernel);
-            for (o, v) in out.data_mut().iter_mut().zip(vx.data()) {
-                *o += *v;
+    let (blocks, _stats) = engine
+        .run(move |comm| {
+            let psi_local = dist.take_local(comm.rank(), psi);
+            let mut out = CMat::zeros(ng, psi_local.ncols());
+            h_ref.apply_block(&psi_local, &mut out);
+            if let (Some(alpha), Some(kernel)) = (alpha, kernel) {
+                // parallel-transport gauge: Φ = Ψ defines the exchange
+                let vx = distributed_fock_apply(
+                    comm, grids, dist, &psi_local, &psi_local, alpha, kernel,
+                );
+                for (o, v) in out.data_mut().iter_mut().zip(vx.data()) {
+                    *o += *v;
+                }
             }
-        }
-        out
-    });
+            out
+        })
+        .map_err(engine_down)?;
     // gather: rank r's local columns are its cyclic bands
     let mut hpsi = CMat::zeros(ng, psi.ncols());
     for (r, block) in blocks.iter().enumerate() {
@@ -132,13 +203,73 @@ pub(crate) fn distributed_apply_h(
     Ok(hpsi)
 }
 
+/// The engine-backed execution strategy handed to [`ptcn_step_with`]:
+/// `HΨ` and the fixed-point residual both run as jobs on the same
+/// parked rank team.
+struct EngineKernels<'e> {
+    engine: &'e mut RankEngine,
+    cfg: DistributedConfig,
+}
+
+impl StepKernels for EngineKernels<'_> {
+    fn apply_h(
+        &mut self,
+        sys: &KsSystem,
+        rho: &[f64],
+        psi: &CMat,
+        a: [f64; 3],
+    ) -> Result<CMat, PtError> {
+        distributed_apply_h(self.engine, sys, self.cfg, rho, psi, a)
+    }
+
+    /// G-space-parallel residual (Alg. 3): each rank evaluates its sphere
+    /// rows, the Ψ*HΨ overlap combines over the chunk reduction tree, and
+    /// the per-band columns gather back into the full block.
+    fn residual(
+        &mut self,
+        psi_f: &CMat,
+        hpsi_f: &CMat,
+        psi_half: &CMat,
+        dt: f64,
+    ) -> Result<CMat, PtError> {
+        let (ng, nb) = (psi_f.nrows(), psi_f.ncols());
+        let dist = BandDistribution {
+            n_bands: nb,
+            n_ranks: self.cfg.ranks,
+        };
+        let (blocks, _stats) = self
+            .engine
+            .run(move |comm| {
+                let rank = comm.rank();
+                let take = |m: &CMat| dist.take_local(rank, m);
+                distributed_residual(
+                    comm,
+                    dist,
+                    ng,
+                    &take(psi_f),
+                    &take(hpsi_f),
+                    &take(psi_half),
+                    dt,
+                )
+            })
+            .map_err(engine_down)?;
+        let mut resid = CMat::zeros(ng, nb);
+        for (r, block) in blocks.iter().enumerate() {
+            for (lj, &b) in dist.local_bands(r).iter().enumerate() {
+                resid.col_mut(b).copy_from_slice(block.col(lj));
+            }
+        }
+        Ok(resid)
+    }
+}
+
 impl Propagator for DistributedPtCnPropagator {
     fn name(&self) -> &'static str {
         "pt-cn-dist"
     }
 
-    /// One PT-CN step with every `HΨ` fanned out over the configured
-    /// ranks × threads layout.
+    /// One PT-CN step with every `HΨ` and residual submitted to the
+    /// persistent ranks × threads team (spawned on the first step).
     fn step(
         &mut self,
         sys: &KsSystem,
@@ -147,6 +278,8 @@ impl Propagator for DistributedPtCnPropagator {
         dt: f64,
     ) -> Result<StepStats, PtError> {
         let cfg = self.resolve_config(sys)?;
+        let engine = acquire_engine(&mut self.engine, cfg)?;
+        let mut kernels = EngineKernels { engine, cfg };
         ptcn_step_with(
             &self.opts,
             sys,
@@ -154,7 +287,7 @@ impl Propagator for DistributedPtCnPropagator {
             state,
             dt,
             &mut self.mixer,
-            &mut |sys, rho, psi, a| distributed_apply_h(sys, cfg, rho, psi, a),
+            &mut kernels,
         )
     }
 
@@ -186,6 +319,10 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn engine_for(cfg: DistributedConfig) -> RankEngine {
+        RankEngine::new(cfg.layout(), cfg.wire)
+    }
+
     #[test]
     fn distributed_apply_matches_serial_hamiltonian_to_tolerance() {
         // same operator, different Fock accumulation order: equal to
@@ -197,9 +334,9 @@ mod tests {
         let mut want = CMat::zeros(psi.nrows(), psi.ncols());
         h.apply_block(&psi, &mut want);
         for ranks in [1usize, 2, 3] {
-            let got =
-                distributed_apply_h(&sys, DistributedConfig::new(ranks, 1), &rho, &psi, [0.0; 3])
-                    .unwrap();
+            let cfg = DistributedConfig::new(ranks, 1);
+            let mut eng = engine_for(cfg);
+            let got = distributed_apply_h(&mut eng, &sys, cfg, &rho, &psi, [0.0; 3]).unwrap();
             let err = want.max_diff(&got);
             assert!(err < 1e-10, "ranks={ranks}: {err}");
         }
@@ -210,21 +347,24 @@ mod tests {
         let sys = hybrid_sys(None);
         let psi = CMat::rand_normalized(sys.grids.ng(), sys.n_bands(), 29);
         let rho = sys.density(&psi);
+        let base = DistributedConfig::new(1, 1);
         let reference =
-            distributed_apply_h(&sys, DistributedConfig::new(1, 1), &rho, &psi, [0.0; 3]).unwrap();
+            distributed_apply_h(&mut engine_for(base), &sys, base, &rho, &psi, [0.0; 3]).unwrap();
         for (ranks, threads) in [(2, 1), (2, 2), (3, 2), (1, 4)] {
-            let got = distributed_apply_h(
-                &sys,
-                DistributedConfig::new(ranks, threads),
-                &rho,
-                &psi,
-                [0.0; 3],
-            )
-            .unwrap();
-            for (x, y) in reference.data().iter().zip(got.data()) {
+            let cfg = DistributedConfig::new(ranks, threads);
+            let mut eng = engine_for(cfg);
+            // two applications on the same engine: the parked team is
+            // reused and the second call's bits must not drift
+            let got = distributed_apply_h(&mut eng, &sys, cfg, &rho, &psi, [0.0; 3]).unwrap();
+            let again = distributed_apply_h(&mut eng, &sys, cfg, &rho, &psi, [0.0; 3]).unwrap();
+            for ((x, y), z) in reference.data().iter().zip(got.data()).zip(again.data()) {
                 assert!(
                     x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
                     "{ranks}x{threads}: {x:?} vs {y:?}"
+                );
+                assert!(
+                    y.re.to_bits() == z.re.to_bits() && y.im.to_bits() == z.im.to_bits(),
+                    "{ranks}x{threads} reuse: {y:?} vs {z:?}"
                 );
             }
         }
@@ -252,5 +392,52 @@ mod tests {
                 .unwrap(),
             DistributedConfig::default()
         );
+    }
+
+    #[test]
+    fn acquire_rebuilds_only_on_layout_or_wire_change() {
+        let mut slot: Option<RankEngine> = None;
+        let cfg = DistributedConfig::new(2, 1);
+        acquire_engine(&mut slot, cfg).unwrap();
+        let before = pt_mpi::rank_threads_spawned();
+        acquire_engine(&mut slot, cfg).unwrap();
+        assert_eq!(
+            pt_mpi::rank_threads_spawned(),
+            before,
+            "matching layout must reuse the parked team"
+        );
+        acquire_engine(&mut slot, DistributedConfig::new(3, 1)).unwrap();
+        assert_eq!(slot.as_ref().unwrap().layout().ranks, 3);
+        acquire_engine(&mut slot, DistributedConfig::new(3, 1).wire(Wire::F32)).unwrap();
+        assert_eq!(slot.as_ref().unwrap().wire(), Wire::F32);
+    }
+
+    #[test]
+    fn a_poisoned_engine_yields_the_typed_engine_down_error() {
+        let cfg = DistributedConfig::new(2, 1);
+        let mut eng = engine_for(cfg);
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eng.run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("injected rank failure in the propagator engine");
+                }
+                comm.barrier();
+            })
+        }));
+        assert!(boom.is_err(), "the injected rank panic must surface");
+        let mut prop = DistributedPtCnPropagator::default().with_config(cfg);
+        prop.engine = Some(eng);
+        let sys = hybrid_sys(None);
+        let mut state = TdState::new(CMat::rand_normalized(sys.grids.ng(), sys.n_bands(), 41));
+        let err = prop.step(&sys, None, &mut state, 25.0).unwrap_err();
+        match err {
+            PtError::EngineDown { cause } => {
+                assert!(
+                    cause.contains("injected rank failure"),
+                    "cause must carry the original payload, got: {cause}"
+                );
+            }
+            other => panic!("expected EngineDown, got {other:?}"),
+        }
     }
 }

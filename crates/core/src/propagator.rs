@@ -129,10 +129,13 @@ pub fn propagator_from_state(state: PropagatorState) -> Result<Box<dyn Propagato
             anderson,
         } => {
             let mixer = anderson.map(BandAndersonMixer::from_state).transpose()?;
+            // the rank engine is runtime-only state: rebuilt lazily on the
+            // first post-resume step, never part of the snapshot
             Ok(Box::new(crate::distributed::DistributedPtCnPropagator {
                 opts,
                 config,
                 mixer,
+                engine: None,
             }))
         }
         PropagatorState::Rk4 { opts } => Ok(Box::new(Rk4Propagator { opts })),
@@ -271,18 +274,55 @@ fn reorthonormalize(psi: &mut CMat) {
     orthonormalize_columns(psi, 0.0);
 }
 
-/// One full `H[ρ(Ψ), Ψ] Ψ` application inside a PT-CN step (`Φ = Ψ` for
-/// hybrids, per the parallel-transport gauge). The serial propagator
-/// builds the in-process Hamiltonian; the distributed propagator fans the
-/// same application out over virtual-MPI ranks with pinned pools.
-pub(crate) type ApplyH<'a> =
-    dyn FnMut(&KsSystem, &[f64], &CMat, [f64; 3]) -> Result<CMat, PtError> + 'a;
+/// The two execution-strategy points of a PT-CN step: the full
+/// `H[ρ(Ψ), Ψ] Ψ` application (`Φ = Ψ` for hybrids, per the
+/// parallel-transport gauge) and the fixed-point residual. The serial
+/// propagator builds the in-process Hamiltonian and evaluates the
+/// residual inline; the distributed propagator drives both through its
+/// persistent rank engine (a single strategy object, because both
+/// methods borrow the same engine mutably).
+pub(crate) trait StepKernels {
+    /// One full `H[ρ(Ψ), Ψ] Ψ` application.
+    fn apply_h(
+        &mut self,
+        sys: &KsSystem,
+        rho: &[f64],
+        psi: &CMat,
+        a: [f64; 3],
+    ) -> Result<CMat, PtError>;
 
-/// The PT-CN step body (Alg. 1), generic over the `HΨ` strategy — the
-/// shared core of [`PtCnPropagator`] and `DistributedPtCnPropagator`.
-/// Everything outside `apply_h` (density, Anderson mixing, residual
-/// algebra, re-orthonormalization) runs replicated on the driver thread,
-/// so the step's output bits depend only on `apply_h`'s.
+    /// The fixed-point residual
+    /// `R_f = Ψ_f + i·dt/2·(H_f Ψ_f − Ψ_f (Ψ_f* H_f Ψ_f)) − Ψ_{n+1/2}`.
+    /// The default is the serial driver-side evaluation (gemm overlap).
+    fn residual(
+        &mut self,
+        psi_f: &CMat,
+        hpsi_f: &CMat,
+        psi_half: &CMat,
+        dt: f64,
+    ) -> Result<CMat, PtError> {
+        Ok(serial_pt_residual(psi_f, hpsi_f, psi_half, dt))
+    }
+}
+
+/// Driver-side PT residual: the exact inline algebra the serial PT-CN
+/// fixed point has always used (bit-preserving for the serial path).
+pub(crate) fn serial_pt_residual(psi_f: &CMat, hpsi_f: &CMat, psi_half: &CMat, dt: f64) -> CMat {
+    let (ng, nb) = (psi_f.nrows(), psi_f.ncols());
+    let rhs = pt_rhs(hpsi_f, psi_f);
+    let mut resid = CMat::zeros(ng, nb);
+    for i in 0..ng * nb {
+        resid.data_mut()[i] =
+            psi_f.data()[i] + rhs.data()[i].mul_i().scale(0.5 * dt) - psi_half.data()[i];
+    }
+    resid
+}
+
+/// The PT-CN step body (Alg. 1), generic over the execution strategy —
+/// the shared core of [`PtCnPropagator`] and `DistributedPtCnPropagator`.
+/// Everything outside the kernels (density, Anderson mixing,
+/// re-orthonormalization) runs replicated on the driver thread, so the
+/// step's output bits depend only on the kernels'.
 pub(crate) fn ptcn_step_with(
     opts: &PtCnOptions,
     sys: &KsSystem,
@@ -290,16 +330,15 @@ pub(crate) fn ptcn_step_with(
     state: &mut TdState,
     dt: f64,
     mixer_slot: &mut Option<BandAndersonMixer>,
-    apply_h: &mut ApplyH<'_>,
+    kernels: &mut dyn StepKernels,
 ) -> Result<StepStats, PtError> {
     opts.validate()?;
     let nb = state.psi.ncols();
-    let ng = state.psi.nrows();
     let mut stats = StepStats::default();
 
     // line 1: initial residual R_n at time t_n
     let rho_n = sys.density(&state.psi);
-    let hpsi = apply_h(sys, &rho_n, &state.psi, a_field(laser, state.t))?;
+    let hpsi = kernels.apply_h(sys, &rho_n, &state.psi, a_field(laser, state.t))?;
     stats.h_applications += 1;
     let r_n = pt_rhs(&hpsi, &state.psi);
 
@@ -327,15 +366,10 @@ pub(crate) fn ptcn_step_with(
     let t_next = state.t + dt;
     for _ in 0..opts.max_scf {
         stats.scf_iterations += 1;
-        let hpsi_f = apply_h(sys, &rho_f, &psi_f, a_field(laser, t_next))?;
+        let hpsi_f = kernels.apply_h(sys, &rho_f, &psi_f, a_field(laser, t_next))?;
         stats.h_applications += 1;
         // R_f = Ψ_f + i dt/2 (H_f Ψ_f − Ψ_f (Ψ_f* H_f Ψ_f)) − Ψ_{n+1/2}
-        let rhs = pt_rhs(&hpsi_f, &psi_f);
-        let mut resid = CMat::zeros(ng, nb);
-        for i in 0..ng * nb {
-            resid.data_mut()[i] =
-                psi_f.data()[i] + rhs.data()[i].mul_i().scale(0.5 * dt) - psi_half.data()[i];
-        }
+        let mut resid = kernels.residual(&psi_f, &hpsi_f, &psi_half, dt)?;
         // Anderson mixing on the fixed point Ψ = Ψ − R(Ψ): residual −R
         for z in resid.data_mut().iter_mut() {
             *z = -*z;
@@ -385,6 +419,22 @@ pub(crate) fn serial_apply_h(
     Ok(hpsi)
 }
 
+/// The in-process execution strategy: serial `HΨ` and the driver-side
+/// residual (the [`StepKernels`] defaults).
+pub(crate) struct SerialKernels;
+
+impl StepKernels for SerialKernels {
+    fn apply_h(
+        &mut self,
+        sys: &KsSystem,
+        rho: &[f64],
+        psi: &CMat,
+        a: [f64; 3],
+    ) -> Result<CMat, PtError> {
+        serial_apply_h(sys, rho, psi, a)
+    }
+}
+
 impl Propagator for PtCnPropagator {
     fn name(&self) -> &'static str {
         "pt-cn"
@@ -405,7 +455,7 @@ impl Propagator for PtCnPropagator {
             state,
             dt,
             &mut self.mixer,
-            &mut serial_apply_h,
+            &mut SerialKernels,
         )
     }
 

@@ -297,8 +297,10 @@ pub fn distributed_fock_apply(
 /// bands of Ψ_f, H_f Ψ_f and Ψ_{n+1/2}); the routine flips to the G-space
 /// layout with `MPI_Alltoallv`, forms per-chunk overlap partials
 /// `T_c = Ψ_f[c]^H (H_f Ψ_f)[c]` on the fixed [`OVERLAP_CHUNK_ROWS`]-row
-/// grid, `MPI_Allgatherv`s them and re-associates `S = Σ_c T_c` in
-/// ascending chunk order, applies the rotation `Ψ_f S` locally, assembles
+/// grid, reduces `S = Σ_c T_c` in ascending chunk order through the
+/// ownership-aligned tree ([`Comm::tree_reduce_chunks_c64`] — O(nb²)
+/// received per rank instead of the old allgatherv-everything's
+/// O(ng/64 × nb²)), applies the rotation `Ψ_f S` locally, assembles
 /// `R_f = Ψ_f + i·dt/2·(H_f Ψ_f − Ψ_f S) − Ψ_{n+1/2}` and flips back.
 ///
 /// Row partition: [`BandDistribution::g_rows`] — contiguous chunk-aligned
@@ -314,7 +316,8 @@ pub fn distributed_fock_apply(
 /// thread count — so with a [`Wire::F64`] wire the residual bits are
 /// **identical for every ranks × threads layout** (the fixed-chunk
 /// reduction tree that closed the old ~1e-12 cross-rank gap). A
-/// [`Wire::F32`] wire quantizes the gathered partials and gives that up.
+/// [`Wire::F32`] wire quantizes the alltoallv layout flips and gives that
+/// up (the tree reduction itself always moves full-precision partials).
 pub fn distributed_residual(
     comm: &mut Comm,
     dist: BandDistribution,
@@ -380,17 +383,14 @@ pub fn distributed_residual(
         t
     });
     let flat: Vec<c64> = partials.iter().flat_map(|t| t.data().to_vec()).collect();
-    let gathered = comm.allgatherv_c64(&flat);
-    // ranks ascend ⇒ global chunk index ascends: summing rank-by-rank,
-    // chunk-by-chunk is the fixed `(((T_0 + T_1) + T_2) + …)` association
+    // ranks ascend ⇒ global chunk index ascends: the tree reduction joins
+    // the per-rank ascending folds in a rank-ascending prefix chain, which
+    // is exactly the fixed `(((T_0 + T_1) + T_2) + …)` association the old
+    // allgatherv-everything combine used — same bits, but each rank now
+    // receives O(nb²) instead of O(ng/64 × nb²)
+    let summed = comm.tree_reduce_chunks_c64(&flat, nb * nb);
     let mut s_global = CMat::zeros(nb, nb);
-    for blk in &gathered {
-        for t in blk.chunks_exact(nb * nb) {
-            for (s, v) in s_global.data_mut().iter_mut().zip(t) {
-                *s += *v;
-            }
-        }
-    }
+    s_global.data_mut().copy_from_slice(&summed);
 
     // lines 4-5: rotation and residual on my rows
     let mut rot = CMat::zeros(gp.nrows(), nb);
@@ -700,8 +700,16 @@ mod tests {
             });
             // three forward flips + one backward per rank
             assert_eq!(stats.alltoallv_calls, 4 * np as u64);
-            // the overlap partials travel by allgatherv (fixed-chunk tree)
-            assert_eq!(stats.allgatherv_calls, np as u64);
+            // the overlap partials travel by the tree reduction now — the
+            // allgatherv-everything path is gone, and the received volume
+            // is the O(nb²)-per-rank law: one prefix hop plus one
+            // broadcast delivery for every rank but one of each
+            assert_eq!(stats.allgatherv_calls, 0);
+            assert_eq!(stats.tree_reduce_calls, np as u64);
+            assert_eq!(
+                stats.tree_reduce_bytes,
+                2 * (np as u64 - 1) * (nb * nb) as u64 * 16
+            );
             let mut err = 0.0f64;
             for (mine, out) in outs {
                 for (lj, &b) in mine.iter().enumerate() {

@@ -61,6 +61,13 @@ pub enum PtError {
         /// Steps completed before the cancellation was honored.
         completed_steps: usize,
     },
+    /// The persistent rank engine behind a distributed propagator died
+    /// from an earlier rank failure: its world is gone, so later work on
+    /// it is refused with this typed error instead of hanging.
+    EngineDown {
+        /// Panic message of the rank failure that killed the engine.
+        cause: String,
+    },
 }
 
 impl fmt::Display for PtError {
@@ -84,6 +91,9 @@ impl fmt::Display for PtError {
             }
             PtError::Cancelled { completed_steps } => {
                 write!(f, "run cancelled after {completed_steps} completed steps")
+            }
+            PtError::EngineDown { cause } => {
+                write!(f, "rank engine is dead after an earlier rank failure: {cause}")
             }
         }
     }

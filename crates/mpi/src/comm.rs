@@ -7,12 +7,29 @@ use pt_par::{RankLayout, ThreadPool};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Panic payload of a rank that aborted because a *peer* died (the poison
 /// cascade below). Kept distinguishable from real failures so the job
 /// re-raises the original defect, not a secondary "peer died" panic.
-struct PeerDied(String);
+pub(crate) struct PeerDied(pub(crate) String);
+
+/// Process-wide count of rank threads ever spawned, by the `run_ranks`
+/// family and by [`crate::RankEngine`] alike. Spawn-once acceptance tests
+/// read this through [`rank_threads_spawned`] to prove a multi-step run
+/// created its rank team exactly once.
+static RANK_THREADS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// Total rank threads spawned by this process so far (monotone counter;
+/// take a delta around the region under test).
+pub fn rank_threads_spawned() -> usize {
+    RANK_THREADS_SPAWNED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn note_rank_thread_spawned() {
+    RANK_THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+}
 
 /// Wire precision for complex payloads (§3.2 optimization 4: sending
 /// wavefunctions in single precision halves the broadcast volume; values
@@ -26,13 +43,13 @@ pub enum Wire {
 }
 
 /// A tagged message between ranks.
-enum Payload {
+pub(crate) enum Payload {
     C64(Vec<c64>),
     C32(Vec<c32>),
     F64(Vec<f64>),
 }
 
-struct Envelope {
+pub(crate) struct Envelope {
     src: usize,
     tag: u64,
     payload: Payload,
@@ -111,16 +128,9 @@ where
             let txs = txs.clone();
             let stats = Arc::clone(&stats);
             let fref = &f;
+            note_rank_thread_spawned();
             handles.push(scope.spawn(move |_| {
-                let mut comm = Comm {
-                    rank,
-                    size: np,
-                    senders: txs,
-                    receiver: rx,
-                    stash: HashMap::new(),
-                    stats,
-                    wire,
-                };
+                let mut comm = Comm::from_parts(rank, np, txs, rx, stats, wire);
                 let r = catch_unwind(AssertUnwindSafe(|| match threads_per_rank {
                     // the pool lives exactly as long as the rank closure:
                     // built before, installed around, dropped after
@@ -173,6 +183,29 @@ where
 }
 
 impl Comm {
+    /// Assemble a communicator handle from pre-wired world channels. The
+    /// `run_ranks` family and the persistent [`crate::RankEngine`] build
+    /// their worlds through this single constructor so both share the
+    /// exact same messaging semantics (stash, poison, stats).
+    pub(crate) fn from_parts(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<Envelope>>,
+        receiver: Receiver<Envelope>,
+        stats: Arc<CommStats>,
+        wire: Wire,
+    ) -> Self {
+        Comm {
+            rank,
+            size,
+            senders,
+            receiver,
+            stash: HashMap::new(),
+            stats,
+            wire,
+        }
+    }
+
     /// This rank's id.
     #[inline]
     pub fn rank(&self) -> usize {
@@ -235,7 +268,7 @@ impl Comm {
     /// when this rank's closure panicked, so a blocked `recv` turns into
     /// a job abort instead of a deadlock. Sends are best-effort (a peer
     /// that already finished has dropped its receiver).
-    fn poison_peers(&self) {
+    pub(crate) fn poison_peers(&self) {
         for (dst, tx) in self.senders.iter().enumerate() {
             if dst != self.rank {
                 let _ = tx.send(Envelope {
@@ -501,6 +534,89 @@ impl Comm {
         out
     }
 
+    /// Tree-structured replacement for the Alg. 3 chunk-overlap
+    /// `allgatherv_c64` + linear combine: every rank contributes the
+    /// partial sums of its *contiguous ascending* run of fixed-size
+    /// chunks (`mine.len() / block` chunks of `block` elements each, in
+    /// global chunk order), and every rank receives the full element-wise
+    /// sum `0 ⊕ T_0 ⊕ T_1 ⊕ …` over all chunks of all ranks.
+    ///
+    /// Association is the whole contract. The old path gathered every
+    /// rank's chunk list everywhere (O(n_chunks × block) received per
+    /// rank) and re-folded ascending on each receiver. Here the pairwise
+    /// tree over chunk indices is aligned with that ownership: each
+    /// rank's local ascending fold is one subtree, subtrees are joined in
+    /// a rank-ascending prefix chain (rank r adds its chunks onto the
+    /// prefix over all chunks owned by ranks < r, starting from the same
+    /// zeros), and the final sum is redistributed along a binomial tree
+    /// from the last rank. The element-wise addition sequence is
+    /// *identical* to the linear combine's, so the result is bit-for-bit
+    /// the same while each rank now receives at most 2 × `block` values —
+    /// O(block) instead of O(n_chunks × block), with O(log np) broadcast
+    /// hops.
+    ///
+    /// Reduction traffic stays full f64 precision regardless of the wire
+    /// (re-quantizing compounded prefix sums at every hop would degrade
+    /// with rank count, and the volume is only `block` per hop); both
+    /// bit-exactness across layouts and the [`Wire::F32`] volume savings
+    /// on the bulk wavefunction traffic are preserved.
+    pub fn tree_reduce_chunks_c64(&mut self, mine: &[c64], block: usize) -> Vec<c64> {
+        assert!(block > 0, "chunk block size must be nonzero");
+        assert_eq!(
+            mine.len() % block,
+            0,
+            "partials must be whole chunks of the block size"
+        );
+        self.stats.add(&self.stats.tree_reduce_calls, 1);
+        let p = self.size;
+        // prefix phase: continue the ascending-chunk fold started by rank 0
+        let mut acc = vec![c64::new(0.0, 0.0); block];
+        if self.rank > 0 {
+            match self.recv_payload(self.rank - 1, TAG_TREE) {
+                Payload::C64(v) => acc = v,
+                _ => panic!("tree reduce type mismatch"),
+            }
+            self.stats
+                .add(&self.stats.tree_reduce_bytes, 16 * block as u64);
+        }
+        for chunk in mine.chunks_exact(block) {
+            for (a, v) in acc.iter_mut().zip(chunk) {
+                *a += *v;
+            }
+        }
+        if self.rank + 1 < p {
+            self.send_payload(self.rank + 1, TAG_TREE, Payload::C64(acc.clone()));
+        }
+        // redistribution phase: binomial broadcast from the last rank,
+        // which is the only one holding the full sum
+        let root = p - 1;
+        let r = (self.rank + p - root) % p;
+        if r != 0 {
+            let lsb = r & r.wrapping_neg();
+            let parent = (r - lsb + root) % p;
+            match self.recv_payload(parent, TAG_TREE_BC) {
+                Payload::C64(v) => acc = v,
+                _ => panic!("tree reduce type mismatch"),
+            }
+            self.stats
+                .add(&self.stats.tree_reduce_bytes, 16 * block as u64);
+        }
+        let lsb = if r == 0 {
+            p.next_power_of_two()
+        } else {
+            r & r.wrapping_neg()
+        };
+        let mut mask = 1usize;
+        while mask < p {
+            if mask < lsb && r + mask < p {
+                let child = (r + mask + root) % p;
+                self.send_payload(child, TAG_TREE_BC, Payload::C64(acc.clone()));
+            }
+            mask <<= 1;
+        }
+        acc
+    }
+
     /// Full barrier (reduce + broadcast of an empty token).
     pub fn barrier(&mut self) {
         let mut token = [0.0f64; 1];
@@ -525,6 +641,8 @@ const TAG_REDUCE: u64 = 2 << 32;
 const TAG_REDUCE_BC: u64 = 3 << 32;
 const TAG_A2A: u64 = 4 << 32;
 const TAG_AGV: u64 = 5 << 32;
+const TAG_TREE: u64 = 6 << 32;
+const TAG_TREE_BC: u64 = 7 << 32;
 /// Reserved control tag: "the sending rank is dead" (never stashed).
 const TAG_POISON: u64 = u64::MAX;
 
@@ -654,6 +772,58 @@ mod tests {
             comm.allgatherv_c64(&mine)
         });
         assert_eq!(stats32.allgatherv_bytes, 2 * (2 + 3 + 4) * 8);
+    }
+
+    #[test]
+    fn tree_reduce_chunks_is_bit_identical_to_the_linear_combine() {
+        let block = 4usize;
+        for np in [1usize, 2, 3, 5, 8] {
+            for nc in [0usize, 1, 3, 7, 16] {
+                // deterministic chunk data with nontrivial rounding
+                let chunks: Vec<Vec<c64>> = (0..nc)
+                    .map(|c| {
+                        (0..block)
+                            .map(|i| {
+                                let x = ((c * 31 + i * 7 + 1) as f64).sin() * 1e3;
+                                let y = ((c * 17 + i * 13 + 2) as f64).cos() / 3.0;
+                                c64::new(x, y)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                // reference: the zeros-initialized ascending linear fold
+                // the old allgatherv combine performed on every receiver
+                let mut want = vec![c64::new(0.0, 0.0); block];
+                for ch in &chunks {
+                    for (w, v) in want.iter_mut().zip(ch) {
+                        *w += *v;
+                    }
+                }
+                let (base, rem) = (nc / np, nc % np);
+                let (out, stats) = run_ranks(np, Wire::F64, |comm| {
+                    let r = comm.rank();
+                    let start = r * base + r.min(rem);
+                    let count = base + usize::from(r < rem);
+                    let mine: Vec<c64> = chunks[start..start + count]
+                        .iter()
+                        .flatten()
+                        .copied()
+                        .collect();
+                    comm.tree_reduce_chunks_c64(&mine, block)
+                });
+                for got in &out {
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(g.re.to_bits(), w.re.to_bits(), "np={np} nc={nc}");
+                        assert_eq!(g.im.to_bits(), w.im.to_bits(), "np={np} nc={nc}");
+                    }
+                }
+                // received volume: one prefix hop into each rank > 0 plus
+                // one broadcast delivery to each non-root
+                let hops = 2 * (np as u64 - 1);
+                assert_eq!(stats.tree_reduce_bytes, hops * block as u64 * 16);
+                assert_eq!(stats.tree_reduce_calls, np as u64);
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! communication-volume formulas (e.g. N_p·N_G·N_e for Alg. 2).
 
 mod comm;
+mod engine;
 mod stats;
 
-pub use comm::{env_ranks, run_ranks, run_ranks_pinned, Comm, Wire};
+pub use comm::{env_ranks, rank_threads_spawned, run_ranks, run_ranks_pinned, Comm, Wire};
+pub use engine::{EnginePoisoned, RankEngine};
 pub use stats::{CommStats, StatsSnapshot};

@@ -27,6 +27,10 @@ pub struct CommStats {
     pub allgatherv_bytes: AtomicU64,
     /// Allgatherv call count.
     pub allgatherv_calls: AtomicU64,
+    /// Bytes moved by the tree chunk reduction (received side).
+    pub tree_reduce_bytes: AtomicU64,
+    /// Tree chunk reduction call count (per-rank calls).
+    pub tree_reduce_calls: AtomicU64,
     /// Bytes moved by raw point-to-point sends.
     pub p2p_bytes: AtomicU64,
 }
@@ -50,8 +54,34 @@ pub struct StatsSnapshot {
     pub allgatherv_bytes: u64,
     /// Allgatherv calls.
     pub allgatherv_calls: u64,
+    /// Tree chunk reduction bytes (received side).
+    pub tree_reduce_bytes: u64,
+    /// Tree chunk reduction calls.
+    pub tree_reduce_calls: u64,
     /// Point-to-point bytes.
     pub p2p_bytes: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference `self − earlier`: the traffic of whatever
+    /// ran between two [`CommStats::snapshot`] reads. The persistent rank
+    /// engine uses this to report per-job volumes from its long-lived
+    /// world counters.
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            bcast_bytes: self.bcast_bytes - earlier.bcast_bytes,
+            bcast_calls: self.bcast_calls - earlier.bcast_calls,
+            allreduce_bytes: self.allreduce_bytes - earlier.allreduce_bytes,
+            allreduce_calls: self.allreduce_calls - earlier.allreduce_calls,
+            alltoallv_bytes: self.alltoallv_bytes - earlier.alltoallv_bytes,
+            alltoallv_calls: self.alltoallv_calls - earlier.alltoallv_calls,
+            allgatherv_bytes: self.allgatherv_bytes - earlier.allgatherv_bytes,
+            allgatherv_calls: self.allgatherv_calls - earlier.allgatherv_calls,
+            tree_reduce_bytes: self.tree_reduce_bytes - earlier.tree_reduce_bytes,
+            tree_reduce_calls: self.tree_reduce_calls - earlier.tree_reduce_calls,
+            p2p_bytes: self.p2p_bytes - earlier.p2p_bytes,
+        }
+    }
 }
 
 impl CommStats {
@@ -66,6 +96,8 @@ impl CommStats {
             alltoallv_calls: self.alltoallv_calls.load(Ordering::Relaxed),
             allgatherv_bytes: self.allgatherv_bytes.load(Ordering::Relaxed),
             allgatherv_calls: self.allgatherv_calls.load(Ordering::Relaxed),
+            tree_reduce_bytes: self.tree_reduce_bytes.load(Ordering::Relaxed),
+            tree_reduce_calls: self.tree_reduce_calls.load(Ordering::Relaxed),
             p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
         }
     }

@@ -35,7 +35,10 @@ pub use ops::{
     chunk_count, chunk_range, parallel_chunks_mut, parallel_for, parallel_for_chunks, parallel_map,
     parallel_reduce, tree_combine,
 };
-pub use pool::{current_num_threads, env_threads, global, with_current, ThreadPool};
+pub use pool::{
+    current_num_threads, env_threads, global, pools_built, with_current, worker_threads_spawned,
+    ThreadPool,
+};
 
 use std::sync::Arc;
 

@@ -21,6 +21,23 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
+/// Process-wide pool construction counters: spawn-once acceptance tests
+/// take deltas around a multi-step run to prove the rank-pinned pools are
+/// built exactly once, not once per H application.
+static POOLS_BUILT: AtomicUsize = AtomicUsize::new(0);
+static WORKER_THREADS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// Total [`ThreadPool`]s ever constructed by this process (monotone).
+pub fn pools_built() -> usize {
+    POOLS_BUILT.load(Ordering::Relaxed)
+}
+
+/// Total pool worker threads ever spawned by this process (monotone; a
+/// `threads`-wide pool spawns `threads − 1` workers).
+pub fn worker_threads_spawned() -> usize {
+    WORKER_THREADS_SPAWNED.load(Ordering::Relaxed)
+}
+
 thread_local! {
     /// True on pool workers and on a submitter while it executes claimed
     /// tasks: parallel regions entered under this flag run inline.
@@ -104,6 +121,8 @@ impl ThreadPool {
     /// everything inline and spawns nothing.
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
+        POOLS_BUILT.fetch_add(1, Ordering::Relaxed);
+        WORKER_THREADS_SPAWNED.fetch_add(threads - 1, Ordering::Relaxed);
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),

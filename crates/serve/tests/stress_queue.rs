@@ -1,0 +1,142 @@
+//! Queue stress: hundreds of tiny jobs with mixed 1 × 1 and 2 × 2
+//! layouts pushed through the core-packing scheduler at once. The pins:
+//! the core budget is never oversubscribed at any observable instant,
+//! every job reaches `done` with all its steps, and the queue fully
+//! drains — no job is stranded behind the backfill window.
+
+use pt_par::RankLayout;
+use pt_serve::{start, Client, JobSpec, JobState, ServerConfig, SystemSpec};
+use pt_xc::XcKind;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(600);
+/// The full "hundreds of jobs" drain is sized for an optimized build
+/// (CI runs this test `--release`); without `--release` each job's SCF
+/// is ~25× slower, so the debug drain keeps the same mixed-layout shape
+/// and every assertion at a count that still overflows the backfill
+/// window many times over without blowing the deadline.
+const JOBS: usize = if cfg!(debug_assertions) { 24 } else { 200 };
+const BUDGET: usize = 4;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pt_serve_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// The smallest runnable job: 1 Lda step at a floor-level cutoff (the
+/// per-job cost is all ground-state SCF, and it scales steeply with
+/// `ecut` — 1.0 keeps a 200-job drain inside the deadline even on a
+/// 1-core host), no laser. Every fifth job is a 4-core 2 × 2 (it must
+/// run alone under budget 4), the rest are 1-core singles the packer
+/// can run four abreast.
+fn tiny_spec(i: usize) -> JobSpec {
+    let layout = if i.is_multiple_of(5) {
+        RankLayout::new(2, 2)
+    } else {
+        RankLayout::new(1, 1)
+    };
+    JobSpec {
+        name: format!("tiny-{i:03}"),
+        system: SystemSpec {
+            supercell: [1, 1, 1],
+            ecut: 1.0,
+            xc: XcKind::Lda,
+            hybrid: false,
+            bands: None,
+        },
+        laser: None,
+        dt_as: 25.0,
+        steps: 1,
+        checkpoint_every: 1,
+        layout,
+    }
+}
+
+#[test]
+fn hundreds_of_tiny_mixed_jobs_drain_without_oversubscription() {
+    let dir = tmp_dir("stress");
+    let handle = start(ServerConfig::new(&dir, BUDGET)).unwrap();
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    let ids: Vec<u64> = (0..JOBS)
+        .map(|i| client.submit(&tiny_spec(i)).unwrap())
+        .collect();
+    assert_eq!(ids.len(), JOBS);
+
+    // poll the whole drain: at every observed instant the active jobs'
+    // cores fit the budget (the scheduler also asserts this internally)
+    let mut poll = Client::connect(&addr).unwrap();
+    let deadline = Instant::now() + WAIT;
+    let mut peak = 0usize;
+    loop {
+        let rows = poll.status().unwrap();
+        let active: usize = rows
+            .iter()
+            .filter(|r| r.state.is_active())
+            .map(|r| r.cores)
+            .sum();
+        assert!(
+            active <= BUDGET,
+            "scheduler oversubscribed: {active} active cores > budget {BUDGET}"
+        );
+        peak = peak.max(active);
+        if rows.len() == JOBS && rows.iter().all(|r| r.state.is_terminal()) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "queue did not drain: {} of {JOBS} jobs terminal",
+            rows.iter().filter(|r| r.state.is_terminal()).count()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(peak > 0, "poller never observed a running job");
+
+    // every job — both layouts — finished clean with all its steps
+    let rows = client.status().unwrap();
+    assert_eq!(rows.len(), JOBS, "status lost jobs");
+    for r in &rows {
+        assert_eq!(
+            r.state,
+            JobState::Done,
+            "job {} ({}) ended {:?}: {:?}",
+            r.id,
+            r.name,
+            r.state,
+            r.error
+        );
+        assert_eq!(r.steps_done, 1, "job {} ran a partial step count", r.id);
+    }
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn runtime_failure_is_a_typed_failed_row_and_frees_its_cores() {
+    let dir = tmp_dir("failrow");
+    let handle = start(ServerConfig::new(&dir, 2)).unwrap();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+
+    // passes submit-time validation but fails when the runner builds the
+    // system: far more bands than plane waves exist at this cutoff
+    let mut doomed = tiny_spec(1);
+    doomed.name = "doomed".into();
+    doomed.system.bands = Some(1000);
+    let bad = client.submit(&doomed).unwrap();
+    let good = client.submit(&tiny_spec(2)).unwrap();
+
+    let row = client.wait_terminal(bad, WAIT).unwrap();
+    assert_eq!(row.state, JobState::Failed, "expected a typed failure");
+    let err = row.error.expect("failed row carries its error message");
+    assert!(err.contains("exceed"), "unexpected failure text: {err}");
+
+    // the failure freed its cores — the queue keeps draining
+    let row = client.wait_terminal(good, WAIT).unwrap();
+    assert_eq!(row.state, JobState::Done, "{:?}", row.error);
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -12,7 +12,7 @@ use pwdft_rt::ham::{
     distributed_fock_apply, distributed_residual, BandDistribution, PwGrids, ScreenedKernel,
 };
 use pwdft_rt::linalg::CMat;
-use pwdft_rt::mpi::run_ranks_pinned;
+use pwdft_rt::mpi::{run_ranks_pinned, RankEngine};
 use pwdft_rt::prelude::*;
 
 /// Ground state + 3 PT-CN steps of laser-driven hybrid (HSE06) silicon on
@@ -151,12 +151,13 @@ fn assert_cmat_bits_eq(name: &str, a: &CMat, b: &CMat) {
     }
 }
 
-/// The ranks × threads grid: both the distributed Fock application
-/// (Alg. 2) and the distributed residual (Alg. 3) must produce the *same
-/// bits* on every layout in {1,2,3} ranks × {1,4} threads-per-rank. The
-/// residual's overlap sums are re-associated over the fixed
-/// `OVERLAP_CHUNK_ROWS` grid (one owner per chunk on any rank count, combine
-/// in chunk order), which is what closed the old ~1e-12 cross-rank gap.
+/// The ranks × threads grid, driven through the persistent
+/// [`RankEngine`]: both the distributed Fock application (Alg. 2) and the
+/// distributed residual (Alg. 3) must produce the *same bits* on every
+/// layout in {1,2,3} ranks × {1,4} threads-per-rank. The residual's
+/// overlap sums are re-associated over the fixed `OVERLAP_CHUNK_ROWS`
+/// grid (one owner per chunk on any rank count, combine in chunk order),
+/// which is what closed the old ~1e-12 cross-rank gap.
 #[test]
 fn distributed_fock_and_residual_over_the_ranks_threads_grid() {
     let sys_grids = PwGrids::new(&silicon_cubic_supercell(1, 1, 1), 2.0);
@@ -176,8 +177,9 @@ fn distributed_fock_and_residual_over_the_ranks_threads_grid() {
         };
         let (g, k) = (&sys_grids, &kernel);
         let (p_, ps_, h_, f_) = (&phi, &psi, &hpsi, &half);
-        let (blocks, _) = run_ranks_pinned(RankLayout::new(ranks, threads), Wire::F64, {
-            move |comm| {
+        let mut engine = RankEngine::new(RankLayout::new(ranks, threads), Wire::F64);
+        let (blocks, _) = engine
+            .run(move |comm| {
                 let rank = comm.rank();
                 let fock = distributed_fock_apply(
                     comm,
@@ -198,8 +200,8 @@ fn distributed_fock_and_residual_over_the_ranks_threads_grid() {
                     dt,
                 );
                 (fock, resid)
-            }
-        });
+            })
+            .expect("healthy engine");
         let focks: Vec<CMat> = blocks.iter().map(|(f, _)| f.clone()).collect();
         let resids: Vec<CMat> = blocks.iter().map(|(_, r)| r.clone()).collect();
         (
@@ -221,6 +223,67 @@ fn distributed_fock_and_residual_over_the_ranks_threads_grid() {
             // Alg. 2 and Alg. 3: bit-identical across the whole grid
             assert_cmat_bits_eq(&format!("fock {ranks}x{threads}"), &fock_ref, &fock);
             assert_cmat_bits_eq(&format!("residual {ranks}x{threads}"), &resid_ref, &resid);
+        }
+    }
+}
+
+/// Engine reuse is invisible in the numbers: submitting a sequence of
+/// "steps" (Alg. 2 + Alg. 3 with step-dependent inputs) to ONE parked
+/// rank team produces exactly the bits of spawning a fresh team per step
+/// (`run_ranks_pinned`). This is what lets the distributed propagator
+/// keep its team alive for a whole `Simulation::run` without any
+/// determinism cost.
+#[test]
+fn engine_reuse_across_steps_matches_spawn_per_step_bits() {
+    let sys_grids = PwGrids::new(&silicon_cubic_supercell(1, 1, 1), 2.0);
+    let ng = sys_grids.ng();
+    let nb = 5;
+    let kernel = ScreenedKernel::new(&sys_grids, 0.11);
+    let dt = 0.7;
+    let dist = BandDistribution {
+        n_bands: nb,
+        n_ranks: 2,
+    };
+    let layout = RankLayout::new(2, 2);
+    let mut engine = RankEngine::new(layout, Wire::F64);
+
+    for step in 0..4u64 {
+        // fresh step-dependent inputs, as a propagation would produce
+        let phi = CMat::rand_normalized(ng, nb, 100 + step);
+        let psi = CMat::rand_normalized(ng, nb, 200 + step);
+        let hpsi = CMat::rand_normalized(ng, nb, 300 + step);
+        let half = CMat::rand_normalized(ng, nb, 400 + step);
+        let job = {
+            let (g, k) = (&sys_grids, &kernel);
+            let (p_, ps_, h_, f_) = (&phi, &psi, &hpsi, &half);
+            move |comm: &mut pwdft_rt::mpi::Comm| {
+                let rank = comm.rank();
+                let fock = distributed_fock_apply(
+                    comm,
+                    g,
+                    dist,
+                    &dist.take_local(rank, p_),
+                    &dist.take_local(rank, ps_),
+                    0.25,
+                    k,
+                );
+                let resid = distributed_residual(
+                    comm,
+                    dist,
+                    ng,
+                    &dist.take_local(rank, p_),
+                    &dist.take_local(rank, h_),
+                    &dist.take_local(rank, f_),
+                    dt,
+                );
+                (fock, resid)
+            }
+        };
+        let (reused, _) = engine.run(job).expect("healthy engine");
+        let (fresh, _) = run_ranks_pinned(layout, Wire::F64, job);
+        for (r, (a, b)) in reused.iter().zip(&fresh).enumerate() {
+            assert_cmat_bits_eq(&format!("step {step} rank {r} fock"), &a.0, &b.0);
+            assert_cmat_bits_eq(&format!("step {step} rank {r} residual"), &a.1, &b.1);
         }
     }
 }
