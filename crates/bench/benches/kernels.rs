@@ -132,7 +132,7 @@ fn bench_ace(c: &mut Criterion) {
     g.bench_function("construct", |b| {
         b.iter(|| pt_ham::AceOperator::new(&grids, black_box(&fock), &phi))
     });
-    let ace = pt_ham::AceOperator::new(&grids, &fock, &phi);
+    let ace = pt_ham::AceOperator::new(&grids, &fock, &phi).expect("well-conditioned Φ");
     g.bench_function("apply_compressed", |b| {
         b.iter(|| {
             let mut out = CMat::zeros(grids.ng(), nb);

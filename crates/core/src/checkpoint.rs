@@ -18,9 +18,9 @@
 
 use crate::anderson_c::AndersonState;
 use crate::laser::LaserPulse;
-use crate::propagator::{PropagatorState, PtCnOptions, Rk4Options, StepStats};
+use crate::propagator::{AceCapture, PropagatorState, PtCnOptions, Rk4Options, StepStats};
 use crate::simulation::TimeSeries;
-use pt_ham::{DistributedConfig, PtError, SystemSignature};
+use pt_ham::{DistributedConfig, ExchangeMode, PtError, SystemSignature};
 use pt_io::{SnapshotFile, SnapshotWriter};
 use pt_linalg::CMat;
 use pt_mpi::Wire;
@@ -301,16 +301,50 @@ fn write_propagator(
             w.put_cmat("prop/anderson/xs", &flatten(&a.xs), wire)?;
             w.put_cmat("prop/anderson/fs", &flatten(&a.fs), wire)
         };
+    // The ACE projector ξ is snapshotted **verbatim** (never rebuilt from
+    // the restored Ψ): a resume mid-refresh-window must keep propagating
+    // under the exact frozen projector the killed run was using, or the
+    // resumed trajectory would silently diverge bit-wise from the
+    // uninterrupted one.
+    let write_exchange = |w: &mut SnapshotWriter,
+                          exchange: &Option<ExchangeMode>,
+                          ace: &Option<AceCapture>|
+     -> Result<(), PtError> {
+        if let Some(mode) = exchange {
+            let coded: [u64; 3] = match *mode {
+                ExchangeMode::Full => [0, 0, 0],
+                ExchangeMode::Ace { refresh_interval } => [1, refresh_interval as u64, 0],
+                ExchangeMode::AceMts {
+                    refresh_interval,
+                    inner_substeps,
+                } => [2, refresh_interval as u64, inner_substeps as u64],
+            };
+            w.put_u64s("prop/exch", &coded)?;
+        }
+        if let Some(a) = ace {
+            w.put_u64s("prop/ace", &[a.steps_since_refresh as u64])?;
+            w.put_cmat("prop/ace_xi", &a.xi, wire)?;
+        }
+        Ok(())
+    };
     match state {
-        PropagatorState::PtCn { opts, anderson } => {
+        PropagatorState::PtCn {
+            opts,
+            anderson,
+            exchange,
+            ace,
+        } => {
             w.put_str("prop/name", "pt-cn")?;
             write_ptcn(w, opts)?;
+            write_exchange(w, exchange, ace)?;
             write_anderson(w, anderson)
         }
         PropagatorState::PtCnDistributed {
             opts,
             config,
             anderson,
+            exchange,
+            ace,
         } => {
             w.put_str("prop/name", "pt-cn-dist")?;
             write_ptcn(w, opts)?;
@@ -324,6 +358,7 @@ fn write_propagator(
                     ],
                 )?;
             }
+            write_exchange(w, exchange, ace)?;
             write_anderson(w, anderson)
         }
         PropagatorState::Rk4 { opts } => {
@@ -415,10 +450,43 @@ fn read_propagator(
             fs,
         }))
     };
+    // Sections absent in pre-ACE snapshots; `f.has` gating keeps the old
+    // format readable (absent → mode/projector default to `None`).
+    let read_exchange = || -> Result<Option<ExchangeMode>, PtError> {
+        if !f.has("prop/exch") {
+            return Ok(None);
+        }
+        match f.u64s("prop/exch")?.as_slice() {
+            [0, _, _] => Ok(Some(ExchangeMode::Full)),
+            [1, r, _] => Ok(Some(ExchangeMode::Ace {
+                refresh_interval: *r as usize,
+            })),
+            [2, r, s] => Ok(Some(ExchangeMode::AceMts {
+                refresh_interval: *r as usize,
+                inner_substeps: *s as usize,
+            })),
+            other => Err(schema(format!("'prop/exch' holds {other:?}"))),
+        }
+    };
+    let read_ace = || -> Result<Option<AceCapture>, PtError> {
+        if !f.has("prop/ace") {
+            return Ok(None);
+        }
+        let steps_since_refresh = match f.u64s("prop/ace")?.as_slice() {
+            [s] => *s as usize,
+            other => return Err(schema(format!("'prop/ace' holds {} values", other.len()))),
+        };
+        Ok(Some(AceCapture {
+            xi: f.cmat("prop/ace_xi")?,
+            steps_since_refresh,
+        }))
+    };
     match name.as_str() {
         "pt-cn" => Ok(PropagatorState::PtCn {
             opts: read_ptcn()?,
             anderson: read_anderson()?,
+            exchange: read_exchange()?,
+            ace: read_ace()?,
         }),
         "pt-cn-dist" => {
             let config = if f.has("prop/dist") {
@@ -439,6 +507,8 @@ fn read_propagator(
                 opts: read_ptcn()?,
                 config,
                 anderson: read_anderson()?,
+                exchange: read_exchange()?,
+                ace: read_ace()?,
             })
         }
         "rk4" => {

@@ -35,11 +35,12 @@
 use crate::anderson_c::BandAndersonMixer;
 use crate::laser::LaserPulse;
 use crate::propagator::{
-    ptcn_step_with, Propagator, PropagatorState, PtCnOptions, StepKernels, StepStats, TdState,
+    ace_ptcn_step, ptcn_step_with, resolve_exchange, AceRefreshState, Propagator, PropagatorState,
+    PtCnOptions, StepKernels, StepStats, TdState,
 };
 use pt_ham::{
-    distributed_fock_apply, distributed_residual, BandDistribution, DistributedConfig, KsSystem,
-    PtError,
+    distributed_fock_apply, distributed_residual, AceOperator, BandDistribution, DistributedConfig,
+    ExchangeMode, KsSystem, PtError,
 };
 use pt_linalg::CMat;
 use pt_mpi::{EnginePoisoned, RankEngine};
@@ -63,17 +64,23 @@ pub struct DistributedPtCnPropagator {
     /// freshly constructed (or resumed) propagator costs nothing until
     /// it actually runs.
     pub(crate) engine: Option<RankEngine>,
+    /// Explicit exchange-mode override; `None` (the default) reads
+    /// `KsSystem::exchange_mode` at step time.
+    pub exchange: Option<ExchangeMode>,
+    pub(crate) ace: Option<AceRefreshState>,
 }
 
 impl Clone for DistributedPtCnPropagator {
-    /// Clones configuration and mixer history; the rank engine is
-    /// runtime-only state and is rebuilt lazily by the clone.
+    /// Clones configuration, mixer history, and the ACE refresh state; the
+    /// rank engine is runtime-only state and is rebuilt lazily by the clone.
     fn clone(&self) -> Self {
         DistributedPtCnPropagator {
             opts: self.opts,
             config: self.config,
             mixer: self.mixer.clone(),
             engine: None,
+            exchange: self.exchange,
+            ace: self.ace.clone(),
         }
     }
 }
@@ -87,7 +94,15 @@ impl DistributedPtCnPropagator {
             config: None,
             mixer: None,
             engine: None,
+            exchange: None,
+            ace: None,
         }
+    }
+
+    /// Pin an explicit exchange mode, overriding the system's.
+    pub fn with_exchange(mut self, mode: ExchangeMode) -> Self {
+        self.exchange = Some(mode);
+        self
     }
 
     /// Pin an explicit layout, ignoring the system's.
@@ -108,6 +123,7 @@ impl std::fmt::Debug for DistributedPtCnPropagator {
         f.debug_struct("DistributedPtCnPropagator")
             .field("opts", &self.opts)
             .field("config", &self.config)
+            .field("exchange", &self.exchange)
             .field(
                 "anderson_history_len",
                 &self.mixer.as_ref().map(BandAndersonMixer::history_len),
@@ -150,9 +166,16 @@ fn acquire_engine(
 }
 
 /// One distributed `H[ρ(Ψ), Ψ] Ψ` application: local parts rank-parallel
-/// by band, Fock exchange via the Alg. 2 broadcast loop, results gathered
-/// back into the full band-major block. Runs as one job on the parked
-/// rank team — no threads are spawned here.
+/// by band, exchange either via the Alg. 2 broadcast loop or — with a
+/// frozen ACE projector — via the rank-local `−ξ(ξ^H ψ)` projector apply.
+/// Results gather back into the full band-major block. Runs as one job on
+/// the parked rank team — no threads are spawned here.
+///
+/// In the ACE branch ξ lives on the driver and reaches every rank by
+/// shared-memory reference: the wire carries **no pair FFTs and no
+/// broadcast bands at all**, and because the projector apply is
+/// self-contained per band, the output bits match the serial ACE apply
+/// for every layout.
 pub(crate) fn distributed_apply_h(
     engine: &mut RankEngine,
     sys: &KsSystem,
@@ -160,10 +183,11 @@ pub(crate) fn distributed_apply_h(
     rho: &[f64],
     psi: &CMat,
     a: [f64; 3],
+    ace: Option<&AceOperator>,
 ) -> Result<CMat, PtError> {
-    let kernel = match &sys.hybrid {
-        Some(_) => Some(sys.exchange_kernel()?),
-        None => None,
+    let kernel = match (&sys.hybrid, ace) {
+        (Some(_), None) => Some(sys.exchange_kernel()?),
+        _ => None,
     };
     // the Fock-free Hamiltonian every rank applies to its own bands; the
     // exchange part is handled by the distributed broadcast loop instead
@@ -181,7 +205,10 @@ pub(crate) fn distributed_apply_h(
             let psi_local = dist.take_local(comm.rank(), psi);
             let mut out = CMat::zeros(ng, psi_local.ncols());
             h_ref.apply_block(&psi_local, &mut out);
-            if let (Some(alpha), Some(kernel)) = (alpha, kernel) {
+            if let Some(op) = ace {
+                // frozen compressed exchange on the rank's own bands
+                op.apply_block(&psi_local, &mut out);
+            } else if let (Some(alpha), Some(kernel)) = (alpha, kernel) {
                 // parallel-transport gauge: Φ = Ψ defines the exchange
                 let vx = distributed_fock_apply(
                     comm, grids, dist, &psi_local, &psi_local, alpha, kernel,
@@ -203,6 +230,43 @@ pub(crate) fn distributed_apply_h(
     Ok(hpsi)
 }
 
+/// Distributed ACE build: the rank team computes `W = V_X Φ` with the
+/// Alg. 2 broadcast loop (the one place pair FFTs still run under ACE —
+/// once per refresh instead of once per fixed-point iteration), the
+/// driver gathers W band-by-band and does the small `−Φ^H W` Cholesky +
+/// TRSM factorization. The gather is in ascending band order and the
+/// factorization is layout-independent, so ξ is bit-identical across
+/// layouts whenever W is — which `distributed_fock_apply` guarantees.
+pub(crate) fn distributed_build_ace(
+    engine: &mut RankEngine,
+    sys: &KsSystem,
+    cfg: DistributedConfig,
+    phi: &CMat,
+) -> Result<AceOperator, PtError> {
+    let hy = sys.hybrid.ok_or(PtError::MissingExchangeOrbitals)?;
+    let kernel = sys.exchange_kernel()?;
+    let ng = sys.grids.ng();
+    let dist = BandDistribution {
+        n_bands: phi.ncols(),
+        n_ranks: cfg.ranks,
+    };
+    let grids = &sys.grids;
+    let alpha = hy.alpha;
+    let (blocks, _stats) = engine
+        .run(move |comm| {
+            let phi_local = dist.take_local(comm.rank(), phi);
+            distributed_fock_apply(comm, grids, dist, &phi_local, &phi_local, alpha, kernel)
+        })
+        .map_err(engine_down)?;
+    let mut w = CMat::zeros(ng, phi.ncols());
+    for (r, block) in blocks.iter().enumerate() {
+        for (lj, &b) in dist.local_bands(r).iter().enumerate() {
+            w.col_mut(b).copy_from_slice(block.col(lj));
+        }
+    }
+    AceOperator::from_w(phi, w)
+}
+
 /// The engine-backed execution strategy handed to [`ptcn_step_with`]:
 /// `HΨ` and the fixed-point residual both run as jobs on the same
 /// parked rank team.
@@ -218,8 +282,13 @@ impl StepKernels for EngineKernels<'_> {
         rho: &[f64],
         psi: &CMat,
         a: [f64; 3],
+        ace: Option<&AceOperator>,
     ) -> Result<CMat, PtError> {
-        distributed_apply_h(self.engine, sys, self.cfg, rho, psi, a)
+        distributed_apply_h(self.engine, sys, self.cfg, rho, psi, a, ace)
+    }
+
+    fn build_ace(&mut self, sys: &KsSystem, phi: &CMat) -> Result<AceOperator, PtError> {
+        distributed_build_ace(self.engine, sys, self.cfg, phi)
     }
 
     /// G-space-parallel residual (Alg. 3): each rank evaluates its sphere
@@ -278,17 +347,36 @@ impl Propagator for DistributedPtCnPropagator {
         dt: f64,
     ) -> Result<StepStats, PtError> {
         let cfg = self.resolve_config(sys)?;
+        let mode = resolve_exchange(self.exchange, sys)?;
         let engine = acquire_engine(&mut self.engine, cfg)?;
         let mut kernels = EngineKernels { engine, cfg };
-        ptcn_step_with(
-            &self.opts,
-            sys,
-            laser,
-            state,
-            dt,
-            &mut self.mixer,
-            &mut kernels,
-        )
+        match mode {
+            ExchangeMode::Full => ptcn_step_with(
+                &self.opts,
+                sys,
+                laser,
+                state,
+                dt,
+                &mut self.mixer,
+                &mut kernels,
+                None,
+                None,
+                None,
+                None,
+            ),
+            mode => ace_ptcn_step(
+                &self.opts,
+                sys,
+                laser,
+                state,
+                dt,
+                mode.refresh_interval().expect("ACE mode has an interval"),
+                mode.inner_substeps(),
+                &mut self.mixer,
+                &mut self.ace,
+                &mut kernels,
+            ),
+        }
     }
 
     fn capture(&self) -> PropagatorState {
@@ -296,6 +384,8 @@ impl Propagator for DistributedPtCnPropagator {
             opts: self.opts,
             config: self.config,
             anderson: self.mixer.as_ref().map(BandAndersonMixer::state),
+            exchange: self.exchange,
+            ace: self.ace.as_ref().map(AceRefreshState::capture),
         }
     }
 }
@@ -336,7 +426,7 @@ mod tests {
         for ranks in [1usize, 2, 3] {
             let cfg = DistributedConfig::new(ranks, 1);
             let mut eng = engine_for(cfg);
-            let got = distributed_apply_h(&mut eng, &sys, cfg, &rho, &psi, [0.0; 3]).unwrap();
+            let got = distributed_apply_h(&mut eng, &sys, cfg, &rho, &psi, [0.0; 3], None).unwrap();
             let err = want.max_diff(&got);
             assert!(err < 1e-10, "ranks={ranks}: {err}");
         }
@@ -348,15 +438,24 @@ mod tests {
         let psi = CMat::rand_normalized(sys.grids.ng(), sys.n_bands(), 29);
         let rho = sys.density(&psi);
         let base = DistributedConfig::new(1, 1);
-        let reference =
-            distributed_apply_h(&mut engine_for(base), &sys, base, &rho, &psi, [0.0; 3]).unwrap();
+        let reference = distributed_apply_h(
+            &mut engine_for(base),
+            &sys,
+            base,
+            &rho,
+            &psi,
+            [0.0; 3],
+            None,
+        )
+        .unwrap();
         for (ranks, threads) in [(2, 1), (2, 2), (3, 2), (1, 4)] {
             let cfg = DistributedConfig::new(ranks, threads);
             let mut eng = engine_for(cfg);
             // two applications on the same engine: the parked team is
             // reused and the second call's bits must not drift
-            let got = distributed_apply_h(&mut eng, &sys, cfg, &rho, &psi, [0.0; 3]).unwrap();
-            let again = distributed_apply_h(&mut eng, &sys, cfg, &rho, &psi, [0.0; 3]).unwrap();
+            let got = distributed_apply_h(&mut eng, &sys, cfg, &rho, &psi, [0.0; 3], None).unwrap();
+            let again =
+                distributed_apply_h(&mut eng, &sys, cfg, &rho, &psi, [0.0; 3], None).unwrap();
             for ((x, y), z) in reference.data().iter().zip(got.data()).zip(again.data()) {
                 assert!(
                     x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
@@ -367,6 +466,72 @@ mod tests {
                     "{ranks}x{threads} reuse: {y:?} vs {z:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn distributed_ace_build_and_apply_are_layout_invariant_bits() {
+        // ξ built via the Alg. 2 broadcast loop must be bit-identical for
+        // every layout (distributed_fock_apply is layout-invariant and the
+        // driver-side Cholesky/trsm never sees the layout), and the ACE
+        // H-apply with that ξ must match the serial kernel's bits exactly.
+        let sys = hybrid_sys(None);
+        let psi = CMat::rand_normalized(sys.grids.ng(), sys.n_bands(), 53);
+        let rho = sys.density(&psi);
+        let base = DistributedConfig::new(1, 1);
+        let xi_ref = distributed_build_ace(&mut engine_for(base), &sys, base, &psi)
+            .unwrap()
+            .xi()
+            .clone();
+        let serial_ace = AceOperator::from_xi(xi_ref.clone());
+        let want = crate::propagator::serial_apply_h(&sys, &rho, &psi, [0.0; 3], Some(&serial_ace))
+            .unwrap();
+        for (ranks, threads) in [(2usize, 1usize), (3, 2), (1, 4)] {
+            let cfg = DistributedConfig::new(ranks, threads);
+            let mut eng = engine_for(cfg);
+            let ace = distributed_build_ace(&mut eng, &sys, cfg, &psi).unwrap();
+            assert_eq!(
+                ace.xi().max_diff(&xi_ref),
+                0.0,
+                "{ranks}x{threads}: distributed ξ must be layout-invariant"
+            );
+            let got =
+                distributed_apply_h(&mut eng, &sys, cfg, &rho, &psi, [0.0; 3], Some(&ace)).unwrap();
+            for (x, y) in want.data().iter().zip(got.data()) {
+                assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "{ranks}x{threads}: ACE apply {x:?} vs serial {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_ace_step_advances_and_captures_the_projector() {
+        let sys = hybrid_sys(Some(DistributedConfig::new(2, 1)));
+        let gs = pt_scf::scf_loop(&sys, pt_scf::ScfOptions::default()).unwrap();
+        let mut prop = DistributedPtCnPropagator::default().with_exchange(ExchangeMode::Ace {
+            refresh_interval: 2,
+        });
+        let mut state = TdState::new(gs.orbitals.clone());
+        let dt = pt_num::units::attosecond_to_au(25.0);
+        let s1 = prop.step(&sys, None, &mut state, dt).unwrap();
+        assert!(s1.converged);
+        let s2 = prop.step(&sys, None, &mut state, dt).unwrap();
+        assert!(s2.converged);
+        match prop.capture() {
+            PropagatorState::PtCnDistributed { exchange, ace, .. } => {
+                assert_eq!(
+                    exchange,
+                    Some(ExchangeMode::Ace {
+                        refresh_interval: 2
+                    })
+                );
+                let cap = ace.expect("two ACE steps must leave a captured projector");
+                assert_eq!(cap.steps_since_refresh, 2, "interval-2 window exhausted");
+                assert_eq!(cap.xi.nrows(), sys.grids.ng());
+            }
+            other => panic!("expected PtCnDistributed, got {other:?}"),
         }
     }
 

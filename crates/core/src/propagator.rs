@@ -9,7 +9,10 @@
 
 use crate::anderson_c::{AndersonState, BandAndersonMixer};
 use crate::laser::LaserPulse;
-use pt_ham::{density_residual, DistributedConfig, KsSystem, PtError};
+use pt_ham::{
+    density_residual, AceOperator, DistributedConfig, ExchangeMode, FockMode, FockOperator,
+    KsSystem, PtError,
+};
 use pt_linalg::{gemm, orthonormalize_columns, CMat, Op};
 use pt_num::c64;
 use std::fmt;
@@ -90,6 +93,14 @@ pub enum PropagatorState {
         /// Anderson history at the capture point (the last step's fixed
         /// point; PT-CN resets it at the start of each step).
         anderson: Option<AndersonState>,
+        /// Explicit exchange-mode override (`None` reads
+        /// `KsSystem::exchange_mode`).
+        exchange: Option<ExchangeMode>,
+        /// Live ACE projector + refresh position (ACE modes only) — the
+        /// exact ξ that was applied at capture, so a resume landing
+        /// mid-refresh-window reuses it instead of rebuilding from the
+        /// (by now different) restored Ψ.
+        ace: Option<AceCapture>,
     },
     /// Distributed PT-CN (`pt-cn-dist`).
     PtCnDistributed {
@@ -99,6 +110,11 @@ pub enum PropagatorState {
         config: Option<DistributedConfig>,
         /// Anderson history at the capture point.
         anderson: Option<AndersonState>,
+        /// Explicit exchange-mode override (`None` reads
+        /// `KsSystem::exchange_mode`).
+        exchange: Option<ExchangeMode>,
+        /// Live ACE projector + refresh position (ACE modes only).
+        ace: Option<AceCapture>,
     },
     /// RK4 baseline.
     Rk4 {
@@ -113,20 +129,44 @@ pub enum PropagatorState {
     },
 }
 
+/// The serialized form of a live ACE projector: the columns ξ plus the
+/// position inside the current refresh window. Recorded verbatim in run
+/// snapshots so that kill/resume inside a window (`ace_refresh_interval
+/// > 1`) continues with the identical operator, bit for bit.
+#[derive(Clone, Debug)]
+pub struct AceCapture {
+    /// Projector columns ξ (N_G × N_φ).
+    pub xi: CMat,
+    /// Outer steps completed since ξ was last rebuilt.
+    pub steps_since_refresh: usize,
+}
+
 /// Rebuild a boxed [`Propagator`] from a captured [`PropagatorState`].
 /// [`PropagatorState::Opaque`] is a typed error: the snapshot records that
 /// the original run used a propagator this crate cannot reconstruct, so
 /// the caller must supply one (`Simulation::resume_with`).
 pub fn propagator_from_state(state: PropagatorState) -> Result<Box<dyn Propagator>, PtError> {
     match state {
-        PropagatorState::PtCn { opts, anderson } => {
+        PropagatorState::PtCn {
+            opts,
+            anderson,
+            exchange,
+            ace,
+        } => {
             let mixer = anderson.map(BandAndersonMixer::from_state).transpose()?;
-            Ok(Box::new(PtCnPropagator { opts, mixer }))
+            Ok(Box::new(PtCnPropagator {
+                opts,
+                mixer,
+                exchange,
+                ace: ace.map(AceRefreshState::from_capture),
+            }))
         }
         PropagatorState::PtCnDistributed {
             opts,
             config,
             anderson,
+            exchange,
+            ace,
         } => {
             let mixer = anderson.map(BandAndersonMixer::from_state).transpose()?;
             // the rank engine is runtime-only state: rebuilt lazily on the
@@ -136,6 +176,8 @@ pub fn propagator_from_state(state: PropagatorState) -> Result<Box<dyn Propagato
                 config,
                 mixer,
                 engine: None,
+                exchange,
+                ace: ace.map(AceRefreshState::from_capture),
             }))
         }
         PropagatorState::Rk4 { opts } => Ok(Box::new(Rk4Propagator { opts })),
@@ -225,12 +267,31 @@ pub struct PtCnPropagator {
     /// Options.
     pub opts: PtCnOptions,
     pub(crate) mixer: Option<BandAndersonMixer>,
+    /// Explicit exchange-mode override; `None` (the default) reads
+    /// `KsSystem::exchange_mode` at step time.
+    pub exchange: Option<ExchangeMode>,
+    pub(crate) ace: Option<AceRefreshState>,
 }
 
 impl PtCnPropagator {
     /// Propagator with the given options.
     pub fn new(opts: PtCnOptions) -> Self {
-        PtCnPropagator { opts, mixer: None }
+        PtCnPropagator {
+            opts,
+            mixer: None,
+            exchange: None,
+            ace: None,
+        }
+    }
+
+    /// Propagator with an explicit exchange mode overriding the system's.
+    pub fn with_exchange(opts: PtCnOptions, mode: ExchangeMode) -> Self {
+        PtCnPropagator {
+            opts,
+            mixer: None,
+            exchange: Some(mode),
+            ace: None,
+        }
     }
 }
 
@@ -238,6 +299,7 @@ impl fmt::Debug for PtCnPropagator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PtCnPropagator")
             .field("opts", &self.opts)
+            .field("exchange", &self.exchange)
             .field(
                 "anderson_history_len",
                 &self.mixer.as_ref().map(BandAndersonMixer::history_len),
@@ -282,14 +344,26 @@ fn reorthonormalize(psi: &mut CMat) {
 /// persistent rank engine (a single strategy object, because both
 /// methods borrow the same engine mutably).
 pub(crate) trait StepKernels {
-    /// One full `H[ρ(Ψ), Ψ] Ψ` application.
+    /// One full `H Ψ` application. With `ace: None` the exchange part (if
+    /// hybrid) is the exact pair-FFT Fock loop over `Φ = Ψ` (the PT
+    /// gauge); with `Some(op)` the frozen rank-N_φ ACE projector stands in
+    /// for it and no pair FFTs run at all.
     fn apply_h(
         &mut self,
         sys: &KsSystem,
         rho: &[f64],
         psi: &CMat,
         a: [f64; 3],
+        ace: Option<&AceOperator>,
     ) -> Result<CMat, PtError>;
+
+    /// Build the ACE projector `ξ = W L^{-H}` from `phi` (one full
+    /// exchange application over the block). The default is the serial
+    /// in-process build; the distributed kernels compute W with the
+    /// Alg. 2 broadcast loop over the rank team instead.
+    fn build_ace(&mut self, sys: &KsSystem, phi: &CMat) -> Result<AceOperator, PtError> {
+        serial_build_ace(sys, phi)
+    }
 
     /// The fixed-point residual
     /// `R_f = Ψ_f + i·dt/2·(H_f Ψ_f − Ψ_f (Ψ_f* H_f Ψ_f)) − Ψ_{n+1/2}`.
@@ -323,6 +397,23 @@ pub(crate) fn serial_pt_residual(psi_f: &CMat, hpsi_f: &CMat, psi_half: &CMat, d
 /// Everything outside the kernels (density, Anderson mixing,
 /// re-orthonormalization) runs replicated on the driver thread, so the
 /// step's output bits depend only on the kernels'.
+///
+/// `ace` stands in for the exchange inside the fixed point; `ace_n`
+/// (defaulting to `ace`) is used for the single t_n residual apply. The
+/// split matters on ACE refresh rounds: the t_n apply sees the projector
+/// built from Ψ_n — where ACE is *exact* — while the fixed point sees the
+/// self-consistently refined one. `warm_start`, when set, seeds the fixed
+/// point at the given block instead of Ψ_{n+1/2}: the converged solution
+/// is unchanged (same equation, same Ψ_{n+1/2} in the residual), but a
+/// seed already near the answer — a previous refresh round's iterate —
+/// converges in a couple of Anderson passes instead of a full solve.
+/// `raw_psi_out`, when set, receives the converged iterate ψ_f *before*
+/// re-orthonormalization: `Full` builds its Fock operator from exactly
+/// that raw block, so an ACE refresh that wants to reproduce the `Full`
+/// fixed point must define ξ from it (the committed, re-orthonormalized
+/// Ψ differs by the O(orthonormality defect) the fixed point accrues,
+/// which would floor the agreement).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn ptcn_step_with(
     opts: &PtCnOptions,
     sys: &KsSystem,
@@ -331,6 +422,10 @@ pub(crate) fn ptcn_step_with(
     dt: f64,
     mixer_slot: &mut Option<BandAndersonMixer>,
     kernels: &mut dyn StepKernels,
+    ace: Option<&AceOperator>,
+    ace_n: Option<&AceOperator>,
+    warm_start: Option<&CMat>,
+    raw_psi_out: Option<&mut CMat>,
 ) -> Result<StepStats, PtError> {
     opts.validate()?;
     let nb = state.psi.ncols();
@@ -338,7 +433,13 @@ pub(crate) fn ptcn_step_with(
 
     // line 1: initial residual R_n at time t_n
     let rho_n = sys.density(&state.psi);
-    let hpsi = kernels.apply_h(sys, &rho_n, &state.psi, a_field(laser, state.t))?;
+    let hpsi = kernels.apply_h(
+        sys,
+        &rho_n,
+        &state.psi,
+        a_field(laser, state.t),
+        ace_n.or(ace),
+    )?;
     stats.h_applications += 1;
     let r_n = pt_rhs(&hpsi, &state.psi);
 
@@ -347,7 +448,10 @@ pub(crate) fn ptcn_step_with(
     for (o, r) in psi_half.data_mut().iter_mut().zip(r_n.data()) {
         *o -= r.mul_i().scale(0.5 * dt);
     }
-    let mut psi_f = psi_half.clone();
+    let mut psi_f = match warm_start {
+        Some(w) if w.nrows() == psi_half.nrows() && w.ncols() == psi_half.ncols() => w.clone(),
+        _ => psi_half.clone(),
+    };
 
     // lines 3-10: fixed point via Anderson mixing. The mixer persists on
     // the propagator (its history is capturable state for checkpoints) but
@@ -366,7 +470,7 @@ pub(crate) fn ptcn_step_with(
     let t_next = state.t + dt;
     for _ in 0..opts.max_scf {
         stats.scf_iterations += 1;
-        let hpsi_f = kernels.apply_h(sys, &rho_f, &psi_f, a_field(laser, t_next))?;
+        let hpsi_f = kernels.apply_h(sys, &rho_f, &psi_f, a_field(laser, t_next), ace)?;
         stats.h_applications += 1;
         // R_f = Ψ_f + i dt/2 (H_f Ψ_f − Ψ_f (Ψ_f* H_f Ψ_f)) − Ψ_{n+1/2}
         let mut resid = kernels.residual(&psi_f, &hpsi_f, &psi_half, dt)?;
@@ -392,6 +496,10 @@ pub(crate) fn ptcn_step_with(
         });
     }
 
+    if let Some(out) = raw_psi_out {
+        *out = psi_f.clone();
+    }
+
     // line 11: re-orthogonalize (Cholesky + TRSM, §3.4)
     reorthonormalize(&mut psi_f);
 
@@ -401,13 +509,23 @@ pub(crate) fn ptcn_step_with(
 }
 
 /// The in-process `HΨ` strategy: build the full Hamiltonian (serial/
-/// threaded Fock included) and apply it block-wise.
+/// threaded Fock included) and apply it block-wise. With a frozen ACE
+/// projector the Fock-free Hamiltonian applies and the rank-N_φ projector
+/// supplies the exchange — two skinny GEMM-shaped passes, zero pair FFTs.
 pub(crate) fn serial_apply_h(
     sys: &KsSystem,
     rho: &[f64],
     psi: &CMat,
     a: [f64; 3],
+    ace: Option<&AceOperator>,
 ) -> Result<CMat, PtError> {
+    if let Some(op) = ace {
+        let h = sys.local_hamiltonian(rho, a)?;
+        let mut hpsi = CMat::zeros(psi.nrows(), psi.ncols());
+        h.apply_block(psi, &mut hpsi);
+        op.apply_block(psi, &mut hpsi);
+        return Ok(hpsi);
+    }
     let phi = if sys.hybrid.is_some() {
         Some(psi)
     } else {
@@ -417,6 +535,234 @@ pub(crate) fn serial_apply_h(
     let mut hpsi = CMat::zeros(psi.nrows(), psi.ncols());
     h.apply_block(psi, &mut hpsi);
     Ok(hpsi)
+}
+
+/// In-process ACE build: one exact exchange application over `phi` (the
+/// α-scaled screened Fock loop, W = V_X Φ), then the small Cholesky/TRSM
+/// factorization on the driver.
+pub(crate) fn serial_build_ace(sys: &KsSystem, phi: &CMat) -> Result<AceOperator, PtError> {
+    let hy = sys.hybrid.ok_or(PtError::MissingExchangeOrbitals)?;
+    let kernel = sys.exchange_kernel()?.clone();
+    let fock = FockOperator::new(&sys.grids, phi, hy.alpha, kernel, FockMode::Batched);
+    AceOperator::new(&sys.grids, &fock, phi)
+}
+
+/// The live ACE projector plus its position in the refresh window, owned
+/// by a PT-CN propagator across steps (captured into [`AceCapture`] for
+/// snapshots, rebuilt lazily after resume or band-count changes).
+#[derive(Clone, Debug)]
+pub(crate) struct AceRefreshState {
+    pub(crate) op: AceOperator,
+    pub(crate) steps_since_refresh: usize,
+}
+
+impl AceRefreshState {
+    pub(crate) fn from_capture(c: AceCapture) -> Self {
+        AceRefreshState {
+            op: AceOperator::from_xi(c.xi),
+            steps_since_refresh: c.steps_since_refresh,
+        }
+    }
+
+    pub(crate) fn capture(&self) -> AceCapture {
+        AceCapture {
+            xi: self.op.xi().clone(),
+            steps_since_refresh: self.steps_since_refresh,
+        }
+    }
+}
+
+/// Resolve the effective exchange mode of a PT-CN step: an explicit
+/// propagator override wins over `KsSystem::exchange_mode`; ACE modes on
+/// a non-hybrid system are a typed error (there is nothing to compress).
+pub(crate) fn resolve_exchange(
+    override_mode: Option<ExchangeMode>,
+    sys: &KsSystem,
+) -> Result<ExchangeMode, PtError> {
+    let mode = override_mode.unwrap_or(sys.exchange_mode);
+    mode.validate()?;
+    if mode != ExchangeMode::Full && sys.hybrid.is_none() {
+        return Err(PtError::InvalidConfig(
+            "ACE exchange modes require a hybrid functional (there is no \
+             exchange operator to compress on a semi-local system)"
+                .into(),
+        ));
+    }
+    Ok(mode)
+}
+
+/// Cap on self-consistent projector rounds per refresh step. The round
+/// map contracts by an O(dt·coupling) factor per pass — measured ≈0.1
+/// per round at dt = 25 as on the Si-8 smoke system, stronger at smaller
+/// dt — so a 1e-6 `rho_tol` is met in 2–4 rounds and even 1e-10 within
+/// ~10; the cap guards pathological dynamics, and overrunning it is
+/// reported like an unconverged fixed point.
+const ACE_MAX_REFRESH_ROUNDS: usize = 12;
+
+/// One outer ACE/MTS step.
+///
+/// **Stale window** (no refresh due): run `inner_substeps` PT-CN substeps
+/// of `dt / inner_substeps` that all apply the cached frozen projector
+/// inside their fixed points. Freezing across the whole fixed point is
+/// the entire win: `Full` rebuilds the pair-FFT Fock operator from the
+/// live ψ_f on every iteration, a stale-window ACE step runs zero pair
+/// FFTs.
+///
+/// **Refresh step** (every `refresh_interval` outer steps): the projector
+/// is rebuilt *self-consistently*. ξ_n from Ψ_n is exact for the t_n
+/// residual (in the PT gauge Ψ_n is the exchange's defining Φ), but a
+/// fixed point solved under it differs from `Full` — which sees
+/// V_X[ψ_f] — by an O(dt) operator discrepancy, i.e. an O(dt²) per-step
+/// trajectory error that no dt practical for hybrid PT-CN pushes below
+/// ~1e-8. So the refresh iterates: solve the step under the current ξ_f,
+/// rebuild ξ_f from the converged orbitals, re-solve, until the density
+/// drift between rounds falls below `rho_tol`. ACE is exact on its
+/// defining block, so the round fixed point *is* the `Full` fixed point;
+/// each round costs one Fock block-apply plus a cheap projector-only
+/// solve, still several× cheaper than `Full`'s per-iteration Fock loop.
+/// The accepted round's ξ_f is then frozen for the stale window.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ace_ptcn_step(
+    opts: &PtCnOptions,
+    sys: &KsSystem,
+    laser: Option<&LaserPulse>,
+    state: &mut TdState,
+    dt: f64,
+    refresh_interval: usize,
+    inner_substeps: usize,
+    mixer_slot: &mut Option<BandAndersonMixer>,
+    ace_slot: &mut Option<AceRefreshState>,
+    kernels: &mut dyn StepKernels,
+) -> Result<StepStats, PtError> {
+    let refresh_due = match ace_slot {
+        Some(a) => {
+            a.steps_since_refresh >= refresh_interval
+                || a.op.xi().nrows() != state.psi.nrows()
+                || a.op.rank() != state.psi.ncols()
+        }
+        None => true,
+    };
+    let sub_dt = dt / inner_substeps as f64;
+
+    if !refresh_due {
+        let ace = ace_slot.as_mut().expect("non-stale ACE slot is populated");
+        let mut total = StepStats {
+            converged: true,
+            ..StepStats::default()
+        };
+        for _ in 0..inner_substeps {
+            let s = ptcn_step_with(
+                opts,
+                sys,
+                laser,
+                state,
+                sub_dt,
+                mixer_slot,
+                kernels,
+                Some(&ace.op),
+                None,
+                None,
+                None,
+            )?;
+            total.scf_iterations += s.scf_iterations;
+            total.h_applications += s.h_applications;
+            total.rho_residual = s.rho_residual;
+            total.converged &= s.converged;
+        }
+        ace.steps_since_refresh += 1;
+        return Ok(total);
+    }
+
+    // Refresh step: self-consistent projector rounds. ξ_n (from Ψ_n) is
+    // pinned for the t_n residual of the first substep; ξ_f starts equal
+    // and is refined from each round's converged *raw* iterate (the
+    // pre-re-orthonormalization block `Full` feeds its Fock operator).
+    // Rounds restart from the same Ψ_n, so the accepted trajectory is the
+    // one solved under the final projector — later substeps of an MTS
+    // window use ξ_f at t_n too, which is exactly the accepted staleness
+    // MTS trades on.
+    let xi_n = kernels.build_ace(sys, &state.psi)?;
+    let mut xi_f = xi_n.clone();
+    let mut prev_rho: Option<Vec<f64>> = None;
+    let mut prev_raws: Option<Vec<CMat>> = None;
+    let mut accepted: Option<(TdState, StepStats)> = None;
+    let mut total_scf = 0usize;
+    let mut total_h = 0usize;
+    let mut drift = f64::INFINITY;
+    let mut outer_converged = false;
+    let mut rounds = 0usize;
+    while rounds < ACE_MAX_REFRESH_ROUNDS {
+        rounds += 1;
+        if rounds > 1 {
+            let raws = prev_raws
+                .as_ref()
+                .expect("round ≥ 2 has prior raw iterates");
+            xi_f = kernels.build_ace(sys, raws.last().expect("≥ 1 substep"))?;
+        }
+        let mut trial = state.clone();
+        let mut raws: Vec<CMat> = Vec::with_capacity(inner_substeps);
+        let mut stats = StepStats {
+            converged: true,
+            ..StepStats::default()
+        };
+        for s in 0..inner_substeps {
+            // warm-start each substep's fixed point at the previous
+            // round's converged iterate for the same substep: the rounds
+            // change ξ_f by the O(rho_tol-bound) drift only, so later
+            // rounds converge in a couple of Anderson passes instead of
+            // re-solving from Ψ_{n+1/2}
+            let mut raw_s = CMat::zeros(0, 0);
+            let st = ptcn_step_with(
+                opts,
+                sys,
+                laser,
+                &mut trial,
+                sub_dt,
+                mixer_slot,
+                kernels,
+                Some(&xi_f),
+                if s == 0 { Some(&xi_n) } else { None },
+                prev_raws.as_ref().map(|r| &r[s]),
+                Some(&mut raw_s),
+            )?;
+            raws.push(raw_s);
+            stats.scf_iterations += st.scf_iterations;
+            stats.h_applications += st.h_applications;
+            stats.rho_residual = st.rho_residual;
+            stats.converged &= st.converged;
+        }
+        total_scf += stats.scf_iterations;
+        total_h += stats.h_applications;
+        let rho = sys.density(&trial.psi);
+        if let Some(prev) = &prev_rho {
+            drift = density_residual(&rho, prev, sys.grids.volume);
+        }
+        prev_rho = Some(rho);
+        prev_raws = Some(raws);
+        accepted = Some((trial, stats));
+        if drift < opts.rho_tol {
+            outer_converged = true;
+            break;
+        }
+    }
+    let (trial, mut stats) = accepted.expect("at least one refresh round ran");
+    stats.scf_iterations = total_scf;
+    stats.h_applications = total_h;
+    stats.converged &= outer_converged;
+    if opts.strict && !outer_converged {
+        return Err(PtError::NotConverged {
+            context: "ACE refresh self-consistency",
+            residual: drift,
+            tol: opts.rho_tol,
+            iterations: rounds,
+        });
+    }
+    *state = trial;
+    *ace_slot = Some(AceRefreshState {
+        op: xi_f,
+        steps_since_refresh: 1,
+    });
+    Ok(stats)
 }
 
 /// The in-process execution strategy: serial `HΨ` and the driver-side
@@ -430,8 +776,9 @@ impl StepKernels for SerialKernels {
         rho: &[f64],
         psi: &CMat,
         a: [f64; 3],
+        ace: Option<&AceOperator>,
     ) -> Result<CMat, PtError> {
-        serial_apply_h(sys, rho, psi, a)
+        serial_apply_h(sys, rho, psi, a, ace)
     }
 }
 
@@ -440,7 +787,8 @@ impl Propagator for PtCnPropagator {
         "pt-cn"
     }
 
-    /// One PT-CN step of size `dt` (Alg. 1).
+    /// One PT-CN step of size `dt` (Alg. 1), with the exchange evaluated
+    /// per the resolved [`ExchangeMode`].
     fn step(
         &mut self,
         sys: &KsSystem,
@@ -448,21 +796,41 @@ impl Propagator for PtCnPropagator {
         state: &mut TdState,
         dt: f64,
     ) -> Result<StepStats, PtError> {
-        ptcn_step_with(
-            &self.opts,
-            sys,
-            laser,
-            state,
-            dt,
-            &mut self.mixer,
-            &mut SerialKernels,
-        )
+        match resolve_exchange(self.exchange, sys)? {
+            ExchangeMode::Full => ptcn_step_with(
+                &self.opts,
+                sys,
+                laser,
+                state,
+                dt,
+                &mut self.mixer,
+                &mut SerialKernels,
+                None,
+                None,
+                None,
+                None,
+            ),
+            mode => ace_ptcn_step(
+                &self.opts,
+                sys,
+                laser,
+                state,
+                dt,
+                mode.refresh_interval().expect("ACE mode has an interval"),
+                mode.inner_substeps(),
+                &mut self.mixer,
+                &mut self.ace,
+                &mut SerialKernels,
+            ),
+        }
     }
 
     fn capture(&self) -> PropagatorState {
         PropagatorState::PtCn {
             opts: self.opts,
             anderson: self.mixer.as_ref().map(BandAndersonMixer::state),
+            exchange: self.exchange,
+            ace: self.ace.as_ref().map(AceRefreshState::capture),
         }
     }
 }
@@ -731,6 +1099,76 @@ mod tests {
         assert_eq!(stats.h_applications, stats.scf_iterations + 1);
         assert!(orthonormality_error(&st.psi) < 1e-9);
         assert!(stats.rho_residual < 1e-5, "residual {}", stats.rho_residual);
+    }
+
+    #[test]
+    fn ace_ptcn_step_advances_and_stays_orthonormal() {
+        let (sys, psi0) = ground_state(true);
+        let dt = pt_num::units::attosecond_to_au(50.0);
+        // the self-consistent refresh rounds converge the ACE step to the
+        // Full fixed point, so the reference is a Full step — not psi0,
+        // which is only loosely converged and NOT stationary under the
+        // exact hybrid dynamics
+        let mut full = PtCnPropagator::new(PtCnOptions::default());
+        let mut st_full = TdState::new(psi0.clone());
+        full.step(&sys, None, &mut st_full, dt).unwrap();
+        let mut prop = PtCnPropagator::with_exchange(
+            PtCnOptions::default(),
+            ExchangeMode::Ace {
+                refresh_interval: 1,
+            },
+        );
+        let mut st = TdState::new(psi0);
+        let stats = prop.step(&sys, None, &mut st, dt).unwrap();
+        assert!(stats.converged);
+        assert!((st.t - dt).abs() < 1e-15);
+        assert!(orthonormality_error(&st.psi) < 1e-9);
+        let d = density_matrix_distance(&st_full.psi, &st.psi);
+        assert!(d < 1e-4, "ACE step departs from the Full step by {d}");
+        assert!(prop.ace.is_some(), "projector cached for the next window");
+    }
+
+    #[test]
+    fn ace_mts_advances_t_by_exactly_dt_per_outer_step() {
+        let (sys, psi0) = ground_state(true);
+        let mut prop = PtCnPropagator::with_exchange(
+            PtCnOptions::default(),
+            ExchangeMode::AceMts {
+                refresh_interval: 2,
+                inner_substeps: 2,
+            },
+        );
+        let mut st = TdState::new(psi0);
+        let dt = pt_num::units::attosecond_to_au(40.0);
+        let stats = prop.step(&sys, None, &mut st, dt).unwrap();
+        // dt/2 + dt/2 is exact in floating point
+        assert!((st.t - dt).abs() < 1e-18, "t = {} after MTS step", st.t);
+        // two substeps, each ≥ 2 H applications (residual + ≥1 SCF)
+        assert!(stats.h_applications >= 4, "{}", stats.h_applications);
+        let ace = prop.ace.as_ref().unwrap();
+        assert_eq!(ace.steps_since_refresh, 1);
+        // second outer step inside the window must NOT rebuild ξ
+        prop.step(&sys, None, &mut st, dt).unwrap();
+        assert_eq!(prop.ace.as_ref().unwrap().steps_since_refresh, 2);
+        // third outer step re-opens the window
+        prop.step(&sys, None, &mut st, dt).unwrap();
+        assert_eq!(prop.ace.as_ref().unwrap().steps_since_refresh, 1);
+    }
+
+    #[test]
+    fn ace_on_semilocal_system_is_a_typed_error() {
+        let (sys, psi0) = ground_state(false);
+        let mut prop = PtCnPropagator::with_exchange(
+            PtCnOptions::default(),
+            ExchangeMode::Ace {
+                refresh_interval: 1,
+            },
+        );
+        let mut st = TdState::new(psi0);
+        assert!(matches!(
+            prop.step(&sys, None, &mut st, 0.1),
+            Err(PtError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::checkpoint::{checkpoint_path, CheckpointPolicy, RunCheckpoint, RunChe
 use crate::laser::LaserPulse;
 use crate::observables::{current_density, orthonormality_error};
 use crate::propagator::{propagator_from_state, Propagator, PtCnPropagator, StepStats, TdState};
-use pt_ham::{integrate, KsSystem, PtError};
+use pt_ham::{integrate, ExchangeMode, KsSystem, PtError};
 use pt_linalg::CMat;
 use pt_mpi::Wire;
 use pt_par::{Parallelism, ThreadPool};
@@ -394,6 +394,7 @@ pub struct SimulationBuilder<'a> {
     ckpt_wire: Wire,
     cancel: Option<CancelToken>,
     tap: Option<StepTap<'a>>,
+    exchange: Option<ExchangeMode>,
 }
 
 impl<'a> SimulationBuilder<'a> {
@@ -414,6 +415,7 @@ impl<'a> SimulationBuilder<'a> {
             ckpt_wire: Wire::F64,
             cancel: None,
             tap: None,
+            exchange: None,
         }
     }
 
@@ -447,6 +449,18 @@ impl<'a> SimulationBuilder<'a> {
     /// choice can be made at runtime.
     pub fn propagator(mut self, p: Box<dyn Propagator>) -> Self {
         self.propagator = Some(p);
+        self
+    }
+
+    /// Override the exchange evaluation mode for the default PT-CN
+    /// propagator (serial or distributed): `Full` pair-FFT Fock, an
+    /// `Ace { .. }` projector refreshed every K steps, or
+    /// `AceMts { .. }` with local substeps on top. Defaults to the
+    /// system's [`pt_ham::KsSystemBuilder::exchange_mode`]. Incompatible
+    /// with an explicit [`SimulationBuilder::propagator`] — configure the
+    /// propagator's own `exchange` field there instead.
+    pub fn exchange_mode(mut self, mode: ExchangeMode) -> Self {
+        self.exchange = Some(mode);
         self
     }
 
@@ -564,15 +578,31 @@ impl<'a> SimulationBuilder<'a> {
                 got: psi.ncols(),
             });
         }
-        let propagator = self.propagator.unwrap_or_else(|| {
-            if self.sys.distributed.is_some() {
+        if let Some(mode) = self.exchange {
+            mode.validate()?;
+            if self.propagator.is_some() {
+                return Err(PtError::InvalidConfig(
+                    "exchange_mode conflicts with an explicit propagator — set the \
+                     propagator's own exchange field instead"
+                        .into(),
+                ));
+            }
+        }
+        let propagator: Box<dyn Propagator> = match self.propagator {
+            Some(p) => p,
+            None if self.sys.distributed.is_some() => {
                 // the system asked for a ranks × threads decomposition:
                 // drive PT-CN through the virtual MPI runtime
-                Box::new(crate::distributed::DistributedPtCnPropagator::default())
-            } else {
-                Box::new(PtCnPropagator::default())
+                Box::new(crate::distributed::DistributedPtCnPropagator {
+                    exchange: self.exchange,
+                    ..Default::default()
+                })
             }
-        });
+            None => Box::new(PtCnPropagator {
+                exchange: self.exchange,
+                ..Default::default()
+            }),
+        };
         let checkpoint = match self.ckpt_every_dir {
             Some((every, dir)) => {
                 let policy = CheckpointPolicy {
@@ -1089,6 +1119,53 @@ mod tests {
                 .build(),
             Err(PtError::ShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn exchange_mode_flows_to_the_default_propagator_and_rejects_conflicts() {
+        let sys = small_sys();
+        let ng = sys.grids.ng();
+        let nb = sys.n_bands();
+        let mode = ExchangeMode::Ace {
+            refresh_interval: 2,
+        };
+        // explicit propagator + exchange_mode is ambiguous: refuse
+        assert!(matches!(
+            SimulationBuilder::new(&sys)
+                .dt(0.1)
+                .steps(1)
+                .initial_orbitals(CMat::zeros(ng, nb))
+                .propagator(Box::new(PtCnPropagator::default()))
+                .exchange_mode(mode)
+                .build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        // zero interval is caught at build time
+        assert!(matches!(
+            SimulationBuilder::new(&sys)
+                .dt(0.1)
+                .steps(1)
+                .initial_orbitals(CMat::zeros(ng, nb))
+                .exchange_mode(ExchangeMode::Ace {
+                    refresh_interval: 0
+                })
+                .build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        // the default propagator carries the mode (visible in its capture)
+        let sim = SimulationBuilder::new(&sys)
+            .dt(0.1)
+            .steps(1)
+            .initial_orbitals(CMat::zeros(ng, nb))
+            .exchange_mode(mode)
+            .build()
+            .unwrap();
+        match sim.propagator.capture() {
+            crate::propagator::PropagatorState::PtCn { exchange, .. } => {
+                assert_eq!(exchange, Some(mode));
+            }
+            other => panic!("expected PtCn capture, got {other:?}"),
+        }
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! optimization stages (§3.2): `BandByBand` parallelizes inside one 3-D
 //! FFT at a time (stage 1); `Batched` runs many pair-FFTs concurrently
 //! (stage 2, the batched-CUFFT analogue).
+//!
+//! In the PT-CN hot path this operator is rarely applied directly: the
+//! [ACE compression](crate::AceOperator) spends one block application
+//! (`W = V_X Φ`) per projector refresh and replaces every subsequent
+//! exchange apply with two rank-N_φ GEMMs — see [`crate::ace`] and
+//! `ExchangeMode` on the system builder for the refresh policy.
 
 use crate::grids::PwGrids;
 use pt_linalg::CMat;

@@ -11,7 +11,10 @@ use std::sync::Arc;
 ///
 /// The local potential lives on the dense grid; applying it costs one
 /// dense-grid FFT round trip per band. The Fock part is optional (None =
-/// semi-local functional).
+/// semi-local functional) — and in the ACE propagation modes the PT-CN
+/// step assembles the Fock-free Hamiltonian (`KsSystem::local_hamiltonian`)
+/// and adds the frozen rank-N_φ [`crate::AceOperator`] projector instead,
+/// so this operator's pair-FFT loop runs only at projector refreshes.
 pub struct Hamiltonian {
     /// Shared grids.
     pub grids: Arc<PwGrids>,

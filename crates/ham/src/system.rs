@@ -35,6 +35,90 @@ impl HybridConfig {
     }
 }
 
+/// How the exchange contribution is evaluated during propagation.
+///
+/// `Full` is the paper's Summit configuration: the screened Fock operator
+/// is rebuilt from the live orbitals and applied with the pair-FFT loop on
+/// every PT-CN fixed-point iteration. `Ace` is the companion paper's CPU
+/// configuration (Jia & Lin, arXiv:1809.09609): the ACE projector
+/// `ξ = W L^{-H}` is refreshed from Ψ_n every `refresh_interval` steps and
+/// the rank-N_φ `−ξ(ξ^H ψ)` stands in for the Fock loop inside the fixed
+/// point. `AceMts` additionally runs each outer step as `inner_substeps`
+/// PT-CN substeps of `dt / inner_substeps` sharing one frozen ξ — the
+/// exchange rides a coarser time grid than the local parts
+/// (arXiv:2110.07670).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExchangeMode {
+    /// Exact pair-FFT Fock on every fixed-point iteration.
+    #[default]
+    Full,
+    /// ACE projector refreshed every `refresh_interval` outer steps.
+    Ace {
+        /// Steps between projector rebuilds (1 = refresh every step).
+        refresh_interval: usize,
+    },
+    /// ACE + multiple time stepping: `inner_substeps` local substeps per
+    /// outer step, exchange frozen across them.
+    AceMts {
+        /// Outer steps between projector rebuilds.
+        refresh_interval: usize,
+        /// Local-part substeps per outer step (≥ 1).
+        inner_substeps: usize,
+    },
+}
+
+impl ExchangeMode {
+    /// Check the intervals; [`PtError::InvalidConfig`] on zero counts.
+    pub fn validate(&self) -> Result<(), PtError> {
+        match *self {
+            ExchangeMode::Full => Ok(()),
+            ExchangeMode::Ace { refresh_interval } => {
+                if refresh_interval == 0 {
+                    return Err(PtError::InvalidConfig(
+                        "ace_refresh_interval must be at least 1".into(),
+                    ));
+                }
+                Ok(())
+            }
+            ExchangeMode::AceMts {
+                refresh_interval,
+                inner_substeps,
+            } => {
+                if refresh_interval == 0 {
+                    return Err(PtError::InvalidConfig(
+                        "ace_refresh_interval must be at least 1".into(),
+                    ));
+                }
+                if inner_substeps == 0 {
+                    return Err(PtError::InvalidConfig(
+                        "ace_inner_substeps must be at least 1".into(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Steps between ACE projector rebuilds (`None` for [`ExchangeMode::Full`]).
+    pub fn refresh_interval(&self) -> Option<usize> {
+        match *self {
+            ExchangeMode::Full => None,
+            ExchangeMode::Ace { refresh_interval }
+            | ExchangeMode::AceMts {
+                refresh_interval, ..
+            } => Some(refresh_interval),
+        }
+    }
+
+    /// Local-part substeps per outer step (1 unless MTS).
+    pub fn inner_substeps(&self) -> usize {
+        match *self {
+            ExchangeMode::AceMts { inner_substeps, .. } => inner_substeps,
+            _ => 1,
+        }
+    }
+}
+
 /// Potentials and energy pieces derived from one density.
 pub struct Potentials {
     /// Total local potential on the dense grid (pseudo + Hartree + XC).
@@ -110,6 +194,11 @@ pub struct KsSystem {
     /// [`KsSystemBuilder::distributed`]; `pt-core`'s distributed PT-CN
     /// propagator reads it to spawn virtual-MPI ranks with pinned pools.
     pub distributed: Option<DistributedConfig>,
+    /// How propagation evaluates the exchange contribution (only
+    /// meaningful for hybrid systems). Set via
+    /// [`KsSystemBuilder::exchange_mode`]; propagators resolve it at step
+    /// time (an explicit mode on the propagator overrides it).
+    pub exchange_mode: ExchangeMode,
 }
 
 /// Builder for [`KsSystem`] — the validated entry point of the setup path.
@@ -137,6 +226,7 @@ pub struct KsSystemBuilder {
     occupations: Option<Vec<f64>>,
     parallelism: Parallelism,
     distributed: Option<DistributedConfig>,
+    exchange_mode: ExchangeMode,
 }
 
 impl KsSystemBuilder {
@@ -151,6 +241,7 @@ impl KsSystemBuilder {
             occupations: None,
             parallelism: Parallelism::inherit(),
             distributed: None,
+            exchange_mode: ExchangeMode::Full,
         }
     }
 
@@ -196,6 +287,15 @@ impl KsSystemBuilder {
         self
     }
 
+    /// How propagation evaluates the exchange contribution (default:
+    /// [`ExchangeMode::Full`]). `Ace`/`AceMts` require a hybrid functional
+    /// — requesting them on a semi-local system is rejected in
+    /// [`KsSystemBuilder::build`].
+    pub fn exchange_mode(mut self, mode: ExchangeMode) -> Self {
+        self.exchange_mode = mode;
+        self
+    }
+
     /// Override the closed-shell default occupations (one entry per band).
     ///
     /// The sum of `occ` *is* the electron count of the simulation. If it
@@ -233,6 +333,14 @@ impl KsSystemBuilder {
                     h.omega
                 )));
             }
+        }
+        self.exchange_mode.validate()?;
+        if self.exchange_mode != ExchangeMode::Full && self.hybrid.is_none() {
+            return Err(PtError::InvalidConfig(
+                "ACE exchange modes require a hybrid functional (there is no \
+                 exchange operator to compress on a semi-local system)"
+                    .into(),
+            ));
         }
         // `Parallelism::ranks_threads` is the pt-par view of the same
         // decomposition: without an explicit DistributedConfig it implies
@@ -315,6 +423,7 @@ impl KsSystemBuilder {
             occupations,
             pool: self.parallelism.build_pool(),
             distributed,
+            exchange_mode: self.exchange_mode,
         })
     }
 }
@@ -624,6 +733,56 @@ mod tests {
                 .build(),
             Err(PtError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn exchange_mode_is_validated_and_requires_hybrid() {
+        let s = silicon_cubic_supercell(1, 1, 1);
+        // ACE without a hybrid functional: nothing to compress
+        assert!(matches!(
+            KsSystem::builder(s.clone())
+                .ecut(2.0)
+                .exchange_mode(ExchangeMode::Ace {
+                    refresh_interval: 1
+                })
+                .build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        // zero intervals are rejected
+        assert!(matches!(
+            KsSystem::builder(s.clone())
+                .ecut(2.0)
+                .hybrid(HybridConfig::hse06())
+                .exchange_mode(ExchangeMode::Ace {
+                    refresh_interval: 0
+                })
+                .build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            KsSystem::builder(s.clone())
+                .ecut(2.0)
+                .hybrid(HybridConfig::hse06())
+                .exchange_mode(ExchangeMode::AceMts {
+                    refresh_interval: 2,
+                    inner_substeps: 0
+                })
+                .build(),
+            Err(PtError::InvalidConfig(_))
+        ));
+        // a well-formed ACE config lands on the system
+        let sys = KsSystem::builder(s)
+            .ecut(2.0)
+            .hybrid(HybridConfig::hse06())
+            .exchange_mode(ExchangeMode::AceMts {
+                refresh_interval: 2,
+                inner_substeps: 3,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(sys.exchange_mode.refresh_interval(), Some(2));
+        assert_eq!(sys.exchange_mode.inner_substeps(), 3);
+        assert_eq!(ExchangeMode::default(), ExchangeMode::Full);
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub use eig::eigh;
 pub use mat::{CMat, Op};
 pub use solve::{
     cholesky_in_place, lstsq, orthonormalize_columns, solve_lower, solve_upper_conj, trsm_right_lh,
+    try_cholesky_in_place,
 };
 
 pub use mat::{gemm, herk};

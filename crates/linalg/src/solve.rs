@@ -13,6 +13,17 @@ use pt_num::c64;
 /// holds `L`; the strict upper triangle is zeroed. Panics if a pivot is not
 /// positive (matrix not PD — e.g. linearly dependent orbitals).
 pub fn cholesky_in_place(a: &mut CMat) {
+    if let Err((j, d)) = try_cholesky_in_place(a) {
+        panic!("cholesky: non-positive pivot {d:.3e} at column {j} (matrix not PD)");
+    }
+}
+
+/// Fallible variant of [`cholesky_in_place`]: returns `Err((column, pivot))`
+/// at the first non-positive pivot instead of panicking, so callers feeding
+/// possibly rank-deficient matrices (e.g. the ACE Gram matrix of degenerate
+/// orbitals) can surface a typed error. On `Err` the matrix contents are
+/// unspecified (partially factored).
+pub fn try_cholesky_in_place(a: &mut CMat) -> Result<(), (usize, f64)> {
     let n = a.nrows();
     assert_eq!(n, a.ncols(), "cholesky: square matrix required");
     for j in 0..n {
@@ -21,10 +32,10 @@ pub fn cholesky_in_place(a: &mut CMat) {
         for k in 0..j {
             d -= a[(j, k)].norm_sqr();
         }
-        assert!(
-            d > 0.0,
-            "cholesky: non-positive pivot {d:.3e} at column {j} (matrix not PD)"
-        );
+        // a NaN pivot (from non-finite input) must fail like a non-positive one
+        if d.is_nan() || d <= 0.0 {
+            return Err((j, d));
+        }
         let ljj = d.sqrt();
         a[(j, j)] = c64::real(ljj);
         for i in (j + 1)..n {
@@ -38,6 +49,7 @@ pub fn cholesky_in_place(a: &mut CMat) {
             a[(i, j)] = c64::ZERO;
         }
     }
+    Ok(())
 }
 
 /// Solve `L y = b` with `L` lower triangular (forward substitution).
@@ -202,6 +214,23 @@ mod tests {
         let mut a = CMat::eye(3);
         a[(2, 2)] = c64::real(-1.0);
         cholesky_in_place(&mut a);
+    }
+
+    #[test]
+    fn try_cholesky_reports_column_and_pivot() {
+        let mut a = CMat::eye(3);
+        a[(2, 2)] = c64::real(-1.5);
+        let (j, d) = try_cholesky_in_place(&mut a).unwrap_err();
+        assert_eq!(j, 2);
+        assert!((d + 1.5).abs() < 1e-12, "pivot {d}");
+        // a PD matrix still factors through the fallible path
+        let good = rand_hpd(5, 17);
+        let mut l = good.clone();
+        try_cholesky_in_place(&mut l).unwrap();
+        let lh = l.dagger();
+        let mut back = CMat::zeros(5, 5);
+        gemm(c64::ONE, &l, Op::None, &lh, Op::None, c64::ZERO, &mut back);
+        assert!(back.max_diff(&good) < 1e-11);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! sufficient to finish the job bit-exactly.
 
 use pt_core::{LaserPulse, Simulation, SimulationBuilder};
-use pt_ham::{DistributedConfig, HybridConfig, KsSystem, PtError};
+use pt_ham::{DistributedConfig, ExchangeMode, HybridConfig, KsSystem, PtError};
 use pt_io::Json;
 use pt_lattice::silicon_cubic_supercell;
 use pt_num::units::attosecond_to_au;
@@ -33,6 +33,11 @@ pub struct SystemSpec {
     /// Occupied-band override (`None` derives bands from the
     /// pseudopotential electron count).
     pub bands: Option<usize>,
+    /// Exchange evaluation during propagation: full pair-FFT Fock, or the
+    /// ACE projector (optionally with multiple time stepping). JSON keys:
+    /// `"exchange": "full" | "ace" | "ace_mts"` plus
+    /// `"ace_refresh_interval"` / `"ace_inner_substeps"`; absent → full.
+    pub exchange: ExchangeMode,
 }
 
 /// Laser coupling (the paper's 380 nm Gaussian pulse family).
@@ -119,6 +124,28 @@ impl JobSpec {
                     as usize,
             ),
         };
+        let sys_int = |key: &str, default: u64| match sys.get(key) {
+            None => Ok(default),
+            Some(j) => j
+                .as_u64()
+                .filter(|&x| x >= 1)
+                .ok_or_else(|| bad(&format!("'system.{key}' must be a positive integer"))),
+        };
+        let exchange = match sys.get("exchange").and_then(Json::as_str) {
+            Some("full") | None => ExchangeMode::Full,
+            Some("ace") => ExchangeMode::Ace {
+                refresh_interval: sys_int("ace_refresh_interval", 1)? as usize,
+            },
+            Some("ace_mts") => ExchangeMode::AceMts {
+                refresh_interval: sys_int("ace_refresh_interval", 1)? as usize,
+                inner_substeps: sys_int("ace_inner_substeps", 1)? as usize,
+            },
+            Some(other) => {
+                return Err(bad(&format!(
+                    "unknown exchange '{other}' (full|ace|ace_mts)"
+                )))
+            }
+        };
         let laser = match v.get("laser") {
             None | Some(Json::Null) => None,
             Some(l) => {
@@ -163,6 +190,7 @@ impl JobSpec {
                 xc,
                 hybrid,
                 bands,
+                exchange,
             },
             laser,
             dt_as,
@@ -200,6 +228,30 @@ impl JobSpec {
         ];
         if let Some(nb) = self.system.bands {
             sys.push(("bands".to_string(), Json::Num(nb as f64)));
+        }
+        match self.system.exchange {
+            ExchangeMode::Full => {} // the default; absent key round-trips
+            ExchangeMode::Ace { refresh_interval } => {
+                sys.push(("exchange".to_string(), Json::Str("ace".into())));
+                sys.push((
+                    "ace_refresh_interval".to_string(),
+                    Json::Num(refresh_interval as f64),
+                ));
+            }
+            ExchangeMode::AceMts {
+                refresh_interval,
+                inner_substeps,
+            } => {
+                sys.push(("exchange".to_string(), Json::Str("ace_mts".into())));
+                sys.push((
+                    "ace_refresh_interval".to_string(),
+                    Json::Num(refresh_interval as f64),
+                ));
+                sys.push((
+                    "ace_inner_substeps".to_string(),
+                    Json::Num(inner_substeps as f64),
+                ));
+            }
         }
         let mut pairs = vec![
             ("name".to_string(), Json::Str(self.name.clone())),
@@ -255,6 +307,12 @@ impl JobSpec {
                 "job spec: supercell extents must be nonzero".into(),
             ));
         }
+        self.system.exchange.validate()?;
+        if self.system.exchange != ExchangeMode::Full && !self.system.hybrid {
+            return Err(PtError::InvalidConfig(
+                "job spec: ACE exchange modes require 'system.hybrid': true".into(),
+            ));
+        }
         if !(self.dt_as.is_finite() && self.dt_as > 0.0) {
             return Err(PtError::InvalidConfig(format!(
                 "job spec: dt_as must be positive, got {}",
@@ -308,6 +366,7 @@ impl JobSpec {
         if self.system.hybrid {
             builder = builder.hybrid(HybridConfig::hse06());
         }
+        builder = builder.exchange_mode(self.system.exchange);
         if let Some(nb) = self.system.bands {
             builder = builder.occupations(vec![2.0; nb]);
         }
@@ -365,6 +424,7 @@ mod tests {
                 xc: XcKind::Lda,
                 hybrid: false,
                 bands: None,
+                exchange: ExchangeMode::Full,
             },
             laser: Some(LaserSpec {
                 a0: 0.02,
@@ -393,6 +453,44 @@ mod tests {
         h.layout = RankLayout::new(2, 2);
         assert_eq!(JobSpec::from_json(&h.to_json()).unwrap(), h);
         assert_eq!(h.cores(), 4);
+        // ACE variants round-trip too
+        h.system.exchange = ExchangeMode::Ace {
+            refresh_interval: 4,
+        };
+        assert_eq!(JobSpec::from_json(&h.to_json()).unwrap(), h);
+        h.system.exchange = ExchangeMode::AceMts {
+            refresh_interval: 2,
+            inner_substeps: 3,
+        };
+        assert_eq!(JobSpec::from_json(&h.to_json()).unwrap(), h);
+    }
+
+    #[test]
+    fn exchange_spec_parses_defaults_and_rejects_misuse() {
+        let spec = JobSpec::from_json(
+            r#"{"name": "a", "system": {"ecut": 2.0, "hybrid": true, "exchange": "ace"},
+                "dt_as": 25.0, "steps": 2}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.system.exchange,
+            ExchangeMode::Ace {
+                refresh_interval: 1
+            }
+        );
+        for bad in [
+            // ACE without hybrid: nothing to compress
+            r#"{"name": "a", "system": {"ecut": 2.0, "exchange": "ace"}, "dt_as": 25.0, "steps": 2}"#,
+            // unknown mode
+            r#"{"name": "a", "system": {"ecut": 2.0, "hybrid": true, "exchange": "exx"}, "dt_as": 25.0, "steps": 2}"#,
+            // zero interval
+            r#"{"name": "a", "system": {"ecut": 2.0, "hybrid": true, "exchange": "ace", "ace_refresh_interval": 0}, "dt_as": 25.0, "steps": 2}"#,
+        ] {
+            assert!(
+                matches!(JobSpec::from_json(bad), Err(PtError::InvalidConfig(_))),
+                "{bad}"
+            );
+        }
     }
 
     #[test]

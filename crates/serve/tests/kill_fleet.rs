@@ -30,6 +30,7 @@ fn serial_spec(name: &str, steps: usize) -> JobSpec {
             xc: XcKind::Lda,
             hybrid: false,
             bands: None,
+            exchange: Default::default(),
         },
         laser: Some(LaserSpec {
             a0: 0.02,
@@ -52,6 +53,7 @@ fn hybrid_spec(name: &str, steps: usize) -> JobSpec {
             xc: XcKind::Pbe,
             hybrid: true,
             bands: Some(4),
+            exchange: Default::default(),
         },
         laser: Some(LaserSpec {
             a0: 0.02,

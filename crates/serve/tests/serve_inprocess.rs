@@ -25,6 +25,7 @@ fn serial_spec(name: &str, steps: usize) -> JobSpec {
             xc: XcKind::Lda,
             hybrid: false,
             bands: None,
+            exchange: Default::default(),
         },
         laser: Some(LaserSpec {
             a0: 0.02,

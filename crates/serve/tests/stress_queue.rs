@@ -45,6 +45,7 @@ fn tiny_spec(i: usize) -> JobSpec {
             xc: XcKind::Lda,
             hybrid: false,
             bands: None,
+            exchange: Default::default(),
         },
         laser: None,
         dt_as: 25.0,

@@ -101,7 +101,9 @@ pub mod prelude {
         Rk4Options, Rk4Propagator, RunCheckpoint, Simulation, SimulationBuilder, StepStats,
         StepUpdate, TdState, TimeSeries,
     };
-    pub use pt_ham::{DistributedConfig, HybridConfig, KsSystem, KsSystemBuilder, SystemSignature};
+    pub use pt_ham::{
+        DistributedConfig, ExchangeMode, HybridConfig, KsSystem, KsSystemBuilder, SystemSignature,
+    };
     pub use pt_io::{
         latest_valid_snapshot, scan_snapshots, Json, SnapshotFile, SnapshotScan, SnapshotWriter,
         Table,

@@ -214,6 +214,143 @@ fn distributed_2x2_killed_and_resumed_run_is_bit_identical() {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// `system_mode: true` pins `Ace { refresh_interval: 3 }` on the system
+/// builder; `false` leaves the system at `Full` so the run can set the
+/// mode through `SimulationBuilder::exchange_mode` instead.
+fn hybrid_ace_system(distributed: Option<DistributedConfig>, system_mode: bool) -> KsSystem {
+    let mut b = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+        .ecut(2.0)
+        .xc(XcKind::Pbe)
+        .hybrid(HybridConfig::hse06())
+        .occupations(vec![2.0; 4]);
+    if system_mode {
+        b = b.exchange_mode(ExchangeMode::Ace {
+            refresh_interval: 3,
+        });
+    }
+    if let Some(cfg) = distributed {
+        b = b.distributed(cfg);
+    }
+    b.build().unwrap()
+}
+
+/// Kill/resume **inside an ACE refresh window** (`refresh_interval: 3`,
+/// snapshot after step 2 — the projector was built at step 1 and is not
+/// due for rebuild until step 4). The snapshot carries the frozen ξ
+/// verbatim; a resume that rebuilt it from the restored Ψ would produce a
+/// different projector and bit-diverge from the uninterrupted run.
+#[test]
+fn ace_mid_refresh_window_resume_is_bit_identical() {
+    // the mode arrives via the run-level override here — the snapshot
+    // must round-trip it so the resumed propagator keeps ACE without the
+    // system saying so
+    let sys = hybrid_ace_system(None, false);
+    let mode = ExchangeMode::Ace {
+        refresh_interval: 3,
+    };
+    let gs = scf_loop(&sys, ScfOptions::default()).expect("SCF converges");
+    let steps = 4usize;
+    let uninterrupted = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser())
+        .dt(attosecond_to_au(25.0))
+        .steps(steps)
+        .exchange_mode(mode)
+        .standard_observers()
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let dir = tmp_dir("ace_serial");
+    let mut sim = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser())
+        .dt(attosecond_to_au(25.0))
+        .steps(steps)
+        .exchange_mode(mode)
+        .standard_observers()
+        .checkpoint_every(1, &dir)
+        .checkpoint_keep(steps)
+        .build()
+        .unwrap();
+    sim.run().unwrap();
+
+    let mid = dir.join("ckpt_00000002.ptio");
+    let ck = RunCheckpoint::read(&mid).unwrap();
+    assert_eq!(ck.steps_remaining, 2);
+    match &ck.propagator {
+        PropagatorState::PtCn { exchange, ace, .. } => {
+            assert_eq!(
+                *exchange,
+                Some(ExchangeMode::Ace {
+                    refresh_interval: 3
+                })
+            );
+            let cap = ace.as_ref().expect("mid-window snapshot must carry ξ");
+            assert_eq!(
+                cap.steps_since_refresh, 2,
+                "refresh at step 1, two steps propagated under the frozen ξ"
+            );
+            assert_eq!(cap.xi.nrows(), ck.psi.nrows());
+        }
+        other => panic!("expected PtCn state, got {other:?}"),
+    }
+    let mut resumed = Simulation::resume(&sys, &mid).unwrap();
+    let merged = resumed.run().unwrap();
+    assert_series_bits_eq(&uninterrupted, &merged);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// The same mid-refresh-window contract at the 2 × 2 ranks × threads
+/// layout: the distributed propagator restores the snapshotted ξ and
+/// finishes the window bit-identically to the uninterrupted run.
+#[test]
+fn distributed_ace_mid_refresh_window_resume_is_bit_identical() {
+    // here the mode comes from the system builder (no run-level override)
+    let sys = hybrid_ace_system(Some(DistributedConfig::new(2, 2)), true);
+    let gs = scf_loop(&sys, ScfOptions::default()).expect("SCF converges");
+    let steps = 3usize;
+    let uninterrupted = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser())
+        .dt(attosecond_to_au(25.0))
+        .steps(steps)
+        .standard_observers()
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(uninterrupted.propagator, "pt-cn-dist");
+
+    let dir = tmp_dir("ace_dist");
+    let mut sim = SimulationBuilder::new(&sys)
+        .initial_orbitals(gs.orbitals.clone())
+        .laser(laser())
+        .dt(attosecond_to_au(25.0))
+        .steps(steps)
+        .standard_observers()
+        .checkpoint_every(1, &dir)
+        .checkpoint_keep(steps)
+        .build()
+        .unwrap();
+    sim.run().unwrap();
+
+    let mid = dir.join("ckpt_00000002.ptio");
+    let ck = RunCheckpoint::read(&mid).unwrap();
+    match &ck.propagator {
+        PropagatorState::PtCnDistributed { ace, .. } => {
+            let cap = ace.as_ref().expect("mid-window snapshot must carry ξ");
+            assert_eq!(cap.steps_since_refresh, 2);
+        }
+        other => panic!("expected PtCnDistributed state, got {other:?}"),
+    }
+    let mut resumed = Simulation::resume(&sys, &mid).unwrap();
+    let merged = resumed.run().unwrap();
+    assert_series_bits_eq(&uninterrupted, &merged);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 #[test]
 fn snapshot_from_a_different_system_shape_is_a_typed_error() {
     let sys = lda_system();

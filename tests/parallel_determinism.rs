@@ -9,7 +9,8 @@
 //! `KsSystemBuilder::parallelism` and `SimulationBuilder::parallelism`.
 
 use pwdft_rt::ham::{
-    distributed_fock_apply, distributed_residual, BandDistribution, PwGrids, ScreenedKernel,
+    distributed_fock_apply, distributed_residual, AceOperator, BandDistribution, FockMode,
+    FockOperator, PwGrids, ScreenedKernel,
 };
 use pwdft_rt::linalg::CMat;
 use pwdft_rt::mpi::{run_ranks_pinned, RankEngine};
@@ -227,6 +228,111 @@ fn distributed_fock_and_residual_over_the_ranks_threads_grid() {
     }
 }
 
+/// The ACE projector over the same grid: ξ built from the distributed
+/// `W = V_X Φ` (Alg. 2 over the wire, driver-side Cholesky/trsm) must be
+/// bit-identical on every layout in {1,2,3} ranks × {1,4} threads, the
+/// serial build must be bit-stable across thread counts, and the
+/// projector apply `−ξ(ξ^Hψ)` must be bit-stable across thread counts —
+/// together these are why an ACE-mode distributed run is layout-invariant
+/// without any per-layout tolerance.
+#[test]
+fn ace_projector_build_and_apply_over_the_ranks_threads_grid() {
+    let grids = PwGrids::new(&silicon_cubic_supercell(1, 1, 1), 2.0);
+    let ng = grids.ng();
+    let nb = 6;
+    let phi = CMat::rand_normalized(ng, nb, 61);
+    let psi = CMat::rand_normalized(ng, nb, 62);
+    let kernel = ScreenedKernel::new(&grids, 0.11);
+
+    // serial build: 1-thread and 4-thread pools give the same ξ bits
+    let serial_xi = |threads: usize| {
+        ThreadPool::new(threads).install(|| {
+            let fock = FockOperator::new(&grids, &phi, 0.25, kernel.clone(), FockMode::Batched);
+            AceOperator::new(&grids, &fock, &phi).unwrap().xi().clone()
+        })
+    };
+    assert_cmat_bits_eq("serial ξ 1 vs 4 threads", &serial_xi(1), &serial_xi(4));
+
+    // distributed build: W gathered from the Alg. 2 broadcast loop, ξ
+    // factored on the driver — same bits on every layout
+    let dist_ace = |ranks: usize, threads: usize| -> AceOperator {
+        let dist = BandDistribution {
+            n_bands: nb,
+            n_ranks: ranks,
+        };
+        let (g, k, p_) = (&grids, &kernel, &phi);
+        let mut engine = RankEngine::new(RankLayout::new(ranks, threads), Wire::F64);
+        let (blocks, _) = engine
+            .run(move |comm| {
+                let local = dist.take_local(comm.rank(), p_);
+                distributed_fock_apply(comm, g, dist, &local, &local, 0.25, k)
+            })
+            .expect("healthy engine");
+        AceOperator::from_w(&phi, gather_bands(dist, ng, &blocks)).unwrap()
+    };
+    let xi_ref = dist_ace(1, 1).xi().clone();
+    let mut rank_counts = vec![1usize, 2, 3];
+    let env = pwdft_rt::mpi::env_ranks();
+    if !rank_counts.contains(&env) {
+        rank_counts.push(env);
+    }
+    for ranks in rank_counts {
+        for threads in [1usize, 4] {
+            let ace = dist_ace(ranks, threads);
+            assert_cmat_bits_eq(
+                &format!("distributed ξ {ranks}x{threads}"),
+                &xi_ref,
+                ace.xi(),
+            );
+        }
+    }
+
+    // apply: given one ξ, the projector subtraction is bit-stable across
+    // thread counts (per-column self-contained work)
+    let ace = AceOperator::from_xi(xi_ref);
+    let apply_at = |threads: usize| {
+        ThreadPool::new(threads).install(|| {
+            let mut out = CMat::rand_normalized(ng, nb, 63);
+            ace.apply_block(&psi, &mut out);
+            out
+        })
+    };
+    assert_cmat_bits_eq("ACE apply 1 vs 4 threads", &apply_at(1), &apply_at(4));
+}
+
+/// ACE-mode engine reuse: building `W = V_X Φ` for successive refreshes on
+/// ONE parked rank team gives exactly the bits of spawning a fresh team
+/// per refresh — the distributed propagator's every-K-steps projector
+/// rebuild costs no determinism.
+#[test]
+fn ace_refresh_on_a_reused_engine_matches_fresh_spawn_bits() {
+    let grids = PwGrids::new(&silicon_cubic_supercell(1, 1, 1), 2.0);
+    let ng = grids.ng();
+    let nb = 5;
+    let kernel = ScreenedKernel::new(&grids, 0.11);
+    let dist = BandDistribution {
+        n_bands: nb,
+        n_ranks: 2,
+    };
+    let layout = RankLayout::new(2, 2);
+    let mut engine = RankEngine::new(layout, Wire::F64);
+    for refresh in 0..3u64 {
+        let phi = CMat::rand_normalized(ng, nb, 500 + refresh);
+        let job = {
+            let (g, k, p_) = (&grids, &kernel, &phi);
+            move |comm: &mut pwdft_rt::mpi::Comm| {
+                let local = dist.take_local(comm.rank(), p_);
+                distributed_fock_apply(comm, g, dist, &local, &local, 0.25, k)
+            }
+        };
+        let (reused, _) = engine.run(job).expect("healthy engine");
+        let (fresh, _) = run_ranks_pinned(layout, Wire::F64, job);
+        let a = AceOperator::from_w(&phi, gather_bands(dist, ng, &reused)).unwrap();
+        let b = AceOperator::from_w(&phi, gather_bands(dist, ng, &fresh)).unwrap();
+        assert_cmat_bits_eq(&format!("refresh {refresh} ξ"), a.xi(), b.xi());
+    }
+}
+
 /// Engine reuse is invisible in the numbers: submitting a sequence of
 /// "steps" (Alg. 2 + Alg. 3 with step-dependent inputs) to ONE parked
 /// rank team produces exactly the bits of spawning a fresh team per step
@@ -323,6 +429,55 @@ fn hybrid_distributed_run_via_builders_is_layout_invariant() {
     assert_eq!(ts11.propagator, "pt-cn-dist");
     assert_eq!(ts11.len(), ts22.len());
     assert_eq!(ts11.channel_names(), ts22.channel_names());
+    for name in ts11.channel_names() {
+        assert_bits_eq(
+            name,
+            ts11.channel(name).unwrap(),
+            ts22.channel(name).unwrap(),
+        );
+    }
+    for (s1, s2) in ts11.stats.iter().zip(&ts22.stats) {
+        assert_eq!(s1.scf_iterations, s2.scf_iterations);
+        assert_eq!(s1.rho_residual.to_bits(), s2.rho_residual.to_bits());
+    }
+}
+
+/// The ACE acceptance path: a hybrid run in `Ace { refresh_interval: 2 }`
+/// mode (3 steps — so the run crosses a projector-refresh boundary) is
+/// bit-identical between the serial-equivalent 1 × 1 layout and 2 × 2.
+#[test]
+fn hybrid_ace_run_via_builders_is_layout_invariant() {
+    let run_layout = |ranks: usize, threads: usize| -> TimeSeries {
+        let sys = KsSystem::builder(silicon_cubic_supercell(1, 1, 1))
+            .ecut(2.0)
+            .xc(XcKind::Pbe)
+            .hybrid(HybridConfig::hse06())
+            .occupations(vec![2.0; 4])
+            .exchange_mode(ExchangeMode::Ace {
+                refresh_interval: 2,
+            })
+            .distributed(DistributedConfig::new(ranks, threads))
+            .build()
+            .expect("valid distributed ACE system");
+        let gs = scf_loop(&sys, ScfOptions::default()).expect("SCF converges");
+        let mut sim = SimulationBuilder::new(&sys)
+            .initial_orbitals(gs.orbitals.clone())
+            .laser(LaserPulse::paper_380nm(
+                0.02,
+                attosecond_to_au(200.0),
+                attosecond_to_au(100.0),
+            ))
+            .dt(attosecond_to_au(25.0))
+            .steps(3)
+            .standard_observers()
+            .build()
+            .expect("valid simulation");
+        sim.run().expect("ACE propagation succeeds")
+    };
+    let ts11 = run_layout(1, 1);
+    let ts22 = run_layout(2, 2);
+    assert_eq!(ts11.propagator, "pt-cn-dist");
+    assert_eq!(ts11.len(), ts22.len());
     for name in ts11.channel_names() {
         assert_bits_eq(
             name,
