@@ -1,0 +1,353 @@
+//! A small hand-rolled Rust lexer — just enough syntax awareness for
+//! source-level lints, with zero dependencies (the workspace builds
+//! offline, so `syn`/`proc-macro2` are not an option).
+//!
+//! The hard parts a naive regex scan gets wrong, handled here:
+//!
+//! * **strings** — `"…"` with escapes, raw strings `r"…"`/`r#"…"#` with
+//!   arbitrary hash depth, byte and raw-byte strings. Lint patterns such
+//!   as `unwrap` or `HashMap` inside a string literal must never fire.
+//! * **comments** — line comments and *nested* block comments (`/* /* */ */`
+//!   is one comment in Rust).
+//! * **`'a` vs `'a'`** — lifetimes and char literals share a sigil; a char
+//!   literal can also hold `'` itself via an escape.
+//! * **raw identifiers** — `r#match` is an identifier, while `r#"…"#` is a
+//!   raw string; the lexer disambiguates on the character after the hashes.
+//!
+//! Everything else (numbers, punctuation) is tokenized loosely: lints only
+//! match identifier/punctuation sequences, so a permissive number rule that
+//! accepts `1e-12`, `0xFF`, and `25f64` without splitting them is enough.
+
+/// What a token is, at the granularity lints care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, text kept verbatim
+    /// with the `r#` prefix stripped so `r#unsafe` still matches `unsafe`
+    /// *as text* — callers that must distinguish can check `raw`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text includes the quote).
+    Lifetime,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'\0'`.
+    CharLit,
+    /// String-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    StrLit,
+    /// Numeric literal (integers, floats, suffixed, any radix).
+    NumLit,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// `// …` (also doc `///` and `//!`), text without the newline.
+    LineComment,
+    /// `/* … */`, nesting handled; text includes the delimiters.
+    BlockComment,
+}
+
+/// One token: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+    /// True for raw identifiers (`r#type`): `text` has the prefix stripped.
+    pub raw: bool,
+}
+
+impl<'a> Tok<'a> {
+    pub fn is(&self, kind: TokKind, text: &str) -> bool {
+        self.kind == kind && self.text == text
+    }
+}
+
+/// Tokenize `src`, keeping comments in the stream (lints that look for
+/// adjacent `// SAFETY:` comments or suppression pragmas need them).
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    Lexer {
+        src,
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok<'a>> {
+        let mut toks = Vec::new();
+        while let Some(t) = self.next_token() {
+            toks.push(t);
+        }
+        toks
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.rest().chars().nth(1)
+    }
+
+    fn peek3(&self) -> Option<char> {
+        self.rest().chars().nth(2)
+    }
+
+    /// Advance one char, counting newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Tok<'a>> {
+        self.eat_while(|c| c.is_whitespace());
+        let start = self.pos;
+        let line = self.line;
+        let c = self.peek()?;
+        let raw = false;
+        let kind = match c {
+            '/' if self.peek2() == Some('/') => {
+                self.eat_while(|c| c != '\n');
+                TokKind::LineComment
+            }
+            '/' if self.peek2() == Some('*') => {
+                self.block_comment();
+                TokKind::BlockComment
+            }
+            '"' => {
+                self.string_lit();
+                TokKind::StrLit
+            }
+            '\'' => self.quote(),
+            'r' | 'b' if self.literal_prefix().is_some() => {
+                let k = self.literal_prefix().expect("checked by guard");
+                match k {
+                    Prefix::RawStr(hashes) => {
+                        self.raw_string(hashes);
+                        TokKind::StrLit
+                    }
+                    Prefix::Str => {
+                        self.bump(); // `b`
+                        self.string_lit();
+                        TokKind::StrLit
+                    }
+                    Prefix::Char => {
+                        self.bump(); // `b`
+                        self.char_lit();
+                        TokKind::CharLit
+                    }
+                    Prefix::RawIdent => {
+                        self.bump(); // `r`
+                        self.bump(); // `#`
+                        let s = self.pos;
+                        self.ident();
+                        // report text without the `r#` so keyword lints
+                        // can still see e.g. `r#unsafe` — `raw` marks it
+                        return Some(Tok {
+                            kind: TokKind::Ident,
+                            text: &self.src[s..self.pos],
+                            line,
+                            raw: true,
+                        });
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                self.ident();
+                TokKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                self.number();
+                TokKind::NumLit
+            }
+            _ => {
+                self.bump();
+                TokKind::Punct
+            }
+        };
+        Some(Tok {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+            raw,
+        })
+    }
+
+    /// Classify what follows an `r`/`b` at the cursor, if it is a literal
+    /// prefix rather than a plain identifier starting with that letter.
+    fn literal_prefix(&self) -> Option<Prefix> {
+        let rest = self.rest();
+        if let Some(after) = rest.strip_prefix("r#") {
+            // r#"…"# raw string vs r#ident raw identifier vs r##…
+            if after.starts_with('"') || after.starts_with('#') {
+                let hashes = rest[1..].bytes().take_while(|&b| b == b'#').count();
+                if rest[1 + hashes..].starts_with('"') {
+                    return Some(Prefix::RawStr(hashes));
+                }
+                return None;
+            }
+            return Some(Prefix::RawIdent);
+        }
+        if rest.starts_with("r\"") {
+            return Some(Prefix::RawStr(0));
+        }
+        if let Some(after) = rest.strip_prefix("br") {
+            let hashes = after.bytes().take_while(|&b| b == b'#').count();
+            if after[hashes..].starts_with('"') {
+                // consume the `b`; raw_string re-parses from the `r`
+                return Some(Prefix::RawStr(hashes));
+            }
+            return None;
+        }
+        if rest.starts_with("b\"") {
+            return Some(Prefix::Str);
+        }
+        if rest.starts_with("b'") {
+            return Some(Prefix::Char);
+        }
+        None
+    }
+
+    fn ident(&mut self) {
+        self.eat_while(|c| c.is_alphanumeric() || c == '_');
+    }
+
+    /// Permissive number: digits/letters/underscore, a fraction part when a
+    /// digit follows the dot (so `0..n` stays a range), exponent signs when
+    /// they follow `e`/`E` inside the literal (`1e-12`).
+    fn number(&mut self) {
+        loop {
+            self.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+            if self.peek() == Some('.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+                continue;
+            }
+            let last = self.src[..self.pos].chars().next_back();
+            if matches!(last, Some('e' | 'E'))
+                && matches!(self.peek(), Some('+' | '-'))
+                && self.peek2().is_some_and(|c| c.is_ascii_digit())
+            {
+                self.bump();
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// At a `'`: char literal or lifetime?  `'\…'` and `'x'` are chars;
+    /// anything else (`'a`, `'static`, `'_`, loop labels) is a lifetime.
+    fn quote(&mut self) -> TokKind {
+        if self.peek2() == Some('\\') || (self.peek2().is_some() && self.peek3() == Some('\'')) {
+            self.char_lit();
+            TokKind::CharLit
+        } else {
+            self.bump(); // '
+            self.eat_while(|c| c.is_alphanumeric() || c == '_');
+            TokKind::Lifetime
+        }
+    }
+
+    /// Consume a char literal starting at `'`.
+    fn char_lit(&mut self) {
+        self.bump(); // opening '
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume a string literal starting at `"`.
+    fn string_lit(&mut self) {
+        self.bump(); // opening "
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume a raw string starting at the `r` (or the `r` of `br`),
+    /// terminated by `"` followed by `hashes` hash characters.
+    fn raw_string(&mut self, hashes: usize) {
+        // skip prefix: [b] r #* "
+        while let Some(c) = self.peek() {
+            self.bump();
+            if c == '"' {
+                break;
+            }
+        }
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    let mut seen = 0;
+                    while seen < hashes && self.peek() == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consume a (nested) block comment starting at `/*`.
+    fn block_comment(&mut self) {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                None => break,
+                Some('/') if self.peek() == Some('*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some('*') if self.peek() == Some('/') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+enum Prefix {
+    RawStr(usize),
+    RawIdent,
+    Str,
+    Char,
+}

@@ -1,0 +1,125 @@
+//! pt-analyze — workspace invariant linter.
+//!
+//! Mechanically enforces the house rules this reproduction's correctness
+//! rests on (bit-exact determinism across ranks×threads and resume, the
+//! typed-`PtError` policy, unsafe hygiene) as a CI gate instead of
+//! reviewer memory. Std-only: a hand-rolled lexer (`lexer`), a lint
+//! registry (`lints`), per-line `// pt-analyze: allow(<lint>) — <reason>`
+//! suppression pragmas (`context`), and human/JSON reporters (`report`).
+//!
+//! The binary walks the workspace and exits nonzero on findings;
+//! `tests/analyze_workspace.rs` at the workspace root runs the same check
+//! in-process so `cargo test` is already the gate.
+
+pub mod context;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod walk;
+
+use context::FileCtx;
+pub use lints::{Finding, LINTS, META_LINTS};
+use std::path::Path;
+
+/// Result of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of suppressions that fired (documented allows in use).
+    pub suppressions_used: usize,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Run every lint on one source file. `path` must be workspace-relative
+/// with `/` separators — it determines the crate key (lint scoping) and
+/// test-code classification, so fixture tests can exercise any scope by
+/// choosing the path label.
+pub fn check_source(path: &str, src: &str) -> Vec<Finding> {
+    check_source_counted(path, src).0
+}
+
+/// Like [`check_source`], also reporting how many suppressions fired.
+pub fn check_source_counted(path: &str, src: &str) -> (Vec<Finding>, usize) {
+    let toks = lexer::lex(src);
+    let ctx = FileCtx::new(path, toks);
+    let mut findings = Vec::new();
+    for spec in LINTS {
+        if !spec.scope.applies(&ctx.crate_key) {
+            continue;
+        }
+        if spec.skip_test_code && ctx.test_file {
+            continue;
+        }
+        let mut raw: Vec<(u32, String)> = Vec::new();
+        (spec.check)(&ctx, &mut |line, msg| raw.push((line, msg)));
+        for (line, message) in raw {
+            if spec.skip_test_code && ctx.in_test_code(line) {
+                continue;
+            }
+            if ctx.suppressed(spec.name, line) {
+                continue;
+            }
+            findings.push(Finding {
+                file: path.to_string(),
+                line,
+                lint: spec.name,
+                message,
+            });
+        }
+    }
+    // meta diagnostics: malformed pragmas, then pragmas that fired nothing
+    // (stale allows hide future violations). Neither is suppressible.
+    for (line, msg) in &ctx.pragma_errors {
+        findings.push(Finding {
+            file: path.to_string(),
+            line: *line,
+            lint: "invalid-pragma",
+            message: msg.clone(),
+        });
+    }
+    let used = ctx.pragmas.iter().filter(|p| p.used.get()).count();
+    for p in &ctx.pragmas {
+        if !p.used.get() {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: p.at,
+                lint: "unused-pragma",
+                message: format!(
+                    "pragma `allow({})` suppresses nothing on line {} — remove it",
+                    p.lints.join(", "),
+                    p.applies_to
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    (findings, used)
+}
+
+/// Analyze every workspace `.rs` file under `root` (skipping `target/`,
+/// `.git/`, and lint-fixture trees). IO errors are reported, not panicked.
+pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
+    let files = walk::rust_sources(root)?;
+    let mut report = Report::default();
+    for rel in files {
+        let full = root.join(&rel);
+        let src =
+            std::fs::read_to_string(&full).map_err(|e| format!("read {}: {e}", full.display()))?;
+        let (findings, used) = check_source_counted(&rel, &src);
+        report.findings.extend(findings);
+        report.suppressions_used += used;
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    Ok(report)
+}

@@ -1,0 +1,325 @@
+//! The lint registry and the token-level checks.
+//!
+//! Every lint here mechanizes an invariant this codebase's correctness
+//! story already depends on (see DESIGN.md "Static analysis & invariants"):
+//! bit-exact determinism across ranks×threads and resume, the workspace
+//! `PtError` typed-error policy, and unsafe-hygiene. Checks are
+//! deliberately *lexical over-approximations* — e.g. `nondeterministic-
+//! iteration` flags any `HashMap` mention, not just iteration — because a
+//! sound-but-coarse rule plus a mandatory-reason `allow` pragma is
+//! enforceable, while "only flag the bad uses" is not decidable at token
+//! level. The pragma reason is where the human argument lives.
+
+use crate::context::FileCtx;
+use crate::lexer::{Tok, TokKind};
+
+/// A reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Lint name (`LintSpec::name` or a meta lint).
+    pub lint: &'static str,
+    /// Human explanation of this occurrence.
+    pub message: String,
+}
+
+/// Which crates a lint applies to, by crate key (`context::crate_key`).
+pub enum Scope {
+    /// Every crate in the workspace.
+    All,
+    /// Only the listed crates.
+    Only(&'static [&'static str]),
+    /// Every crate except the listed ones.
+    Except(&'static [&'static str]),
+}
+
+impl Scope {
+    pub fn applies(&self, crate_key: &str) -> bool {
+        match self {
+            Scope::All => true,
+            Scope::Only(list) => list.contains(&crate_key),
+            Scope::Except(list) => !list.contains(&crate_key),
+        }
+    }
+}
+
+/// A registered lint: identity, rationale, scope, and its check.
+pub struct LintSpec {
+    pub name: &'static str,
+    /// One-line statement of the invariant the lint protects.
+    pub rationale: &'static str,
+    pub scope: Scope,
+    /// Test code (integration tests, `#[cfg(test)]` items, benches,
+    /// examples) is exempt when true.
+    pub skip_test_code: bool,
+    pub check: fn(&FileCtx<'_>, &mut dyn FnMut(u32, String)),
+}
+
+/// Crates whose results feed the bit-exact propagation contract: any
+/// floating-point reduction or container iteration here must have a
+/// fixed, thread/rank-count-independent order.
+const NUMERIC_CRATES: &[&str] = &[
+    "num", "par", "fft", "linalg", "lattice", "pseudo", "xc", "mpi", "ham", "scf", "core",
+];
+
+/// Kernel crates where wall-clock reads would make results depend on when
+/// (or how fast) they ran — breaking bit-exact kill-and-resume.
+const KERNEL_CRATES: &[&str] = &["fft", "linalg", "ham", "core"];
+
+/// Library crates under the workspace typed-`PtError` policy (PR 1).
+const TYPED_ERROR_CRATES: &[&str] = &["core", "ham", "serve", "io"];
+
+/// The registry. Meta diagnostics `invalid-pragma` and `unused-pragma`
+/// are produced by the driver, not listed here (they cannot be allowed).
+pub const LINTS: &[LintSpec] = &[
+    LintSpec {
+        name: "undocumented-unsafe",
+        rationale: "every `unsafe` block/impl must carry an adjacent `// SAFETY:` comment stating the invariant that makes it sound",
+        scope: Scope::All,
+        skip_test_code: false,
+        check: check_undocumented_unsafe,
+    },
+    LintSpec {
+        name: "library-unwrap",
+        rationale: "library code returns typed `PtError`s; `unwrap`/`panic!` turn recoverable conditions into aborts, and `expect` must state a provable invariant (`expect(\"invariant: …\")`)",
+        scope: Scope::Only(TYPED_ERROR_CRATES),
+        skip_test_code: true,
+        check: check_library_unwrap,
+    },
+    LintSpec {
+        name: "nondeterministic-iteration",
+        rationale: "HashMap/HashSet iteration order varies run-to-run; numeric crates must use Vec/BTreeMap so every traversal is reproducible (keyed-lookup-only uses get a documented allow)",
+        scope: Scope::Only(NUMERIC_CRATES),
+        skip_test_code: true,
+        check: check_nondeterministic_iteration,
+    },
+    LintSpec {
+        name: "raw-thread-spawn",
+        rationale: "compute threads must come from pt-par pools / pt-mpi rank teams, whose chunking keeps results bit-identical for any thread count; ad-hoc `std::thread::spawn` escapes that contract",
+        scope: Scope::Except(&["par", "mpi"]),
+        skip_test_code: true,
+        check: check_raw_thread_spawn,
+    },
+    LintSpec {
+        name: "wallclock-in-kernel",
+        rationale: "`Instant::now`/`SystemTime` in kernel crates make results depend on wall-clock, breaking bit-exact kill-and-resume",
+        scope: Scope::Only(KERNEL_CRATES),
+        skip_test_code: true,
+        check: check_wallclock_in_kernel,
+    },
+    LintSpec {
+        name: "float-fold-order",
+        rationale: "iterator `sum`/`fold` bakes an implicit reduction order into call sites; numeric crates must reduce through the canonical helpers (`pt_num::reduce`) or `pt_par::parallel_reduce` so the order is a named, pinned contract",
+        scope: Scope::Only(NUMERIC_CRATES),
+        skip_test_code: true,
+        check: check_float_fold_order,
+    },
+];
+
+/// Names of the driver-produced meta diagnostics (reported alongside the
+/// registry lints, never suppressible).
+pub const META_LINTS: &[&str] = &["invalid-pragma", "unused-pragma"];
+
+fn is_ident(t: &Tok<'_>, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text && !t.raw
+}
+
+fn is_punct(t: Option<&Tok<'_>>, text: &str) -> bool {
+    matches!(t, Some(t) if t.kind == TokKind::Punct && t.text == text)
+}
+
+/// `unsafe` (block, fn, impl, trait) without an *adjacent* `// SAFETY:`
+/// comment: on the same line, or in the contiguous run of comment lines
+/// directly above (a multi-line `// SAFETY: …` block counts as one unit).
+fn check_undocumented_unsafe(ctx: &FileCtx<'_>, emit: &mut dyn FnMut(u32, String)) {
+    // (start_line, end_line, mentions SAFETY) per comment token; block
+    // comments span lines, line comments are one line each
+    let spans: Vec<(u32, u32, bool)> = ctx
+        .comments
+        .iter()
+        .map(|c| {
+            let end = c.line + c.text.matches('\n').count() as u32;
+            (c.line, end, c.text.contains("SAFETY:"))
+        })
+        .collect();
+    let covering = |line: u32| spans.iter().find(|s| s.0 <= line && line <= s.1);
+    for t in &ctx.code {
+        if !is_ident(t, "unsafe") {
+            continue;
+        }
+        let mut documented = spans.iter().any(|s| s.0 <= t.line && t.line <= s.1 && s.2);
+        let mut l = t.line;
+        // the comment block may sit above the *statement* rather than the
+        // `unsafe` token itself (`let x =\n    unsafe { … }`): tolerate a
+        // single interposed code line on the way up
+        let mut gap = 1u32;
+        while !documented && l > 1 {
+            match covering(l - 1) {
+                Some(&(start, _, safety)) => {
+                    documented = safety;
+                    l = start;
+                }
+                None if gap > 0 => {
+                    gap -= 1;
+                    l -= 1;
+                }
+                None => break,
+            }
+        }
+        if !documented {
+            emit(
+                t.line,
+                "`unsafe` without an adjacent `// SAFETY:` comment (same line, or in the comment block directly above) stating the invariant that makes it sound".into(),
+            );
+        }
+    }
+}
+
+/// `.unwrap()`, `.expect(<non-invariant>)`, and `panic!` in library code.
+fn check_library_unwrap(ctx: &FileCtx<'_>, emit: &mut dyn FnMut(u32, String)) {
+    let code = &ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if is_ident(t, "unwrap")
+            && i > 0
+            && is_punct(code.get(i - 1), ".")
+            && is_punct(code.get(i + 1), "(")
+        {
+            emit(
+                t.line,
+                "`unwrap()` in library code — propagate a typed `PtError`, or `expect(\"invariant: …\")` where the invariant is locally provable".into(),
+            );
+        }
+        if is_ident(t, "expect")
+            && i > 0
+            && is_punct(code.get(i - 1), ".")
+            && is_punct(code.get(i + 1), "(")
+        {
+            let ok = matches!(
+                code.get(i + 2),
+                Some(m) if m.kind == TokKind::StrLit && m.text.starts_with("\"invariant: ")
+            );
+            if !ok {
+                emit(
+                    t.line,
+                    "`expect(…)` in library code must state a locally provable invariant: `expect(\"invariant: <why this cannot fail>\")`".into(),
+                );
+            }
+        }
+        if is_ident(t, "panic") && is_punct(code.get(i + 1), "!") {
+            emit(
+                t.line,
+                "`panic!` in library code — return a typed `PtError` instead".into(),
+            );
+        }
+    }
+}
+
+/// Any `HashMap`/`HashSet` mention in a numeric crate.
+fn check_nondeterministic_iteration(ctx: &FileCtx<'_>, emit: &mut dyn FnMut(u32, String)) {
+    for t in &ctx.code {
+        if is_ident(t, "HashMap") || is_ident(t, "HashSet") {
+            emit(
+                t.line,
+                format!(
+                    "`{}` in a numeric crate: iteration order is nondeterministic — use `Vec`/`BTreeMap`, or allow with a reason proving the use is keyed-lookup-only",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `thread::spawn` outside the two crates that own thread lifecycles.
+fn check_raw_thread_spawn(ctx: &FileCtx<'_>, emit: &mut dyn FnMut(u32, String)) {
+    let code = &ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if is_ident(t, "spawn")
+            && i >= 3
+            && is_punct(code.get(i - 1), ":")
+            && is_punct(code.get(i - 2), ":")
+            && is_ident(&code[i - 3], "thread")
+        {
+            emit(
+                t.line,
+                "raw `std::thread::spawn` outside pt-par/pt-mpi — compute goes through `pt_par` primitives; an infrastructure (IO/supervision) thread needs a documented allow".into(),
+            );
+        }
+    }
+}
+
+/// `Instant::now` / `SystemTime` in kernel crates.
+fn check_wallclock_in_kernel(ctx: &FileCtx<'_>, emit: &mut dyn FnMut(u32, String)) {
+    let code = &ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if is_ident(t, "Instant")
+            && is_punct(code.get(i + 1), ":")
+            && is_punct(code.get(i + 2), ":")
+            && matches!(code.get(i + 3), Some(n) if is_ident(n, "now"))
+        {
+            emit(
+                t.line,
+                "`Instant::now()` in a kernel crate: results must not depend on wall-clock (bit-exact kill-and-resume)".into(),
+            );
+        }
+        if is_ident(t, "SystemTime") {
+            emit(
+                t.line,
+                "`SystemTime` in a kernel crate: results must not depend on wall-clock (bit-exact kill-and-resume)".into(),
+            );
+        }
+    }
+}
+
+const FLOAT_TYPES: &[&str] = &["f32", "f64", "c64"];
+
+/// `.fold(…)`, `.sum()`, `.sum::<f64>()` (and `product`) in numeric
+/// crates. Integer-typed `sum::<usize>()` etc. is fine — the order
+/// concern is floating-point non-associativity.
+fn check_float_fold_order(ctx: &FileCtx<'_>, emit: &mut dyn FnMut(u32, String)) {
+    let code = &ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if i == 0 || !is_punct(code.get(i - 1), ".") {
+            continue;
+        }
+        if is_ident(t, "fold") && is_punct(code.get(i + 1), "(") {
+            emit(
+                t.line,
+                "iterator `fold` in a numeric crate — reduce through `pt_num::reduce::{sum_f64, max_f64, min_f64}` (the canonical fixed order) or `pt_par::parallel_reduce`".into(),
+            );
+            continue;
+        }
+        if !(is_ident(t, "sum") || is_ident(t, "product")) {
+            continue;
+        }
+        if is_punct(code.get(i + 1), "(") {
+            emit(
+                t.line,
+                format!(
+                    "untyped iterator `{}()` in a numeric crate — if the element type is floating-point the reduction order is implicit; use `pt_num::reduce` helpers (or annotate an integer type)",
+                    t.text
+                ),
+            );
+        } else if is_punct(code.get(i + 1), ":")
+            && is_punct(code.get(i + 2), ":")
+            && is_punct(code.get(i + 3), "<")
+        {
+            let float = matches!(
+                code.get(i + 4),
+                Some(ty) if ty.kind == TokKind::Ident && FLOAT_TYPES.contains(&ty.text)
+            );
+            if float {
+                emit(
+                    t.line,
+                    format!(
+                        "iterator `{}::<{}>()` in a numeric crate — use `pt_num::reduce` helpers so the reduction order is a named, pinned contract",
+                        t.text,
+                        code[i + 4].text
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! `pt-analyze` — walk the workspace, run every lint, exit nonzero on
+//! findings.
+//!
+//! ```text
+//! pt-analyze [--root <dir>] [--format human|json] [--list-lints]
+//! ```
+//!
+//! With no `--root`, the workspace is discovered by walking up from the
+//! current directory to the first `Cargo.toml` containing `[workspace]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = "human".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a directory"),
+            },
+            "--format" => match args.next() {
+                Some(v) if v == "human" || v == "json" => format = v,
+                _ => return usage("--format must be `human` or `json`"),
+            },
+            "--list-lints" => {
+                print!("{}", pt_analyze::report::lint_list());
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root.map(Ok).unwrap_or_else(discover_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pt-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match pt_analyze::analyze_workspace(&root) {
+        Ok(report) => {
+            if format == "json" {
+                print!("{}", pt_analyze::report::json(&report));
+            } else {
+                print!("{}", pt_analyze::report::human(&report));
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("pt-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walk up from the current directory to the workspace root.
+fn discover_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("current_dir: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml above the current directory (use --root)".into());
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("pt-analyze: {err}");
+    }
+    eprintln!("usage: pt-analyze [--root <dir>] [--format human|json] [--list-lints]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,100 @@
+//! Human and JSON reporters.
+
+use crate::lints::LINTS;
+use crate::Report;
+use std::fmt::Write as _;
+
+/// Compiler-style text report: one `file:line: [lint] message` per
+/// finding, then a summary line.
+pub fn human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.lint, f.message);
+    }
+    if report.clean() {
+        let _ = writeln!(
+            out,
+            "pt-analyze: clean — {} files, {} lints, {} documented suppressions in use",
+            report.files_scanned,
+            LINTS.len(),
+            report.suppressions_used
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "pt-analyze: {} finding(s) in {} files scanned",
+            report.findings.len(),
+            report.files_scanned
+        );
+    }
+    out
+}
+
+/// Machine-readable report for CI job summaries.
+pub fn json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"file\": {}, \"line\": {}, \"lint\": {}, \"message\": {}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.lint),
+            json_str(&f.message)
+        );
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    let _ = write!(
+        out,
+        "],\n  \"total\": {},\n  \"files_scanned\": {},\n  \"suppressions_used\": {},\n  \"clean\": {}\n}}\n",
+        report.findings.len(),
+        report.files_scanned,
+        report.suppressions_used,
+        report.clean()
+    );
+    out
+}
+
+/// Minimal JSON string escaping (the only JSON we emit is this report;
+/// pulling in pt-io would couple the linter to the tree it audits).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `--list-lints` output: every lint and the invariant it protects.
+pub fn lint_list() -> String {
+    let mut out = String::new();
+    for l in LINTS {
+        let _ = writeln!(out, "{:28} {}", l.name, l.rationale);
+    }
+    let _ = writeln!(
+        out,
+        "{:28} a `pt-analyze:` pragma is malformed or missing its mandatory reason",
+        "invalid-pragma"
+    );
+    let _ = writeln!(
+        out,
+        "{:28} an `allow` pragma suppresses nothing — stale allows hide future violations",
+        "unused-pragma"
+    );
+    out
+}

@@ -1,0 +1,43 @@
+//! Deterministic workspace file walker.
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, VCS metadata, and
+/// the analyzer's own seeded-violation fixtures.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", ".github"];
+
+/// All `.rs` files under `root`, as workspace-relative `/`-separated
+/// paths, sorted (so reports and exit codes are reproducible).
+pub fn rust_sources(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    descend(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn descend(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            descend(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(relative(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,28 @@
+//! Fixture: seeded `float-fold-order` violations (`fold`, untyped `sum()`,
+//! `sum::<f64>()`), the integer-typed form that is fine, and a pragma.
+//! Not compiled — fed to `check_source`.
+
+pub fn bad_typed_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+pub fn bad_fold(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, |a, b| a + b)
+}
+
+pub fn bad_untyped_sum(xs: &[f64]) -> f64 {
+    let s: f64 = xs.iter().sum();
+    s
+}
+
+pub fn bad_product(xs: &[f64]) -> f64 {
+    xs.iter().product::<f64>()
+}
+
+pub fn ok_integer_sum(xs: &[usize]) -> usize {
+    xs.iter().sum::<usize>()
+}
+
+pub fn suppressed(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() // pt-analyze: allow(float-fold-order) — fixture: this IS the reference order
+}

@@ -1,0 +1,38 @@
+//! Fixture: seeded `library-unwrap` violations, the sanctioned
+//! `expect("invariant: …")` form, a pragma suppression, and test-code
+//! exemption. Not compiled — fed to `check_source`.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("should be set")
+}
+
+pub fn bad_panic(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+pub fn ok_invariant_expect(v: Option<u32>) -> u32 {
+    v.expect("invariant: caller checked is_some() above")
+}
+
+pub fn suppressed_trailing(v: Option<u32>) -> u32 {
+    v.unwrap() // pt-analyze: allow(library-unwrap) — fixture: trailing pragma on its own line of code
+}
+
+pub fn suppressed_own_line(v: Option<u32>) -> u32 {
+    // pt-analyze: allow(library-unwrap) — fixture: own-line pragma covers the next line
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_code() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: seeded `nondeterministic-iteration` violations (any
+//! `HashMap`/`HashSet` mention in a numeric crate) and a documented
+//! keyed-lookup-only allow. Not compiled — fed to `check_source`.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn bad_build() -> Vec<(u64, f64)> {
+    let m: HashMap<u64, f64> = HashMap::new();
+    m.into_iter().collect()
+}
+
+pub fn suppressed() -> usize {
+    // pt-analyze: allow(nondeterministic-iteration) — fixture: keyed lookup only, never iterated
+    let s: HashSet<u64> = Default::default();
+    s.len()
+}

@@ -1,0 +1,17 @@
+//! Fixture: malformed and stale pragmas driving the `invalid-pragma` /
+//! `unused-pragma` meta diagnostics. Not compiled — fed to `check_source`.
+
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    // pt-analyze: allow(library-unwrap)
+    v.unwrap()
+}
+
+pub fn unknown_lint(v: Option<u32>) -> u32 {
+    // pt-analyze: allow(no-such-lint) — typo'd lint name
+    v.unwrap()
+}
+
+pub fn stale_allow(v: u32) -> u32 {
+    // pt-analyze: allow(library-unwrap) — fixture: nothing on the next line to suppress
+    v + 1
+}

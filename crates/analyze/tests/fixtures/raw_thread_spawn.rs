@@ -1,0 +1,13 @@
+//! Fixture: seeded `raw-thread-spawn` violation plus a documented
+//! infrastructure-thread allow. Not compiled — fed to `check_source`,
+//! which also replays it under a `crates/par/` path label to check the
+//! scope exemption.
+
+pub fn bad_compute() {
+    std::thread::spawn(|| {});
+}
+
+pub fn ok_io_pump() {
+    // pt-analyze: allow(raw-thread-spawn) — fixture: IO pump thread, carries no compute
+    std::thread::spawn(|| {});
+}

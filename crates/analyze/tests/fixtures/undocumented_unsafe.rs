@@ -1,0 +1,23 @@
+//! Fixture: seeded `undocumented-unsafe` violations and sanctioned forms.
+//! Not compiled — fed to `check_source` by `tests/fixture_tests.rs`.
+
+pub fn bad(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn good_same_line(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: caller guarantees p is valid for reads
+}
+
+pub fn good_above(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads
+    unsafe { *p }
+}
+
+pub fn good_spilled(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads; the comment block
+    // sits above the whole statement, one code line above the keyword
+    let v =
+        unsafe { *p };
+    v
+}

@@ -1,0 +1,20 @@
+//! Fixture: seeded `wallclock-in-kernel` violations (`Instant::now`,
+//! `SystemTime`) and a documented allow. Not compiled — fed to
+//! `check_source` under a kernel-crate path label and a non-kernel one.
+
+use std::time::Instant;
+
+pub fn bad_instant() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn bad_systemtime() -> bool {
+    std::time::SystemTime::now().elapsed().is_ok()
+}
+
+pub fn suppressed() -> f64 {
+    // pt-analyze: allow(wallclock-in-kernel) — fixture: diagnostics-only timing, never feeds results
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,127 @@
+//! Unit tests for the hand-rolled lexer on the token shapes that make
+//! naive regex scanning wrong: raw strings, nested block comments, the
+//! lifetime-vs-char-literal ambiguity, raw identifiers, and float exponents.
+
+use pt_analyze::lexer::{lex, Tok, TokKind};
+
+fn kinds(src: &str) -> Vec<(TokKind, String)> {
+    lex(src)
+        .into_iter()
+        .map(|t| (t.kind, t.text.to_string()))
+        .collect()
+}
+
+fn of_kind<'a>(toks: &'a [Tok<'a>], kind: TokKind) -> Vec<&'a str> {
+    toks.iter()
+        .filter(|t| t.kind == kind)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn raw_string_with_hashes_swallows_quotes_and_comments() {
+    // The body contains `"#` and `//` and `unsafe` — none of it may leak
+    // out as real tokens.
+    let src = r####"let s = r##"quote " hash "# and // not a comment, unsafe"##; let x = 1;"####;
+    let toks = lex(src);
+    let strs = of_kind(&toks, TokKind::StrLit);
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].starts_with("r##\""));
+    assert!(strs[0].ends_with("\"##"));
+    assert!(of_kind(&toks, TokKind::LineComment).is_empty());
+    // `unsafe` inside the raw string is not an ident token.
+    assert!(!of_kind(&toks, TokKind::Ident).contains(&"unsafe"));
+    // Tokens after the raw string still lex.
+    assert!(of_kind(&toks, TokKind::Ident).contains(&"x"));
+}
+
+#[test]
+fn byte_and_raw_byte_strings() {
+    let toks = lex(r###"let a = b"bytes"; let b = br#"raw " bytes"#;"###);
+    let strs = of_kind(&toks, TokKind::StrLit);
+    assert_eq!(strs.len(), 2);
+    assert!(strs[0].starts_with("b\""));
+    assert!(strs[1].starts_with("br#\""));
+}
+
+#[test]
+fn nested_block_comments_terminate_at_matching_depth() {
+    let src = "before /* outer /* inner */ still comment */ after";
+    let toks = lex(src);
+    let idents = of_kind(&toks, TokKind::Ident);
+    assert_eq!(idents, vec!["before", "after"]);
+    let blocks = of_kind(&toks, TokKind::BlockComment);
+    assert_eq!(blocks.len(), 1);
+    assert!(blocks[0].contains("inner"));
+}
+
+#[test]
+fn lifetime_vs_char_literal() {
+    // 'a in a generic position is a lifetime; 'a' is a char literal;
+    // '\n' is a char literal with an escape.
+    let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+    let lifetimes = of_kind(&toks, TokKind::Lifetime);
+    assert_eq!(lifetimes, vec!["'a", "'a"]);
+    let chars = of_kind(&toks, TokKind::CharLit);
+    assert_eq!(chars, vec!["'a'", "'\\n'"]);
+}
+
+#[test]
+fn lifetime_static_is_not_a_char() {
+    let toks = lex("static X: &'static str = \"s\";");
+    assert_eq!(of_kind(&toks, TokKind::Lifetime), vec!["'static"]);
+    assert!(of_kind(&toks, TokKind::CharLit).is_empty());
+}
+
+#[test]
+fn raw_identifiers_strip_prefix_and_mark_raw() {
+    let toks = lex("let r#unsafe = r#fn();");
+    let raws: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && t.raw)
+        .map(|t| t.text)
+        .collect();
+    assert_eq!(raws, vec!["unsafe", "fn"]);
+    // A raw `r#unsafe` ident must NOT look like the `unsafe` keyword to
+    // keyword-matching lints (they check `raw == false`).
+    assert!(toks
+        .iter()
+        .all(|t| !t.is(TokKind::Ident, "unsafe") || t.raw));
+}
+
+#[test]
+fn numbers_with_exponents_and_ranges() {
+    let toks = lex("let a = 1e-12; let b = 0..n; let c = 1_000.5f64;");
+    let nums = of_kind(&toks, TokKind::NumLit);
+    assert!(nums.contains(&"1e-12"));
+    assert!(nums.contains(&"1_000.5f64"));
+    // `0..n` must not eat the range dots into the number.
+    assert!(nums.contains(&"0"));
+    assert!(of_kind(&toks, TokKind::Ident).contains(&"n"));
+}
+
+#[test]
+fn line_numbers_are_one_based_and_track_newlines_in_tokens() {
+    let src = "a\n/* two\nlines */\nb";
+    let toks = lex(src);
+    let a = toks.iter().find(|t| t.is(TokKind::Ident, "a")).unwrap();
+    let b = toks.iter().find(|t| t.is(TokKind::Ident, "b")).unwrap();
+    assert_eq!(a.line, 1);
+    assert_eq!(b.line, 4);
+}
+
+#[test]
+fn string_escapes_do_not_end_the_literal_early() {
+    let toks = lex(r#"let s = "a \" b"; let t = 1;"#);
+    let strs = of_kind(&toks, TokKind::StrLit);
+    assert_eq!(strs, vec![r#""a \" b""#]);
+    assert!(of_kind(&toks, TokKind::Ident).contains(&"t"));
+}
+
+#[test]
+fn doc_and_plain_comments_are_distinct_tokens() {
+    let toks = lex("/// doc\n//! inner\n// plain\nfn f() {}");
+    let comments = of_kind(&toks, TokKind::LineComment);
+    assert_eq!(comments.len(), 3);
+    assert_eq!(kinds("fn f() {}").len(), lex("fn f() {}").len());
+}

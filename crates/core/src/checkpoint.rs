@@ -542,7 +542,11 @@ fn write_series(w: &mut SnapshotWriter, s: &TimeSeries) -> Result<(), PtError> {
     let names = s.channel_names();
     w.put_str("series/channels", &names.join("\n"))?;
     for name in names {
-        w.put_f64s(&format!("series/ch/{name}"), s.channel(name).unwrap())?;
+        w.put_f64s(
+            &format!("series/ch/{name}"),
+            s.channel(name)
+                .expect("invariant: name came from channel_names()"),
+        )?;
     }
     Ok(())
 }

@@ -370,7 +370,8 @@ impl Propagator for DistributedPtCnPropagator {
                 laser,
                 state,
                 dt,
-                mode.refresh_interval().expect("ACE mode has an interval"),
+                mode.refresh_interval()
+                    .expect("invariant: the non-Full match arm only sees ACE modes, which carry an interval"),
                 mode.inner_substeps(),
                 &mut self.mixer,
                 &mut self.ace,

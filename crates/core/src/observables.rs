@@ -40,7 +40,7 @@ pub fn density_matrix_distance(psi1: &CMat, psi2: &CMat) -> f64 {
         c64::ZERO,
         &mut o,
     );
-    let cross: f64 = o.data().iter().map(|z| z.norm_sqr()).sum();
+    let cross: f64 = pt_num::reduce::sum_f64(o.data().iter().map(|z| z.norm_sqr()));
     (2.0 * nb as f64 - 2.0 * cross).max(0.0).sqrt()
 }
 

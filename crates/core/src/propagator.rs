@@ -645,7 +645,9 @@ pub(crate) fn ace_ptcn_step(
     let sub_dt = dt / inner_substeps as f64;
 
     if !refresh_due {
-        let ace = ace_slot.as_mut().expect("non-stale ACE slot is populated");
+        let ace = ace_slot
+            .as_mut()
+            .expect("invariant: refresh_due is false only when the slot holds a valid projector");
         let mut total = StepStats {
             converged: true,
             ..StepStats::default()
@@ -696,8 +698,12 @@ pub(crate) fn ace_ptcn_step(
         if rounds > 1 {
             let raws = prev_raws
                 .as_ref()
-                .expect("round ≥ 2 has prior raw iterates");
-            xi_f = kernels.build_ace(sys, raws.last().expect("≥ 1 substep"))?;
+                .expect("invariant: every completed round stores its raw iterates before looping");
+            xi_f = kernels.build_ace(
+                sys,
+                raws.last()
+                    .expect("invariant: inner_substeps >= 1, so raws is non-empty"),
+            )?;
         }
         let mut trial = state.clone();
         let mut raws: Vec<CMat> = Vec::with_capacity(inner_substeps);
@@ -745,7 +751,8 @@ pub(crate) fn ace_ptcn_step(
             break;
         }
     }
-    let (trial, mut stats) = accepted.expect("at least one refresh round ran");
+    let (trial, mut stats) = accepted
+        .expect("invariant: ACE_MAX_REFRESH_ROUNDS >= 1, so the loop body ran at least once");
     stats.scf_iterations = total_scf;
     stats.h_applications = total_h;
     stats.converged &= outer_converged;
@@ -816,7 +823,8 @@ impl Propagator for PtCnPropagator {
                 laser,
                 state,
                 dt,
-                mode.refresh_interval().expect("ACE mode has an interval"),
+                mode.refresh_interval()
+                    .expect("invariant: the non-Full match arm only sees ACE modes, which carry an interval"),
                 mode.inner_substeps(),
                 &mut self.mixer,
                 &mut self.ace,

@@ -125,9 +125,10 @@ impl AceOperator {
     pub fn energy(&self, psi: &CMat, occ: &[f64]) -> f64 {
         let mut v = CMat::zeros(psi.nrows(), psi.ncols());
         self.apply_block(psi, &mut v);
-        (0..psi.ncols())
-            .map(|j| 0.5 * occ[j] * pt_num::complex::zdotc(psi.col(j), v.col(j)).re)
-            .sum()
+        pt_num::reduce::sum_f64(
+            (0..psi.ncols())
+                .map(|j| 0.5 * occ[j] * pt_num::complex::zdotc(psi.col(j), v.col(j)).re),
+        )
     }
 
     /// Rank of the compression (N_φ).

@@ -17,6 +17,7 @@ pub fn density_from_orbitals(grids: &PwGrids, orbitals: &CMat, occ: &[f64]) -> V
     let nd = grids.n_dense();
     (0..orbitals.ncols())
         .into_par_iter()
+        // pt-analyze: allow(float-fold-order) — the rayon shim drives this fold as ONE band-ordered sequential accumulator (scratch reuse, not a reduction tree); a real-rayon swap must reroute it through pt_par::parallel_reduce
         .fold(
             || (vec![0.0f64; nd], vec![c64::ZERO; nd]),
             |(mut acc, mut work), i| {
@@ -42,7 +43,7 @@ pub fn density_from_orbitals(grids: &PwGrids, orbitals: &CMat, occ: &[f64]) -> V
 
 /// ∫ρ dr (electron-count check).
 pub fn integrate(grids: &PwGrids, rho: &[f64]) -> f64 {
-    rho.iter().sum::<f64>() * grids.volume / grids.n_dense() as f64
+    pt_num::reduce::sum_f64(rho.iter().copied()) * grids.volume / grids.n_dense() as f64
 }
 
 /// The convergence metric used throughout the stack (PT-CN fixed point,
@@ -52,12 +53,7 @@ pub fn integrate(grids: &PwGrids, rho: &[f64]) -> f64 {
 /// against the same number.
 pub fn density_residual(rho_new: &[f64], rho_old: &[f64], volume: f64) -> f64 {
     debug_assert_eq!(rho_new.len(), rho_old.len());
-    rho_new
-        .iter()
-        .zip(rho_old)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max)
-        * volume
+    pt_num::reduce::max_f64(rho_new.iter().zip(rho_old).map(|(a, b)| (a - b).abs())) * volume
 }
 
 #[cfg(test)]

@@ -171,6 +171,7 @@ impl FockOperator {
             FockMode::Batched => self
                 .phi_real
                 .par_iter()
+                // pt-analyze: allow(float-fold-order) — the rayon shim drives this fold as ONE φ-ordered sequential accumulator (pair-FFT scratch reuse); a real-rayon swap must reroute it through pt_par::parallel_reduce
                 .fold(
                     || (vec![c64::ZERO; nw], vec![c64::ZERO; nw]),
                     |(mut acc, mut pair), phi| {
@@ -281,9 +282,10 @@ impl FockOperator {
         assert_eq!(psi.ncols(), occ.len());
         let mut v = CMat::zeros(grids.ng(), psi.ncols());
         self.apply_block(grids, psi, &mut v);
-        (0..psi.ncols())
-            .map(|j| 0.5 * occ[j] * pt_num::complex::zdotc(psi.col(j), v.col(j)).re)
-            .sum()
+        pt_num::reduce::sum_f64(
+            (0..psi.ncols())
+                .map(|j| 0.5 * occ[j] * pt_num::complex::zdotc(psi.col(j), v.col(j)).re),
+        )
     }
 }
 

@@ -29,7 +29,7 @@ pub fn hartree_potential(
     fft.inverse(&mut work);
     let vh: Vec<f64> = work.iter().map(|z| z.re).collect();
     let dv = volume / n as f64;
-    let eh = 0.5 * vh.iter().zip(rho).map(|(v, r)| v * r).sum::<f64>() * dv;
+    let eh = 0.5 * pt_num::reduce::sum_f64(vh.iter().zip(rho).map(|(v, r)| v * r)) * dv;
     (vh, eh)
 }
 

@@ -632,11 +632,9 @@ impl KsSystem {
         let mut kinetic = 0.0;
         for (j, &f) in self.occupations.iter().enumerate() {
             let col = orbitals.col(j);
-            kinetic += f * col
-                .iter()
-                .zip(&kin_diag)
-                .map(|(c, k)| k * c.norm_sqr())
-                .sum::<f64>();
+            kinetic += f * pt_num::reduce::sum_f64(
+                col.iter().zip(&kin_diag).map(|(c, k)| k * c.norm_sqr()),
+            );
         }
         let nonlocal = self
             .nonlocal

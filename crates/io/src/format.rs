@@ -249,12 +249,12 @@ impl<'a> Cursor<'a> {
 
     fn u32(&mut self) -> Option<u32> {
         self.take(4)
-            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+            .map(|b| u32::from_le_bytes(b.try_into().expect("invariant: take(4) is 4 bytes")))
     }
 
     fn u64(&mut self) -> Option<u64> {
         self.take(8)
-            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .map(|b| u64::from_le_bytes(b.try_into().expect("invariant: take(8) is 8 bytes")))
     }
 }
 
@@ -279,15 +279,23 @@ impl SnapshotFile {
             return Err(format_err(path, "bad magic (not a pt-io snapshot)"));
         }
         let mut cur = Cursor { bytes, pos: 8 };
-        let version = cur.u32().unwrap();
+        let version = cur
+            .u32()
+            .expect("invariant: bytes.len() >= HEADER_LEN was checked above");
         if version != FORMAT_VERSION {
             return Err(format_err(
                 path,
                 format!("format version {version} (this build reads {FORMAT_VERSION})"),
             ));
         }
-        let n_sections = cur.u32().unwrap() as usize;
-        let table_offset = cur.u64().unwrap() as usize;
+        let n_sections = cur
+            .u32()
+            .expect("invariant: bytes.len() >= HEADER_LEN was checked above")
+            as usize;
+        let table_offset = cur
+            .u64()
+            .expect("invariant: bytes.len() >= HEADER_LEN was checked above")
+            as usize;
         if table_offset < HEADER_LEN || table_offset > bytes.len() {
             return Err(format_err(
                 path,
@@ -394,7 +402,7 @@ impl SnapshotFile {
         }
         Ok(s.payload
             .chunks_exact(8)
-            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .map(|b| u64::from_le_bytes(b.try_into().expect("invariant: chunks_exact(8)")))
             .collect())
     }
 
@@ -412,7 +420,11 @@ impl SnapshotFile {
         }
         Ok(s.payload
             .chunks_exact(8)
-            .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+            .map(|b| {
+                f64::from_bits(u64::from_le_bytes(
+                    b.try_into().expect("invariant: chunks_exact(8)"),
+                ))
+            })
             .collect())
     }
 
@@ -464,15 +476,31 @@ impl SnapshotFile {
         match s.kind {
             Kind::CMatF64 => {
                 for pair in s.payload[16..].chunks_exact(16) {
-                    let re = f64::from_bits(u64::from_le_bytes(pair[..8].try_into().unwrap()));
-                    let im = f64::from_bits(u64::from_le_bytes(pair[8..].try_into().unwrap()));
+                    let re = f64::from_bits(u64::from_le_bytes(
+                        pair[..8]
+                            .try_into()
+                            .expect("invariant: 16-byte chunk halves"),
+                    ));
+                    let im = f64::from_bits(u64::from_le_bytes(
+                        pair[8..]
+                            .try_into()
+                            .expect("invariant: 16-byte chunk halves"),
+                    ));
                     data.push(c64::new(re, im));
                 }
             }
             _ => {
                 for pair in s.payload[16..].chunks_exact(8) {
-                    let re = f32::from_bits(u32::from_le_bytes(pair[..4].try_into().unwrap()));
-                    let im = f32::from_bits(u32::from_le_bytes(pair[4..].try_into().unwrap()));
+                    let re = f32::from_bits(u32::from_le_bytes(
+                        pair[..4]
+                            .try_into()
+                            .expect("invariant: 8-byte chunk halves"),
+                    ));
+                    let im = f32::from_bits(u32::from_le_bytes(
+                        pair[4..]
+                            .try_into()
+                            .expect("invariant: 8-byte chunk halves"),
+                    ));
                     data.push(c64::new(re as f64, im as f64));
                 }
             }

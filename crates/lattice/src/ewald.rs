@@ -31,17 +31,15 @@ pub fn ewald_energy_charges(
     assert_eq!(pos.len(), charges.len());
     let n = pos.len();
     let vol = cell.volume();
-    let ztot: f64 = charges.iter().sum();
-    let z2: f64 = charges.iter().map(|z| z * z).sum();
+    let ztot: f64 = pt_num::reduce::sum_f64(charges.iter().copied());
+    let z2: f64 = pt_num::reduce::sum_f64(charges.iter().map(|z| z * z));
 
     // split parameter: balances real/reciprocal work
     let eta = eta.unwrap_or_else(|| {
-        let l_min = (0..3)
-            .map(|i| {
-                let a = cell.lattice()[i];
-                (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt()
-            })
-            .fold(f64::INFINITY, f64::min);
+        let l_min = pt_num::reduce::min_f64((0..3).map(|i| {
+            let a = cell.lattice()[i];
+            (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt()
+        }));
         3.5 / l_min * (n as f64).powf(1.0 / 6.0).max(1.0)
     });
 

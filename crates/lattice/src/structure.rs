@@ -55,7 +55,7 @@ pub struct Structure {
 impl Structure {
     /// Total valence electron count (spin-degenerate).
     pub fn n_electrons(&self) -> f64 {
-        self.atoms.iter().map(|a| a.species.z_valence()).sum()
+        pt_num::reduce::sum_f64(self.atoms.iter().map(|a| a.species.z_valence()))
     }
 
     /// Number of doubly occupied orbitals (N_e/2 for closed shell).

@@ -125,17 +125,18 @@ impl CMat {
 
     /// Frobenius norm.
     pub fn norm_fro(&self) -> f64 {
-        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+        pt_num::reduce::sum_f64(self.data.iter().map(|z| z.norm_sqr())).sqrt()
     }
 
     /// Max |A - B| entry; panics on shape mismatch.
     pub fn max_diff(&self, other: &CMat) -> f64 {
         assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (*a - *b).abs())
-            .fold(0.0, f64::max)
+        pt_num::reduce::max_f64(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| (*a - *b).abs()),
+        )
     }
 
     /// Hermitian deviation ‖A − A^H‖_max (for n×n matrices).

@@ -160,7 +160,7 @@ pub fn lstsq(a: &CMat, b: &[c64], ridge: f64) -> Vec<c64> {
         &mut g,
     );
     // scale-aware ridge
-    let trace: f64 = (0..k).map(|i| g[(i, i)].re).sum();
+    let trace: f64 = pt_num::reduce::sum_f64((0..k).map(|i| g[(i, i)].re));
     let eps = ridge * (trace / k.max(1) as f64).max(1e-300);
     for i in 0..k {
         g[(i, i)] += c64::real(eps);

@@ -5,6 +5,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use pt_num::{c32, c64};
 use pt_par::{RankLayout, ThreadPool};
 use std::any::Any;
+// pt-analyze: allow(nondeterministic-iteration) — HashMap is keyed-lookup-only here (the Comm stash below); it is never iterated
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,6 +63,7 @@ pub struct Comm {
     senders: Vec<Sender<Envelope>>,
     receiver: Receiver<Envelope>,
     /// out-of-order message stash (FIFO per (src, tag) key)
+    // pt-analyze: allow(nondeterministic-iteration) — accessed only by exact (src, tag) key (entry/get_mut/remove); no code path iterates the map, so its order can't leak into results
     stash: HashMap<(usize, u64), VecDeque<Payload>>,
     stats: Arc<CommStats>,
     wire: Wire,
@@ -200,7 +202,7 @@ impl Comm {
             size,
             senders,
             receiver,
-            stash: HashMap::new(),
+            stash: HashMap::new(), // pt-analyze: allow(nondeterministic-iteration) — construction of the keyed-lookup-only stash above
             stats,
             wire,
         }

@@ -194,10 +194,11 @@ impl RankEngine {
         let before = self.stats.snapshot();
         let boxed = |comm: &mut Comm| -> BoxedAny { Box::new(f(comm)) };
         let job: &(dyn Fn(&mut Comm) -> BoxedAny + Sync) = &boxed;
-        // Lifetime erasure to ship the borrow into persistent threads:
-        // sound because this function does not return (or unwind) before
-        // every rank has reported for this job — the same argument as
-        // ThreadPool::run, which blocks on wait_done.
+        // SAFETY: lifetime erasure to ship the borrow into persistent
+        // threads — sound because this function does not return (or
+        // unwind) before every rank has reported for this job, so the
+        // parked rank threads never hold `job` past this frame; same
+        // argument as ThreadPool::run, which blocks on wait_done.
         let job: &'static JobFn = unsafe { std::mem::transmute(job) };
         for tx in &self.job_txs {
             tx.send(RankMsg::Job(job))

@@ -336,7 +336,7 @@ impl DivAssign<f64> for c64 {
 
 impl Sum for c64 {
     fn sum<I: Iterator<Item = c64>>(iter: I) -> c64 {
-        iter.fold(c64::ZERO, |a, b| a + b)
+        crate::reduce::sum_c64(iter)
     }
 }
 
@@ -370,7 +370,7 @@ pub fn zaxpy(alpha: c64, x: &[c64], y: &mut [c64]) {
 /// Euclidean norm of a complex slice.
 #[inline]
 pub fn znrm2(a: &[c64]) -> f64 {
-    a.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    crate::reduce::sum_f64(a.iter().map(|z| z.norm_sqr())).sqrt()
 }
 
 #[cfg(test)]

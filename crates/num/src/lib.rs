@@ -11,6 +11,7 @@
 //! against these types, so this crate is dependency-free.
 
 pub mod complex;
+pub mod reduce;
 pub mod rng;
 pub mod special;
 pub mod units;

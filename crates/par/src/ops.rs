@@ -61,7 +61,9 @@ pub fn parallel_chunks_mut<T: Send>(
         p.run(n_chunks, &|c| {
             let start = c * size;
             let end = (start + size).min(len);
-            // disjoint subslices: each chunk index is claimed exactly once
+            // SAFETY: disjoint subslices — each chunk index is claimed
+            // exactly once, so no two tasks alias; `start..end` is clamped
+            // to `len`, and `data` outlives the pool run (run blocks).
             let chunk =
                 unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
             body(c, chunk);
@@ -78,9 +80,10 @@ pub fn parallel_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> 
     let base = SendPtr(out.as_mut_ptr());
     parallel_for_chunks(n, |_c, range| {
         for i in range {
-            // disjoint writes: every index belongs to exactly one chunk.
-            // (If `f` panics, unwritten slots are never read and written
-            // ones leak — safe, and only on an already-panicking path.)
+            // SAFETY: disjoint writes — every index belongs to exactly one
+            // chunk, and `i < n = out.len()`. (If `f` panics, unwritten
+            // slots are never read and written ones leak — safe, and only
+            // on an already-panicking path.)
             unsafe { base.get().add(i).write(MaybeUninit::new(f(i))) };
         }
     });
@@ -103,6 +106,7 @@ pub fn parallel_reduce<T: Send>(
     if k == 0 {
         return identity();
     }
+    // pt-analyze: allow(float-fold-order) — this IS the deterministic reduction machinery: per-chunk in-order folds whose chunking depends only on n, combined by the fixed pairwise tree below
     let partials = parallel_map(k, |c| chunk_range(n, k, c).fold(identity(), &fold));
     tree_combine(partials, combine)
 }
@@ -130,7 +134,12 @@ pub fn tree_combine<T>(mut parts: Vec<T>, combine: impl Fn(T, T) -> T) -> T {
 /// through [`SendPtr::get`] so closures capture the (Sync) wrapper rather
 /// than the raw pointer field.
 struct SendPtr<T>(*mut T);
+// SAFETY: the pointer targets a `T: Send` buffer owned by the caller of a
+// pool run, which blocks until every task finishes — the buffer outlives
+// all cross-thread access, and use sites write disjoint ranges only.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared access is only `get()` (reading the pointer value, not
+// the pointee); the disjoint-range contract above covers dereferences.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 impl<T> SendPtr<T> {
     fn get(&self) -> *mut T {

@@ -170,9 +170,10 @@ impl ThreadPool {
             }
             return;
         }
-        // Erase the borrow: sound because we block on `wait_done` (and
-        // remove the queue entry) before returning, so no thread touches
-        // `task` after this frame unwinds.
+        // SAFETY: the `'static` is a lie scoped to this frame — we block on
+        // `wait_done` (and remove the queue entry) before returning, so no
+        // worker can touch `task` after this stack frame is gone; the
+        // transmute only erases the lifetime, never the type.
         let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
         let batch = Arc::new(Batch {
             task,
@@ -298,7 +299,10 @@ pub fn with_current<R>(f: impl FnOnce(&ThreadPool) -> R) -> R {
     }
     let installed = INSTALLED.with(|s| s.borrow().last().copied());
     match installed {
-        // Sound: `install` keeps the pool borrowed for the whole scope.
+        // SAFETY: `install` pushed this pointer from a `&ThreadPool` it
+        // keeps borrowed for its whole scope (popped by its drop guard),
+        // and INSTALLED is thread-local — the pool is alive and unaliased
+        // by any &mut for the duration of `f`.
         Some(p) => f(unsafe { &*p }),
         None => f(global()),
     }

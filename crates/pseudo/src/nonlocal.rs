@@ -252,7 +252,11 @@ impl NonlocalPs {
 
     /// Nonlocal energy Σ_i f_i Σ_p h_p |⟨β_p|ψ_i⟩|².
     pub fn energy(&self, psis: &[c64], ng: usize, occ: &[f64]) -> f64 {
-        psis.par_chunks(ng)
+        // parallel per-band energies materialized in band order, then the
+        // canonical serial sum — the reduction order stays pinned even if
+        // the rayon shim is ever swapped for the real (work-stealing) crate
+        let per_band: Vec<f64> = psis
+            .par_chunks(ng)
             .zip(occ.par_iter())
             .map(|(p, &f)| {
                 let mut e = 0.0;
@@ -261,7 +265,8 @@ impl NonlocalPs {
                 }
                 f * e
             })
-            .sum()
+            .collect();
+        pt_num::reduce::sum_f64(per_band)
     }
 }
 

@@ -111,13 +111,9 @@ pub fn lowest_eigenpairs(h: &Hamiltonian, x: &mut CMat, opts: DavidsonOptions) -
         for j in 0..nb {
             // band kinetic energy for the Teter scale, floored so that
             // near-zero-kinetic bands (the G = 0 state) are not crushed
-            let ekin: f64 = x
-                .col(j)
-                .iter()
-                .zip(&kin)
-                .map(|(c, k)| k * c.norm_sqr())
-                .sum::<f64>()
-                .max(0.1);
+            let ekin: f64 =
+                pt_num::reduce::sum_f64(x.col(j).iter().zip(&kin).map(|(c, k)| k * c.norm_sqr()))
+                    .max(0.1);
             let mut rn = 0.0;
             for (i, wv) in wblk.col_mut(j).iter_mut().enumerate() {
                 let r = hxr.col(j)[i] - x.col(j)[i].scale(w[j]);

@@ -112,7 +112,7 @@ fn scf_loop_inner(sys: &KsSystem, opts: ScfOptions) -> Result<ScfResult, PtError
         )));
     }
     let nd = sys.grids.n_dense();
-    let ne: f64 = sys.occupations.iter().sum();
+    let ne: f64 = pt_num::reduce::sum_f64(sys.occupations.iter().copied());
     // neutral uniform start
     let mut rho = vec![ne / sys.grids.volume; nd];
     let mut orbitals = initial_orbitals(sys);

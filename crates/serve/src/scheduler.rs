@@ -146,7 +146,10 @@ impl CorePackingScheduler {
                 .map(|i| i + 1);
             match slot {
                 Some(i) => {
-                    let (id, cores) = self.queue.remove(i).expect("index from position");
+                    let (id, cores) = self
+                        .queue
+                        .remove(i)
+                        .expect("invariant: position() returned an in-bounds index");
                     self.in_use += cores;
                     self.backfills_past_head += 1;
                     started.push((id, cores));

@@ -240,8 +240,10 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, PtError> {
     kick(&shared);
 
     let pump_shared = shared.clone();
+    // pt-analyze: allow(raw-thread-spawn) — event-pump infrastructure thread: drains the mpsc fan-in, touches no numeric state; compute stays on pt-par/pt-mpi inside runners
     let pump_join = std::thread::spawn(move || pump(&pump_shared, &rx));
     let listen_shared = shared.clone();
+    // pt-analyze: allow(raw-thread-spawn) — TCP accept-loop infrastructure thread; blocks on the listener, runs no simulation code
     let listener_join = std::thread::spawn(move || {
         for conn in listener.incoming() {
             if listen_shared.stop.load(Ordering::Acquire) {
@@ -249,6 +251,7 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, PtError> {
             }
             let Ok(stream) = conn else { continue };
             let conn_shared = listen_shared.clone();
+            // pt-analyze: allow(raw-thread-spawn) — one IO thread per client connection (blocking protocol reads); determinism contract is untouched, job compute happens in runners
             std::thread::spawn(move || handle_conn(&conn_shared, stream));
         }
     });
@@ -303,7 +306,7 @@ fn recover_jobs(jobs_dir: &Path, state: &mut ServerState) {
                 let mut spec = JobSpec::from_json(
                     r#"{"name":"<unreadable>","system":{"ecut":1.0},"dt_as":1.0,"steps":1}"#,
                 )
-                .expect("placeholder spec is valid");
+                .expect("invariant: the placeholder spec literal is valid JSON");
                 spec.name = format!("job_{id:08}");
                 state.jobs.insert(
                     id,
@@ -392,6 +395,7 @@ fn kick(shared: &Arc<Shared>) {
 fn spawn_runner(shared: &Arc<Shared>, id: u64) {
     let runner_shared = shared.clone();
     let tx = shared.sender();
+    // pt-analyze: allow(raw-thread-spawn) — per-job supervisor thread (catch_unwind boundary); the simulation inside it draws all compute threads from its pinned pt-par/pt-mpi layout
     let handle = std::thread::spawn(move || {
         let dir = {
             let st = runner_shared.lock_state();
@@ -711,7 +715,10 @@ fn handle_cancel(shared: &Arc<Shared>, msg: &Json) -> Result<Json, PtError> {
         match before {
             JobState::Queued => {
                 st.scheduler.withdraw(id);
-                let j = st.jobs.get_mut(&id).expect("checked above");
+                let j = st
+                    .jobs
+                    .get_mut(&id)
+                    .expect("invariant: presence of id was checked above");
                 j.state = JobState::Cancelled;
                 (JobState::Cancelled, Some(j.dir.clone()))
             }

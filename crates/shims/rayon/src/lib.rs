@@ -233,7 +233,8 @@ pub trait ParallelIterator: Sized {
         }
         impl<T: Send> Sink<T> for Collect<T> {
             fn accept(&self, _chunk: usize, index: usize, item: T) {
-                // disjoint: `index` is delivered exactly once
+                // SAFETY: disjoint writes — `drive` delivers each `index`
+                // exactly once and `index < n`, the buffer's length below.
                 unsafe { self.base.0.add(index).write(MaybeUninit::new(item)) };
             }
         }
@@ -251,7 +252,12 @@ pub trait ParallelIterator: Sized {
 
 /// Raw buffer pointer for disjoint cross-thread writes.
 struct RawBuf<T>(*mut MaybeUninit<T>);
+// SAFETY: points into a `T: Send` buffer that `collect_vec` keeps alive
+// while `drive` blocks; tasks write disjoint indices (one delivery per
+// index), so sending the pointer across pool threads races nothing.
 unsafe impl<T: Send> Send for RawBuf<T> {}
+// SAFETY: shared use is address arithmetic plus those disjoint writes —
+// no two threads ever touch the same slot.
 unsafe impl<T: Send> Sync for RawBuf<T> {}
 
 /// The base parallel iterator: a materialized list of items.
@@ -279,7 +285,9 @@ impl<T: Send> ParallelIterator for ParIter<T> {
                 sink.accept(chunk, i, item);
             }
         });
-        // free the (now logically empty) allocation
+        // SAFETY: reconstitute the allocation with length 0 to free it —
+        // every item was moved out by `ptr::read` above (or leaked on a
+        // panicking path before we get here), so no element drops twice.
         drop(unsafe { Vec::from_raw_parts(base.get(), 0, items.capacity()) });
     }
 
@@ -289,7 +297,12 @@ impl<T: Send> ParallelIterator for ParIter<T> {
 }
 
 struct RawItems<T>(*mut T);
+// SAFETY: points into the ManuallyDrop'd source Vec of a `drive` call,
+// which outlives the blocking pool run; items are `T: Send` and each is
+// `ptr::read` exactly once (disjoint chunk ranges).
 unsafe impl<T: Send> Send for RawItems<T> {}
+// SAFETY: shared use is disjoint single reads per index — never two
+// threads at one slot.
 unsafe impl<T: Send> Sync for RawItems<T> {}
 impl<T> RawItems<T> {
     fn get(&self) -> *mut T {

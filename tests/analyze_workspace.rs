@@ -1,0 +1,45 @@
+//! Tier-1 gate: the workspace must be clean under `pt-analyze`.
+//!
+//! This runs the same check as `cargo run -p pt-analyze` (the CI job) but
+//! in-process, so plain `cargo test` already enforces the invariant lints:
+//! every violation must be fixed or carry a reasoned
+//! `// pt-analyze: allow(<lint>) — <reason>` pragma.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_pt_analyze() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = pt_analyze::analyze_workspace(root).expect("workspace walk succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "walker found too few files — wrong root?"
+    );
+    assert!(
+        report.clean(),
+        "pt-analyze found {} violation(s):\n{}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.lint, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_registered_lint_has_a_rationale_and_unique_name() {
+    let mut names: Vec<&str> = pt_analyze::LINTS.iter().map(|l| l.name).collect();
+    for l in pt_analyze::LINTS {
+        assert!(!l.rationale.is_empty(), "{} has no rationale", l.name);
+        assert!(
+            !pt_analyze::META_LINTS.contains(&l.name),
+            "{} collides with a meta lint",
+            l.name
+        );
+    }
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), pt_analyze::LINTS.len(), "duplicate lint names");
+}
