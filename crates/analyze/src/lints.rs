@@ -66,8 +66,14 @@ const NUMERIC_CRATES: &[&str] = &[
 ];
 
 /// Kernel crates where wall-clock reads would make results depend on when
-/// (or how fast) they ran — breaking bit-exact kill-and-resume.
-const KERNEL_CRATES: &[&str] = &["fft", "linalg", "ham", "core"];
+/// (or how fast) they ran — breaking bit-exact kill-and-resume. `trace`
+/// is in the list because pt-trace is linked into every kernel hot path
+/// (spans, counters), but it carries the single crate-scoped carve-out in
+/// [`check_wallclock_in_kernel`]: it is the designated owner of ALL
+/// timestamping, and nothing it records feeds a bit-compared surface.
+/// Keeping the clock there means instrumented kernels stay lexically
+/// clock-free — no per-line pragmas scattered through fft/ham/core.
+const KERNEL_CRATES: &[&str] = &["fft", "linalg", "ham", "core", "trace"];
 
 /// Library crates under the workspace typed-`PtError` policy (PR 1).
 const TYPED_ERROR_CRATES: &[&str] = &["core", "ham", "serve", "io"];
@@ -109,6 +115,13 @@ pub const LINTS: &[LintSpec] = &[
         scope: Scope::Only(KERNEL_CRATES),
         skip_test_code: true,
         check: check_wallclock_in_kernel,
+    },
+    LintSpec {
+        name: "parallel-mutable-capture",
+        rationale: "closures handed to `parallel_map`/`parallel_reduce` run on many workers at once; mutating captured outer state from them is a data race waiting on interior mutability — accumulate through the return value / the reduction instead",
+        scope: Scope::Except(&["par"]),
+        skip_test_code: true,
+        check: check_parallel_mutable_capture,
     },
     LintSpec {
         name: "float-fold-order",
@@ -252,6 +265,15 @@ fn check_raw_thread_spawn(ctx: &FileCtx<'_>, emit: &mut dyn FnMut(u32, String)) 
 
 /// `Instant::now` / `SystemTime` in kernel crates.
 fn check_wallclock_in_kernel(ctx: &FileCtx<'_>, emit: &mut dyn FnMut(u32, String)) {
+    // Crate-scoped carve-out (see the KERNEL_CRATES doc): pt-trace is the
+    // one crate allowed to read the clock. All spans/counters timestamp
+    // through its monotonic epoch, its output never enters bit-compared
+    // surfaces (tables, checkpoints, stream frames), and concentrating
+    // every clock read here is precisely what lets this lint stay
+    // pragma-free across the real kernels.
+    if ctx.crate_key == "trace" {
+        return;
+    }
     let code = &ctx.code;
     for (i, t) in code.iter().enumerate() {
         if is_ident(t, "Instant")
@@ -270,6 +292,221 @@ fn check_wallclock_in_kernel(ctx: &FileCtx<'_>, emit: &mut dyn FnMut(u32, String
                 "`SystemTime` in a kernel crate: results must not depend on wall-clock (bit-exact kill-and-resume)".into(),
             );
         }
+    }
+}
+
+/// Methods that mutate their receiver in place — the lexical signature of
+/// "this closure is writing somewhere it doesn't own".
+const MUTATING_METHODS: &[&str] = &[
+    "push",
+    "push_str",
+    "insert",
+    "remove",
+    "extend",
+    "append",
+    "clear",
+    "truncate",
+    "pop",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "swap",
+    "fill",
+];
+
+/// Mutation of captured outer state inside `parallel_map` /
+/// `parallel_reduce` argument lists.
+///
+/// A lexical over-approximation, like every check here: within the
+/// balanced argument span of each call we collect the idents that are
+/// *locally bound* (closure parameters, `let` bindings, `for` patterns)
+/// and flag assignments (`x = …`, `x += …`, `a.b = …`) and in-place
+/// mutating method calls (`x.push(…)`) whose chain head is not in that
+/// local set. An `Fn` closure cannot capture `&mut`, so anything this
+/// fires on is reaching through interior mutability (RefCell / Mutex /
+/// atomics — a reduction-order hazard even when it is not a data race)
+/// or unsafe aliasing; both deserve a written `allow` justification.
+fn check_parallel_mutable_capture(ctx: &FileCtx<'_>, emit: &mut dyn FnMut(u32, String)) {
+    let code = &ctx.code;
+    let mut i = 0;
+    while i < code.len() {
+        let t = &code[i];
+        let entry = (is_ident(t, "parallel_map") || is_ident(t, "parallel_reduce"))
+            && is_punct(code.get(i + 1), "(");
+        if !entry {
+            i += 1;
+            continue;
+        }
+        // balanced argument span: everything up to the matching `)`
+        let open = i + 1;
+        let mut depth = 1usize;
+        let mut close = open + 1;
+        while close < code.len() {
+            match (code[close].kind, code[close].text) {
+                (TokKind::Punct, "(") => depth += 1,
+                (TokKind::Punct, ")") => depth -= 1,
+                _ => {}
+            }
+            if depth == 0 {
+                break;
+            }
+            close += 1;
+        }
+        scan_parallel_span(t.text, &code[open + 1..close.min(code.len())], emit);
+        i = close + 1;
+    }
+}
+
+/// The idents a `parallel_map`/`parallel_reduce` argument span binds
+/// locally: closure params (`|i, x|`), `let` patterns, `for` patterns.
+/// Over-collection (e.g. type names in annotations) only makes the lint
+/// quieter, never wrong-er — the safe direction for a coarse check.
+fn parallel_span_locals<'a>(span: &[Tok<'a>]) -> Vec<&'a str> {
+    let mut locals: Vec<&str> = Vec::new();
+    let mut j = 0;
+    while j < span.len() {
+        let t = &span[j];
+        if is_ident(t, "let") {
+            let mut k = j + 1;
+            while k < span.len()
+                && !span[k].is(TokKind::Punct, "=")
+                && !span[k].is(TokKind::Punct, ";")
+            {
+                if span[k].kind == TokKind::Ident {
+                    locals.push(span[k].text);
+                }
+                k += 1;
+            }
+            j = k;
+            continue;
+        }
+        if is_ident(t, "for") {
+            let mut k = j + 1;
+            while k < span.len() && !is_ident(&span[k], "in") {
+                if span[k].kind == TokKind::Ident {
+                    locals.push(span[k].text);
+                }
+                k += 1;
+            }
+            j = k;
+            continue;
+        }
+        if t.is(TokKind::Punct, "|") {
+            // a `|` opens a closure param list when it follows a call
+            // boundary (`(`, `,`, `{`, `=`) or `move`; a bitwise-or
+            // operand position never does
+            let starts_closure = j == 0
+                || matches!(
+                    span.get(j - 1),
+                    Some(p) if (p.kind == TokKind::Punct && matches!(p.text, "(" | "," | "{" | "="))
+                        || is_ident(p, "move")
+                );
+            if starts_closure {
+                let mut k = j + 1;
+                while k < span.len() && !span[k].is(TokKind::Punct, "|") {
+                    if span[k].kind == TokKind::Ident {
+                        locals.push(span[k].text);
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+                continue;
+            }
+        }
+        j += 1;
+    }
+    locals
+}
+
+/// Walk a method/field chain leftwards from the `.` at `dot` and return
+/// the index of its head ident: `sink.lock().push` → `sink`,
+/// `shared.cell.value` → `shared`, skipping balanced `(…)`/`[…]` groups.
+/// `None` when the receiver is not an ident-rooted chain (a literal, a
+/// parenthesized expression) — those cannot name captured state.
+fn chain_head(span: &[Tok<'_>], dot: usize) -> Option<usize> {
+    let mut k = dot;
+    loop {
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+        match (span[k].kind, span[k].text) {
+            (TokKind::Punct, ")") | (TokKind::Punct, "]") => {
+                let open = if span[k].text == ")" { "(" } else { "[" };
+                let close = span[k].text;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    if k == 0 {
+                        return None;
+                    }
+                    k -= 1;
+                    if span[k].is(TokKind::Punct, close) {
+                        depth += 1;
+                    } else if span[k].is(TokKind::Punct, open) {
+                        depth -= 1;
+                    }
+                }
+            }
+            (TokKind::Punct, ".") => {}
+            (TokKind::Ident, _) => {
+                if !(k >= 1 && span[k - 1].is(TokKind::Punct, ".")) {
+                    return Some(k);
+                }
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn scan_parallel_span(callee: &str, span: &[Tok<'_>], emit: &mut dyn FnMut(u32, String)) {
+    let locals = parallel_span_locals(span);
+    let mut flag = |head: Option<usize>, line: u32| {
+        let Some(h) = head else { return };
+        let name = span[h].text;
+        if locals.contains(&name) {
+            return;
+        }
+        emit(
+            line,
+            format!(
+                "closure argument of `{callee}` mutates `{name}`, which is not bound inside the call — captured outer state written from parallel workers; accumulate through the return value / the reduction, or allow with a reason proving the access is race- and order-safe"
+            ),
+        );
+    };
+    for (j, t) in span.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let p = |o: usize, s: &str| matches!(span.get(j + o), Some(t) if t.kind == TokKind::Punct && t.text == s);
+        // `x.push(…)` / `sink.lock().push(…)`: detected at the mutating
+        // method name, mutation lands on the chain head
+        if MUTATING_METHODS.contains(&t.text)
+            && j >= 1
+            && p(1, "(")
+            && span[j - 1].is(TokKind::Punct, ".")
+        {
+            flag(chain_head(span, j - 1), t.line);
+            continue;
+        }
+        // `x = …` / `a.b = …` but not `==` / `=>` (puncts arrive one
+        // char at a time)
+        let plain = p(1, "=") && !p(2, "=") && !p(2, ">");
+        // `x += …` and friends (`+` `=` as two tokens)
+        let compound = matches!(
+            span.get(j + 1),
+            Some(op) if op.kind == TokKind::Punct
+                && matches!(op.text, "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^")
+        ) && p(2, "=")
+            && !p(3, "=");
+        if !(plain || compound) {
+            continue;
+        }
+        let head = if j >= 1 && span[j - 1].is(TokKind::Punct, ".") {
+            chain_head(span, j - 1)
+        } else {
+            Some(j)
+        };
+        flag(head, t.line);
     }
 }
 

@@ -104,6 +104,49 @@ fn wallclock_in_kernel_is_scoped_to_kernel_crates() {
 }
 
 #[test]
+fn wallclock_in_kernel_carves_out_the_trace_crate() {
+    // pt-trace sits in the kernel dependency cone (every instrumented hot
+    // path links it) but is the designated owner of all timestamping: the
+    // carve-out is crate-scoped, so the same clock-reading source that
+    // fires in fft is clean under crates/trace — with no pragmas.
+    let src = include_str!("fixtures/wallclock_in_kernel.rs");
+    let findings = check_source("crates/trace/src/fixture.rs", src);
+    assert!(
+        lines_of(&findings, "wallclock-in-kernel").is_empty(),
+        "trace must be carve-out clean: {findings:?}"
+    );
+    // same source still fires in a real kernel crate (guard against the
+    // carve-out accidentally widening)
+    let findings = check_source("crates/core/src/fixture.rs", src);
+    assert_eq!(lines_of(&findings, "wallclock-in-kernel"), vec![8, 13]);
+}
+
+#[test]
+fn parallel_mutable_capture_flags_writes_to_captured_state() {
+    let src = include_str!("fixtures/parallel_mutable_capture.rs");
+    let findings = check_source("crates/ham/src/fixture.rs", src);
+    // lock().push() through a captured Mutex, a compound assignment to a
+    // captured counter, and a field assignment through a captured struct;
+    // let/for/closure-param locals and the pragma'd slot-fill are quiet.
+    assert_eq!(
+        lines_of(&findings, "parallel-mutable-capture"),
+        vec![9, 16, 23]
+    );
+    assert_eq!(findings.len(), 3, "unexpected extra findings: {findings:?}");
+}
+
+#[test]
+fn parallel_mutable_capture_is_exempt_in_par_and_test_code() {
+    let src = include_str!("fixtures/parallel_mutable_capture.rs");
+    // pt-par owns the primitives (its internals may stage state by design)
+    let findings = check_source("crates/par/src/fixture.rs", src);
+    assert!(lines_of(&findings, "parallel-mutable-capture").is_empty());
+    // integration tests are exempt by path
+    let findings = check_source("crates/ham/tests/fixture.rs", src);
+    assert!(lines_of(&findings, "parallel-mutable-capture").is_empty());
+}
+
+#[test]
 fn float_fold_order_fires_on_float_reductions_not_integer_ones() {
     let src = include_str!("fixtures/float_fold_order.rs");
     let findings = check_source("crates/linalg/src/fixture.rs", src);

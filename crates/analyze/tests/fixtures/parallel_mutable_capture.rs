@@ -1,0 +1,53 @@
+//! Fixture: seeded `parallel-mutable-capture` violations (a closure fed
+//! to `parallel_map`/`parallel_reduce` writing captured outer state) next
+//! to the sanctioned forms (locals, accumulation through return values,
+//! a documented allow). Not compiled — fed to `check_source` under a
+//! non-`par` path label.
+
+pub fn bad_push(xs: &[f64], sink: &std::sync::Mutex<Vec<f64>>) {
+    parallel_map(0..xs.len(), |i| {
+        sink.lock().push(xs[i]);
+        xs[i]
+    });
+}
+
+pub fn bad_compound(xs: &[f64], total: &SharedCounter) {
+    parallel_map(0..xs.len(), |i| {
+        total += xs[i] as u64;
+        xs[i]
+    });
+}
+
+pub fn bad_field_assign(xs: &[f64], shared: &Shared) {
+    parallel_reduce(0..xs.len(), 0.0, |i| {
+        shared.cell.value = xs[i];
+        xs[i]
+    });
+}
+
+pub fn good_locals_only(xs: &[f64]) -> Vec<f64> {
+    parallel_map(0..xs.len(), |i| {
+        let mut acc = 0.0;
+        for (k, w) in xs.iter().enumerate() {
+            acc += w * (i + k) as f64;
+        }
+        let mut out = Vec::new();
+        out.push(acc);
+        out[0]
+    })
+}
+
+pub fn good_equality_and_arms(xs: &[usize]) -> Vec<usize> {
+    parallel_map(0..xs.len(), |i| match xs[i] {
+        n if n == i => 1,
+        _ => 0,
+    })
+}
+
+pub fn suppressed(xs: &[f64], sink: &SlotSink) {
+    parallel_map(0..xs.len(), |i| {
+        // pt-analyze: allow(parallel-mutable-capture) — fixture: each worker fills a disjoint pre-sized slot, no two indices alias
+        sink.slots.fill(xs[i]);
+        xs[i]
+    });
+}

@@ -1,0 +1,153 @@
+//! Tracing-overhead smoke bench: what does arming pt-trace cost a
+//! hybrid PT-CN step?
+//!
+//! The observability contract is "off-by-default zero-cost,
+//! non-perturbing when on": disarmed, every `span`/`counter_add` is one
+//! relaxed atomic load; armed, spans append to a bounded buffer under a
+//! mutex held for nanoseconds against steps that run for milliseconds.
+//! This bench *measures* that claim instead of asserting it — it times
+//! the same laser-driven hybrid propagation with tracing off and on
+//! (alternating repetitions, min-of-reps per arm so scheduler noise
+//! cancels), checks the two arms produced bit-identical step residuals,
+//! and writes `BENCH_trace.json` with an explicit verdict that flags an
+//! overhead above 2% of the step time.
+
+use pt_core::{LaserPulse, Propagator, PtCnOptions, PtCnPropagator, TdState};
+use pt_ham::{HybridConfig, KsSystem, KsSystemBuilder};
+use pt_lattice::silicon_cubic_supercell;
+use pt_num::units::attosecond_to_au;
+use pt_par::RankLayout;
+use pt_scf::{scf_loop, ScfOptions, ScfResult};
+use pt_xc::XcKind;
+use std::hint::black_box;
+use std::time::Instant;
+
+const STEPS: usize = 4;
+const REPS: usize = 3;
+/// Overhead above this fraction of the step time fails the contract.
+const OVERHEAD_BUDGET: f64 = 0.02;
+
+fn build_system() -> KsSystem {
+    KsSystemBuilder::new(silicon_cubic_supercell(1, 1, 1))
+        .ecut(2.0)
+        .xc(XcKind::Pbe)
+        .hybrid(HybridConfig::hse06())
+        .occupations(vec![2.0; 8])
+        .build()
+        .expect("valid bench system")
+}
+
+/// One timed propagation from the shared ground state. Returns the
+/// per-step seconds and every step's density residual bits (the two
+/// arms must agree exactly — tracing that moved a bit would make the
+/// timing comparison meaningless and break the determinism contract).
+fn run_arm(sys: &KsSystem, gs: &ScfResult, traced: bool) -> (f64, Vec<u64>) {
+    pt_trace::set_enabled(traced);
+    let laser = LaserPulse::paper_380nm(0.02, attosecond_to_au(200.0), attosecond_to_au(100.0));
+    let dt = attosecond_to_au(25.0);
+    let mut prop = PtCnPropagator::new(PtCnOptions::default());
+    let mut state = TdState::new(gs.orbitals.clone());
+    let mut residual_bits = Vec::with_capacity(STEPS);
+    let mut secs = 0.0;
+    sys.install(|| {
+        for _ in 0..STEPS {
+            let t0 = Instant::now();
+            let stats = prop
+                .step(sys, Some(&laser), &mut state, dt)
+                .expect("bench step succeeds");
+            secs += t0.elapsed().as_secs_f64();
+            residual_bits.push(stats.rho_residual.to_bits());
+        }
+    });
+    black_box(&state);
+    pt_trace::set_enabled(false);
+    (secs / STEPS as f64, residual_bits)
+}
+
+fn main() {
+    let host_cores = RankLayout::host_cores();
+    let sys = build_system();
+    let gs = scf_loop(&sys, ScfOptions::default()).expect("SCF converges");
+
+    // warmup (untimed, untraced) so page faults and pool spin-up are paid
+    let (_, reference_bits) = run_arm(&sys, &gs, false);
+
+    let mark = pt_trace::mark();
+    let mut off_secs = Vec::with_capacity(REPS);
+    let mut on_secs = Vec::with_capacity(REPS);
+    for rep in 0..REPS {
+        for &traced in &[false, true] {
+            let (per_step, bits) = run_arm(&sys, &gs, traced);
+            assert_eq!(
+                bits, reference_bits,
+                "tracing={traced} rep={rep}: step residual bits moved — \
+                 tracing perturbed the numbers"
+            );
+            if traced {
+                on_secs.push(per_step);
+            } else {
+                off_secs.push(per_step);
+            }
+            println!(
+                "rep {rep}  traced={traced:<5}  {:>9.3} ms/step",
+                per_step * 1e3
+            );
+        }
+    }
+    let counted = pt_trace::counters_since(&mark);
+    let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    let (off, on) = (min(&off_secs), min(&on_secs));
+    let overhead = (on - off) / off;
+    let verdict = if overhead <= OVERHEAD_BUDGET {
+        format!(
+            "ok: tracing overhead {:+.2}% of step time (budget {:.0}%)",
+            overhead * 100.0,
+            OVERHEAD_BUDGET * 100.0
+        )
+    } else {
+        format!(
+            "OVERHEAD: tracing costs {:+.2}% of step time, over the {:.0}% budget — \
+             spans are too fine-grained for this workload",
+            overhead * 100.0,
+            OVERHEAD_BUDGET * 100.0
+        )
+    };
+    if verdict.starts_with("OVERHEAD") {
+        eprintln!("*** {verdict} ***");
+    }
+    println!(
+        "\noff {:.3} ms/step   on {:.3} ms/step   {verdict}",
+        off * 1e3,
+        on * 1e3
+    );
+
+    let mut table = pt_io::Table::new()
+        .meta("bench", pt_io::Value::Str("trace_overhead_smoke".into()))
+        .meta("host_cores", pt_io::Value::U64(host_cores as u64))
+        .meta(
+            "workload",
+            pt_io::Value::Str("laser-driven hybrid PT-CN, Si-8, 8 bands, full Fock".into()),
+        )
+        .meta("baseline_secs_per_step", pt_io::Value::F64(off))
+        .meta("traced_secs_per_step", pt_io::Value::F64(on))
+        .meta("overhead_percent", pt_io::Value::F64(overhead * 100.0))
+        .meta("overhead_verdict", pt_io::Value::Str(verdict))
+        .meta(
+            "traced_pair_ffts",
+            pt_io::Value::U64(counted.get(pt_trace::Counter::PairFfts)),
+        )
+        .meta(
+            "traced_fft_transforms",
+            pt_io::Value::U64(counted.get(pt_trace::Counter::FftTransforms)),
+        );
+    table = pt_bench::flag_reliability(table, host_cores, 2);
+    table
+        .column("rep", (0..REPS).map(|r| r as f64).collect())
+        .unwrap();
+    table.column("off_secs_per_step", off_secs).unwrap();
+    table.column("on_secs_per_step", on_secs).unwrap();
+    table
+        .write_json("BENCH_trace.json")
+        .expect("write BENCH_trace.json");
+    println!("wrote BENCH_trace.json ({host_cores} host cores)");
+}

@@ -586,6 +586,10 @@ fn read_series(
             h_applications: u[1] as usize,
             rho_residual: resid,
             converged: u[2] != 0,
+            // wall-clock phases are observational and never serialized: a
+            // resumed series restores them as zeros, keeping snapshot
+            // bytes identical whether tracing was armed or not
+            phases: Default::default(),
         })
         .collect();
     let names = f.str("series/channels")?;

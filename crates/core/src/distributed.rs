@@ -137,6 +137,14 @@ fn engine_down(e: EnginePoisoned) -> PtError {
     PtError::EngineDown { cause: e.cause }
 }
 
+/// Fold one engine job's per-job wire delta into the trace counters: the
+/// ISSUE's "wire bytes" attribution without a second accounting layer —
+/// `pt_mpi::CommStats` stays the single source of truth.
+fn record_engine_job(delta: &pt_mpi::StatsSnapshot) {
+    pt_trace::counter_add(pt_trace::Counter::EngineJobs, 1);
+    pt_trace::counter_add(pt_trace::Counter::WireBytes, delta.total_bytes());
+}
+
 /// Reuse the parked rank team when it matches `cfg`; build it on first
 /// use or after a layout/wire change. A poisoned engine is never reused
 /// or silently replaced — the caller gets the typed error so the failure
@@ -200,7 +208,8 @@ pub(crate) fn distributed_apply_h(
     let grids = &sys.grids;
     let h_ref = &h_local;
     let alpha = sys.hybrid.map(|h| h.alpha);
-    let (blocks, _stats) = engine
+    let sp = pt_trace::span("engine_run");
+    let (blocks, wire_stats) = engine
         .run(move |comm| {
             let psi_local = dist.take_local(comm.rank(), psi);
             let mut out = CMat::zeros(ng, psi_local.ncols());
@@ -220,6 +229,8 @@ pub(crate) fn distributed_apply_h(
             out
         })
         .map_err(engine_down)?;
+    drop(sp);
+    record_engine_job(&wire_stats);
     // gather: rank r's local columns are its cyclic bands
     let mut hpsi = CMat::zeros(ng, psi.ncols());
     for (r, block) in blocks.iter().enumerate() {
@@ -252,12 +263,15 @@ pub(crate) fn distributed_build_ace(
     };
     let grids = &sys.grids;
     let alpha = hy.alpha;
-    let (blocks, _stats) = engine
+    let sp = pt_trace::span("engine_run");
+    let (blocks, wire_stats) = engine
         .run(move |comm| {
             let phi_local = dist.take_local(comm.rank(), phi);
             distributed_fock_apply(comm, grids, dist, &phi_local, &phi_local, alpha, kernel)
         })
         .map_err(engine_down)?;
+    drop(sp);
+    record_engine_job(&wire_stats);
     let mut w = CMat::zeros(ng, phi.ncols());
     for (r, block) in blocks.iter().enumerate() {
         for (lj, &b) in dist.local_bands(r).iter().enumerate() {
@@ -306,7 +320,8 @@ impl StepKernels for EngineKernels<'_> {
             n_bands: nb,
             n_ranks: self.cfg.ranks,
         };
-        let (blocks, _stats) = self
+        let sp = pt_trace::span("engine_run");
+        let (blocks, wire_stats) = self
             .engine
             .run(move |comm| {
                 let rank = comm.rank();
@@ -322,6 +337,8 @@ impl StepKernels for EngineKernels<'_> {
                 )
             })
             .map_err(engine_down)?;
+        drop(sp);
+        record_engine_job(&wire_stats);
         let mut resid = CMat::zeros(ng, nb);
         for (r, block) in blocks.iter().enumerate() {
             for (lj, &b) in dist.local_bands(r).iter().enumerate() {
@@ -350,7 +367,8 @@ impl Propagator for DistributedPtCnPropagator {
         let mode = resolve_exchange(self.exchange, sys)?;
         let engine = acquire_engine(&mut self.engine, cfg)?;
         let mut kernels = EngineKernels { engine, cfg };
-        match mode {
+        let sp = pt_trace::span("ptcn_step");
+        let mut stats = match mode {
             ExchangeMode::Full => ptcn_step_with(
                 &self.opts,
                 sys,
@@ -377,7 +395,9 @@ impl Propagator for DistributedPtCnPropagator {
                 &mut self.ace,
                 &mut kernels,
             ),
-        }
+        }?;
+        stats.phases.reconcile(sp.finish_secs());
+        Ok(stats)
     }
 
     fn capture(&self) -> PropagatorState {

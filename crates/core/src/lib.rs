@@ -62,7 +62,7 @@ pub use laser::LaserPulse;
 pub use observables::{current_density, density_matrix_distance, orthonormality_error};
 pub use propagator::{
     propagator_from_state, AceCapture, Propagator, PropagatorState, PtCnOptions, PtCnPropagator,
-    Rk4Options, Rk4Propagator, StepStats, TdState,
+    Rk4Options, Rk4Propagator, StepPhases, StepStats, TdState,
 };
 pub use pt_ham::PtError;
 pub use simulation::{

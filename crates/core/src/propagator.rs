@@ -47,6 +47,63 @@ pub struct StepStats {
     /// Whether the step's implicit solve reached its tolerance (always
     /// `true` for explicit propagators).
     pub converged: bool,
+    /// Wall-clock phase breakdown of the step — **observational only**.
+    /// All zeros unless `pt_trace` is armed; deliberately excluded from
+    /// every bit-compared surface (series tables, checkpoints, streaming
+    /// samples), so armed and disarmed runs stay bit-identical.
+    pub phases: StepPhases,
+}
+
+/// Wall-clock seconds per PT-CN step phase (the SC'19 §7 attribution:
+/// where a step's time actually goes). Measured via `pt_trace` spans;
+/// every field is exactly `0.0` when tracing is disarmed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepPhases {
+    /// Whole-step wall time (the enclosing propagator span).
+    pub wall: f64,
+    /// `HΨ` block applications (Fock/ACE exchange included).
+    pub h_apply: f64,
+    /// Alg. 3 residual evaluations (`pt_rhs` + the fixed-point residual).
+    pub residual: f64,
+    /// Anderson mixing.
+    pub mix: f64,
+    /// Density builds (`sys.density`).
+    pub density: f64,
+    /// Re-orthonormalization (Cholesky + TRSM, §3.4).
+    pub ortho: f64,
+    /// ACE projector builds (refresh rounds only).
+    pub ace_build: f64,
+    /// Measured remainder: `wall −` the named phases (never negative).
+    /// Honest bookkeeping, so the per-step phase sum matches the step
+    /// wall time by construction.
+    pub other: f64,
+}
+
+impl StepPhases {
+    /// Sum of the named (non-`wall`, non-`other`) phases.
+    pub fn named_sum(&self) -> f64 {
+        self.h_apply + self.residual + self.mix + self.density + self.ortho + self.ace_build
+    }
+
+    /// `wall` reconciled against the named phases: every phase column plus
+    /// `other` sums to `wall` exactly (up to float rounding).
+    pub(crate) fn reconcile(&mut self, wall: f64) {
+        self.wall = wall;
+        self.other = (wall - self.named_sum()).max(0.0);
+    }
+
+    /// Fold a substep's phases into an accumulating total (`wall`/`other`
+    /// included — an outer ACE step re-reconciles against its own span).
+    pub(crate) fn absorb(&mut self, sub: &StepPhases) {
+        self.wall += sub.wall;
+        self.h_apply += sub.h_apply;
+        self.residual += sub.residual;
+        self.mix += sub.mix;
+        self.density += sub.density;
+        self.ortho += sub.ortho;
+        self.ace_build += sub.ace_build;
+        self.other += sub.other;
+    }
 }
 
 /// One step of a time-dependent Kohn–Sham propagation.
@@ -432,7 +489,10 @@ pub(crate) fn ptcn_step_with(
     let mut stats = StepStats::default();
 
     // line 1: initial residual R_n at time t_n
+    let sp = pt_trace::span("density");
     let rho_n = sys.density(&state.psi);
+    stats.phases.density += sp.finish_secs();
+    let sp = pt_trace::span("h_apply");
     let hpsi = kernels.apply_h(
         sys,
         &rho_n,
@@ -440,8 +500,11 @@ pub(crate) fn ptcn_step_with(
         a_field(laser, state.t),
         ace_n.or(ace),
     )?;
+    stats.phases.h_apply += sp.finish_secs();
     stats.h_applications += 1;
+    let sp = pt_trace::span("residual");
     let r_n = pt_rhs(&hpsi, &state.psi);
+    stats.phases.residual += sp.finish_secs();
 
     // line 2: Ψ_{n+1/2} = Ψ_n − i dt/2 R_n ; Ψ_f = Ψ_{n+1/2}
     let mut psi_half = state.psi.clone();
@@ -466,20 +529,31 @@ pub(crate) fn ptcn_step_with(
         }
         slot => slot.insert(BandAndersonMixer::new(nb, opts.anderson_depth, opts.beta)),
     };
+    let sp = pt_trace::span("density");
     let mut rho_f = sys.density(&psi_f);
+    stats.phases.density += sp.finish_secs();
     let t_next = state.t + dt;
     for _ in 0..opts.max_scf {
         stats.scf_iterations += 1;
+        pt_trace::counter_add(pt_trace::Counter::FixedPointIterations, 1);
+        let sp = pt_trace::span("h_apply");
         let hpsi_f = kernels.apply_h(sys, &rho_f, &psi_f, a_field(laser, t_next), ace)?;
+        stats.phases.h_apply += sp.finish_secs();
         stats.h_applications += 1;
         // R_f = Ψ_f + i dt/2 (H_f Ψ_f − Ψ_f (Ψ_f* H_f Ψ_f)) − Ψ_{n+1/2}
+        let sp = pt_trace::span("residual");
         let mut resid = kernels.residual(&psi_f, &hpsi_f, &psi_half, dt)?;
+        stats.phases.residual += sp.finish_secs();
         // Anderson mixing on the fixed point Ψ = Ψ − R(Ψ): residual −R
         for z in resid.data_mut().iter_mut() {
             *z = -*z;
         }
+        let sp = pt_trace::span("mix");
         psi_f = mixer.step(&psi_f, &resid);
+        stats.phases.mix += sp.finish_secs();
+        let sp = pt_trace::span("density");
         let rho_new = sys.density(&psi_f);
+        stats.phases.density += sp.finish_secs();
         stats.rho_residual = density_residual(&rho_new, &rho_f, sys.grids.volume);
         rho_f = rho_new;
         if stats.rho_residual < opts.rho_tol {
@@ -501,7 +575,9 @@ pub(crate) fn ptcn_step_with(
     }
 
     // line 11: re-orthogonalize (Cholesky + TRSM, §3.4)
+    let sp = pt_trace::span("ortho");
     reorthonormalize(&mut psi_f);
+    stats.phases.ortho += sp.finish_secs();
 
     state.psi = psi_f;
     state.t = t_next;
@@ -670,6 +746,7 @@ pub(crate) fn ace_ptcn_step(
             total.h_applications += s.h_applications;
             total.rho_residual = s.rho_residual;
             total.converged &= s.converged;
+            total.phases.absorb(&s.phases);
         }
         ace.steps_since_refresh += 1;
         return Ok(total);
@@ -683,7 +760,12 @@ pub(crate) fn ace_ptcn_step(
     // one solved under the final projector — later substeps of an MTS
     // window use ξ_f at t_n too, which is exactly the accepted staleness
     // MTS trades on.
+    let sp = pt_trace::span("ace_build");
     let xi_n = kernels.build_ace(sys, &state.psi)?;
+    let mut total_phases = StepPhases {
+        ace_build: sp.finish_secs(),
+        ..StepPhases::default()
+    };
     let mut xi_f = xi_n.clone();
     let mut prev_rho: Option<Vec<f64>> = None;
     let mut prev_raws: Option<Vec<CMat>> = None;
@@ -695,15 +777,18 @@ pub(crate) fn ace_ptcn_step(
     let mut rounds = 0usize;
     while rounds < ACE_MAX_REFRESH_ROUNDS {
         rounds += 1;
+        pt_trace::counter_add(pt_trace::Counter::AceRefreshRounds, 1);
         if rounds > 1 {
             let raws = prev_raws
                 .as_ref()
                 .expect("invariant: every completed round stores its raw iterates before looping");
+            let sp = pt_trace::span("ace_build");
             xi_f = kernels.build_ace(
                 sys,
                 raws.last()
                     .expect("invariant: inner_substeps >= 1, so raws is non-empty"),
             )?;
+            total_phases.ace_build += sp.finish_secs();
         }
         let mut trial = state.clone();
         let mut raws: Vec<CMat> = Vec::with_capacity(inner_substeps);
@@ -736,10 +821,13 @@ pub(crate) fn ace_ptcn_step(
             stats.h_applications += st.h_applications;
             stats.rho_residual = st.rho_residual;
             stats.converged &= st.converged;
+            total_phases.absorb(&st.phases);
         }
         total_scf += stats.scf_iterations;
         total_h += stats.h_applications;
+        let sp = pt_trace::span("density");
         let rho = sys.density(&trial.psi);
+        total_phases.density += sp.finish_secs();
         if let Some(prev) = &prev_rho {
             drift = density_residual(&rho, prev, sys.grids.volume);
         }
@@ -756,6 +844,7 @@ pub(crate) fn ace_ptcn_step(
     stats.scf_iterations = total_scf;
     stats.h_applications = total_h;
     stats.converged &= outer_converged;
+    stats.phases = total_phases;
     if opts.strict && !outer_converged {
         return Err(PtError::NotConverged {
             context: "ACE refresh self-consistency",
@@ -803,7 +892,8 @@ impl Propagator for PtCnPropagator {
         state: &mut TdState,
         dt: f64,
     ) -> Result<StepStats, PtError> {
-        match resolve_exchange(self.exchange, sys)? {
+        let sp = pt_trace::span("ptcn_step");
+        let mut stats = match resolve_exchange(self.exchange, sys)? {
             ExchangeMode::Full => ptcn_step_with(
                 &self.opts,
                 sys,
@@ -830,7 +920,9 @@ impl Propagator for PtCnPropagator {
                 &mut self.ace,
                 &mut SerialKernels,
             ),
-        }
+        }?;
+        stats.phases.reconcile(sp.finish_secs());
+        Ok(stats)
     }
 
     fn capture(&self) -> PropagatorState {

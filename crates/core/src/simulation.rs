@@ -376,6 +376,32 @@ impl TimeSeries {
         }
         Ok(table)
     }
+
+    /// Export the per-step wall-clock phase breakdown
+    /// ([`StepStats::phases`]) as a [`pt_io::Table`] — the `metrics.json`
+    /// payload a traced `pt-serve` job writes beside its Chrome trace.
+    ///
+    /// Deliberately a *separate* table from [`TimeSeries::to_table`]: that
+    /// one is a bit-compared surface (resume tests, golden results), so
+    /// wall-clock columns must never leak into it. Every column here is
+    /// exactly zero when `pt_trace` was disarmed during the run.
+    pub fn phase_table(&self) -> Result<pt_io::Table, PtError> {
+        let mut table =
+            pt_io::Table::new().meta("propagator", pt_io::Value::Str(self.propagator.clone()));
+        table.column("step", (0..self.len()).map(|i| i as f64).collect())?;
+        let phase = |get: fn(&crate::propagator::StepPhases) -> f64| -> Vec<f64> {
+            self.stats.iter().map(|s| get(&s.phases)).collect()
+        };
+        table.column("wall", phase(|p| p.wall))?;
+        table.column("h_apply", phase(|p| p.h_apply))?;
+        table.column("residual", phase(|p| p.residual))?;
+        table.column("mix", phase(|p| p.mix))?;
+        table.column("density", phase(|p| p.density))?;
+        table.column("ortho", phase(|p| p.ortho))?;
+        table.column("ace_build", phase(|p| p.ace_build))?;
+        table.column("other", phase(|p| p.other))?;
+        Ok(table)
+    }
 }
 
 /// Configures a [`Simulation`]. See the module docs for the full example.
@@ -821,6 +847,7 @@ impl<'a> Simulation<'a> {
             series.t.push(self.state.t);
             series.a_field.push(a);
             series.stats.push(stats);
+            pt_trace::counter_add(pt_trace::Counter::StepsCommitted, 1);
             if let Some(policy) = &self.checkpoint {
                 if (local_step + 1) % policy.every == 0 {
                     let policy = policy.clone();
@@ -846,6 +873,8 @@ impl<'a> Simulation<'a> {
         steps_remaining: usize,
         rho: Option<Vec<f64>>,
     ) -> Result<(), PtError> {
+        let _sp = pt_trace::span("checkpoint_write");
+        pt_trace::counter_add(pt_trace::Counter::CheckpointWrites, 1);
         std::fs::create_dir_all(&policy.dir).map_err(|e| PtError::Io {
             path: policy.dir.display().to_string(),
             reason: e.to_string(),

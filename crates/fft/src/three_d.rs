@@ -58,21 +58,25 @@ impl Fft3 {
 
     /// Parallel forward transform (unscaled).
     pub fn forward(&self, data: &mut [c64]) {
+        pt_trace::counter_add(pt_trace::Counter::FftTransforms, 1);
         self.process_par(data, Direction::Forward);
     }
 
     /// Parallel inverse transform (scaled by 1/N).
     pub fn inverse(&self, data: &mut [c64]) {
+        pt_trace::counter_add(pt_trace::Counter::FftTransforms, 1);
         self.process_par(data, Direction::Inverse);
     }
 
     /// Single-threaded forward transform.
     pub fn forward_serial(&self, data: &mut [c64]) {
+        pt_trace::counter_add(pt_trace::Counter::FftTransforms, 1);
         self.process_serial(data, Direction::Forward);
     }
 
     /// Single-threaded inverse transform.
     pub fn inverse_serial(&self, data: &mut [c64]) {
+        pt_trace::counter_add(pt_trace::Counter::FftTransforms, 1);
         self.process_serial(data, Direction::Inverse);
     }
 
@@ -94,6 +98,8 @@ impl Fft3 {
             0,
             "batch length must be a multiple of grid size"
         );
+        pt_trace::counter_add(pt_trace::Counter::FftBatches, 1);
+        pt_trace::counter_add(pt_trace::Counter::FftTransforms, (data.len() / n) as u64);
         // one band per pool task: dynamic claiming load-balances uneven
         // band counts, and each transform is serial inside (the paper's
         // batched-CUFFT layout)

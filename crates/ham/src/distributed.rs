@@ -241,6 +241,10 @@ pub fn distributed_fock_apply(
 
     // Alg. 2: for every band i, the owner broadcasts φ_i, everyone
     // accumulates onto its local (V_X ψ_j).
+    pt_trace::counter_add(
+        pt_trace::Counter::PairFfts,
+        (dist.n_bands * nb_local) as u64,
+    );
     let mut phi_real = vec![c64::ZERO; nw];
     for i in 0..dist.n_bands {
         let owner = dist.owner(i);

@@ -144,6 +144,8 @@ impl FockOperator {
     /// wavefunction grid. Exposed for the distributed Alg. 2 driver.
     pub fn apply_real(&self, grids: &PwGrids, psi_real: &[c64]) -> Vec<c64> {
         let nw = grids.n_wfc();
+        // one Poisson-like solve per defining orbital, either mode
+        pt_trace::counter_add(pt_trace::Counter::PairFfts, self.phi_real.len() as u64);
         match self.mode {
             FockMode::BandByBand => {
                 let mut acc = vec![c64::ZERO; nw];
@@ -232,6 +234,7 @@ impl FockOperator {
         }
         let nw = grids.n_wfc();
         let ng = grids.ng();
+        pt_trace::counter_add(pt_trace::Counter::PairFfts, (n_phi * n_psi) as u64);
         // ψ_j → real space, band-parallel
         let psi_real: Vec<Vec<c64>> = pt_par::parallel_map(n_psi, |j| {
             let mut r = vec![c64::ZERO; nw];

@@ -207,6 +207,15 @@ fn panel_cols(ncols: usize) -> usize {
 /// (ConjTrans, None) — overlap matrices like `Ψ^H (HΨ)`. These are the two
 /// shapes PWDFT needs (Alg. 3); other combinations panic.
 pub fn gemm(alpha: c64, a: &CMat, opa: Op, b: &CMat, opb: Op, beta: c64, c: &mut CMat) {
+    // standard complex-GEMM flops model (8·m·n·k) for §7-style attribution
+    let k = match opa {
+        Op::None => a.ncols,
+        Op::ConjTrans => a.nrows,
+    };
+    pt_trace::counter_add(
+        pt_trace::Counter::GemmFlops,
+        8 * (c.nrows as u64) * (c.ncols as u64) * (k as u64),
+    );
     let panel = panel_cols(c.ncols);
     match (opa, opb) {
         (Op::None, Op::None) => {

@@ -284,6 +284,7 @@ fn rank_main(
     job_rx: &Receiver<RankMsg>,
     results_tx: &Sender<RankReport>,
 ) {
+    pt_trace::register_thread(&format!("pt-rank-{rank}"));
     let pool = ThreadPool::new(threads);
     let mut comm = Comm::from_parts(rank, np, world_txs, world_rx, stats, wire);
     while let Ok(RankMsg::Job(job)) = job_rx.recv() {

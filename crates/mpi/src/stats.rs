@@ -82,6 +82,17 @@ impl StatsSnapshot {
             p2p_bytes: self.p2p_bytes - earlier.p2p_bytes,
         }
     }
+
+    /// Total bytes moved across every operation class — the single "wire
+    /// bytes" figure per-job telemetry folds into its counters.
+    pub fn total_bytes(&self) -> u64 {
+        self.bcast_bytes
+            + self.allreduce_bytes
+            + self.alltoallv_bytes
+            + self.allgatherv_bytes
+            + self.tree_reduce_bytes
+            + self.p2p_bytes
+    }
 }
 
 impl CommStats {

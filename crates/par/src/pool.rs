@@ -240,6 +240,11 @@ impl Drop for ThreadPool {
 
 fn worker_loop(shared: &Shared) {
     IN_POOL.with(|f| f.set(true));
+    // label this worker's lane in trace output (the OS thread name is
+    // already set by the spawning Builder)
+    if let Some(name) = thread::current().name() {
+        pt_trace::register_thread(name);
+    }
     loop {
         let batch = {
             let mut st = shared.state.lock().unwrap();

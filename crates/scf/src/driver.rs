@@ -79,6 +79,7 @@ fn initial_orbitals(sys: &KsSystem) -> CMat {
 /// ([`KsSystem::install`]), so every Davidson/FFT/GEMM/Fock kernel inside
 /// inherits the `KsSystemBuilder::parallelism` choice.
 pub fn scf_loop(sys: &KsSystem, opts: ScfOptions) -> Result<ScfResult, PtError> {
+    let _sp = pt_trace::span("scf_loop");
     sys.install(|| scf_loop_inner(sys, opts))
 }
 
@@ -140,6 +141,7 @@ fn scf_loop_inner(sys: &KsSystem, opts: ScfOptions) -> Result<ScfResult, PtError
         converged = false;
         for _ in 0..opts.max_scf {
             total_iters += 1;
+            pt_trace::counter_add(pt_trace::Counter::ScfIterations, 1);
             let h = if hybrid_active {
                 sys.hamiltonian(&rho, phi_frozen.as_ref(), [0.0; 3])?
             } else {

@@ -5,6 +5,7 @@
 //! pt-serve-client RUN submit SPEC.json     print the new job id
 //! pt-serve-client RUN status               one line per job
 //! pt-serve-client RUN tail JOB CHANNEL     follow a channel until terminal
+//! pt-serve-client RUN stats                follow live telemetry frames
 //! pt-serve-client RUN cancel JOB
 //! pt-serve-client RUN fetch JOB            print the result table JSON
 //! pt-serve-client RUN shutdown             drain jobs, then stop
@@ -18,7 +19,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: pt-serve-client <run_dir> submit <spec.json> | status | \
-         tail <job> <channel> | cancel <job> | fetch <job> | shutdown"
+         tail <job> <channel> | stats | cancel <job> | fetch <job> | shutdown"
     );
     ExitCode::from(2)
 }
@@ -83,6 +84,31 @@ fn run(run_dir: &Path, cmd: &str, rest: &[String]) -> Result<bool, PtError> {
                 }
             })?;
             eprintln!("job {job}: {}", state.as_str());
+        }
+        "stats" => {
+            client.stats(true, |f| {
+                let jobs: Vec<String> = f
+                    .jobs
+                    .iter()
+                    .map(|j| {
+                        format!(
+                            "job {}: {} steps, {:.2}/s",
+                            j.id, j.steps_done, j.steps_per_second
+                        )
+                    })
+                    .collect();
+                println!(
+                    "t={:>10}us  queue={}  cores={}/{}  steps={}  rate={:.2}/s  {}",
+                    f.t_us,
+                    f.queue_depth,
+                    f.cores_in_use,
+                    f.budget_cores,
+                    f.steps_total,
+                    f.steps_per_second,
+                    jobs.join("  ")
+                );
+                true
+            })?;
         }
         "cancel" => {
             let job = parse_job(rest.first())?;

@@ -27,6 +27,9 @@ pub struct JobStatus {
     pub steps: usize,
     /// Cores the job occupies while running.
     pub cores: usize,
+    /// Steps per second of the current run attempt (active jobs that have
+    /// committed at least one new step; `None` otherwise).
+    pub steps_per_second: Option<f64>,
     /// Failure message, when failed.
     pub error: Option<String>,
 }
@@ -42,6 +45,45 @@ pub struct TailChunk {
     pub values: Vec<f64>,
     /// Job state when the frame was cut.
     pub state: JobState,
+}
+
+/// One per-job row inside a [`StatsFrame`].
+#[derive(Clone, Debug)]
+pub struct JobRate {
+    /// Job id.
+    pub id: u64,
+    /// Job state when the frame was cut (always an active state).
+    pub state: JobState,
+    /// Steps committed so far (including any restored prefix).
+    pub steps_done: usize,
+    /// Steps per second of the current run attempt (0 until the first
+    /// new step lands).
+    pub steps_per_second: f64,
+}
+
+/// One `stats` telemetry frame: a consistent snapshot of server
+/// throughput, queue depth, and core utilization, with a row per active
+/// job. All times come from the server's pt-trace monotonic clock.
+#[derive(Clone, Debug)]
+pub struct StatsFrame {
+    /// Server monotonic timestamp (µs) when the frame was cut.
+    pub t_us: u64,
+    /// Jobs admitted but waiting for cores.
+    pub queue_depth: usize,
+    /// Cores currently handed out by the scheduler.
+    pub cores_in_use: usize,
+    /// Total cores the scheduler may hand out.
+    pub budget_cores: usize,
+    /// Committed steps across every job the server knows.
+    pub steps_total: usize,
+    /// Server-wide step throughput since the previous frame of this
+    /// stream (0 on the first frame).
+    pub steps_per_second: f64,
+    /// Per-active-job step rates.
+    pub jobs: Vec<JobRate>,
+    /// Global pt-trace counter values by name — present only when the
+    /// server was started with tracing armed.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// A connected pt-serve client.
@@ -115,6 +157,7 @@ impl Client {
                         steps_done: field("steps_done").unwrap_or(0) as usize,
                         steps: field("steps").unwrap_or(0) as usize,
                         cores: field("cores").unwrap_or(0) as usize,
+                        steps_per_second: j.get("steps_per_second").and_then(Json::as_f64),
                         error: j.get("error").and_then(Json::as_str).map(str::to_string),
                     }),
                     _ => Err(PtError::InvalidConfig(
@@ -209,6 +252,81 @@ impl Client {
             });
             if frame.get("done").and_then(Json::as_bool) == Some(true) {
                 return Ok(state);
+            }
+        }
+    }
+
+    /// Stream server telemetry. Each frame is handed to `on_frame`; with
+    /// `follow` the stream runs until every job is terminal (a frame goes
+    /// out whenever total committed steps advance), without it exactly
+    /// one frame arrives. Returning `false` from `on_frame` stops
+    /// reading early — the stream is then mid-flight, which is why this
+    /// method consumes the client (`self`): the connection cannot be
+    /// reused for further requests.
+    pub fn stats(
+        mut self,
+        follow: bool,
+        mut on_frame: impl FnMut(&StatsFrame) -> bool,
+    ) -> Result<(), PtError> {
+        write_frame(
+            &mut self.stream,
+            &Json::Obj(vec![
+                ("cmd".to_string(), Json::Str("stats".into())),
+                ("follow".to_string(), Json::Bool(follow)),
+            ]),
+        )?;
+        loop {
+            let frame = read_frame(&mut self.stream)?.ok_or_else(|| PtError::Io {
+                path: "<pt-serve socket>".into(),
+                reason: "server closed the connection mid-stats".into(),
+            })?;
+            let frame = check_response(frame)?;
+            let int = |k: &str| frame.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let jobs = frame
+                .get("jobs")
+                .and_then(Json::as_arr)
+                .map(|rows| {
+                    rows.iter()
+                        .filter_map(|r| {
+                            Some(JobRate {
+                                id: r.get("id").and_then(Json::as_u64)?,
+                                state: JobState::parse(r.get("state").and_then(Json::as_str)?)?,
+                                steps_done: r.get("steps_done").and_then(Json::as_u64)? as usize,
+                                steps_per_second: r
+                                    .get("steps_per_second")
+                                    .and_then(Json::as_f64)
+                                    .unwrap_or(0.0),
+                            })
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            let counters = frame
+                .get("counters")
+                .and_then(Json::as_obj)
+                .map(|pairs| {
+                    pairs
+                        .iter()
+                        .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let parsed = StatsFrame {
+                t_us: int("t_us"),
+                queue_depth: int("queue_depth") as usize,
+                cores_in_use: int("cores_in_use") as usize,
+                budget_cores: int("budget_cores") as usize,
+                steps_total: int("steps_total") as usize,
+                steps_per_second: frame
+                    .get("steps_per_second")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+                jobs,
+                counters,
+            };
+            let keep_going = on_frame(&parsed);
+            if !keep_going || frame.get("done").and_then(Json::as_bool) == Some(true) {
+                return Ok(());
             }
         }
     }

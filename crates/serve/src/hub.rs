@@ -177,6 +177,33 @@ pub struct JobRecord {
     pub progress: JobProgress,
     /// Trip to request cooperative cancellation of a running job.
     pub cancel: CancelToken,
+    /// `pt_trace::monotonic_us()` when the current run attempt started
+    /// (`None` until the job first reaches `running`). Telemetry only —
+    /// never serialized, never bit-compared.
+    pub run_started_us: Option<u64>,
+    /// Steps already in `progress` when the attempt started (the restored
+    /// prefix of a resumed job) — subtracted out of the step rate so a
+    /// resume doesn't claim its restored steps as throughput.
+    pub steps_at_run_start: usize,
+}
+
+impl JobRecord {
+    /// Steps per wall-clock second of the current run attempt, measured
+    /// on the pt-trace monotonic clock (`now_us` is passed in so this
+    /// crate never reads a clock itself). `None` until the job is active
+    /// and has committed at least one new step.
+    pub fn steps_per_second(&self, now_us: u64) -> Option<f64> {
+        let start = self.run_started_us?;
+        if !self.state.is_active() {
+            return None;
+        }
+        let done = self
+            .progress
+            .steps_done()
+            .saturating_sub(self.steps_at_run_start);
+        let dt = now_us.saturating_sub(start) as f64 / 1e6;
+        (dt > 0.0 && done > 0).then(|| done as f64 / dt)
+    }
 }
 
 /// Events jobs publish into the server's single-consumer pump.

@@ -61,6 +61,12 @@ pub struct ServerConfig {
     pub budget_cores: usize,
     /// Bind address; the default `127.0.0.1:0` picks a free port.
     pub addr: String,
+    /// Arm pt-trace for the whole process: jobs export `trace.json`
+    /// (Chrome trace-event format) and `metrics.json` (per-step phase
+    /// breakdown + counter deltas) into their job directories, and the
+    /// `stats` stream carries live counter values. Off by default —
+    /// tracing is bit-non-perturbing but not free.
+    pub trace: bool,
 }
 
 impl ServerConfig {
@@ -70,7 +76,14 @@ impl ServerConfig {
             run_dir: run_dir.into(),
             budget_cores,
             addr: "127.0.0.1:0".into(),
+            trace: false,
         }
+    }
+
+    /// Enable per-job trace/metrics export and live counter telemetry.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
     }
 }
 
@@ -208,6 +221,9 @@ impl ServerHandle {
 /// jobs rehydrate; interrupted jobs re-enqueue and auto-resume), binds the
 /// listener, writes the port file and spawns the worker threads.
 pub fn start(config: ServerConfig) -> Result<ServerHandle, PtError> {
+    if config.trace {
+        pt_trace::set_enabled(true);
+    }
     let jobs_dir = config.run_dir.join("jobs");
     std::fs::create_dir_all(&jobs_dir).map_err(|e| io_err(&jobs_dir, "creating", &e))?;
     let listener = TcpListener::bind(&config.addr)
@@ -298,6 +314,8 @@ fn recover_jobs(jobs_dir: &Path, state: &mut ServerState) {
                 error: None,
                 progress: JobProgress::default(),
                 cancel: CancelToken::new(),
+                run_started_us: None,
+                steps_at_run_start: 0,
             },
             Err(e) => {
                 // keep the slot visible: the directory exists, so the job
@@ -318,6 +336,8 @@ fn recover_jobs(jobs_dir: &Path, state: &mut ServerState) {
                         error: Some(format!("recovery: {e}")),
                         progress: JobProgress::default(),
                         cancel: CancelToken::new(),
+                        run_started_us: None,
+                        steps_at_run_start: 0,
                     },
                 );
                 continue;
@@ -370,6 +390,7 @@ fn rehydrate_progress(record: &mut JobRecord) {
 /// every job the scheduler releases.
 fn kick(shared: &Arc<Shared>) {
     let to_start: Vec<u64> = {
+        let _sp = pt_trace::span("sched_dispatch");
         let mut st = shared.lock_state();
         let batch = st.scheduler.start_batch();
         batch
@@ -377,7 +398,10 @@ fn kick(shared: &Arc<Shared>) {
             .map(|&(id, _)| {
                 if let Some(j) = st.jobs.get_mut(&id) {
                     j.state = JobState::Running;
+                    j.run_started_us = Some(pt_trace::monotonic_us());
+                    j.steps_at_run_start = j.progress.steps_done();
                 }
+                pt_trace::counter_add(pt_trace::Counter::SchedDispatches, 1);
                 id
             })
             .collect()
@@ -452,6 +476,11 @@ fn run_job(shared: &Arc<Shared>, id: u64, tx: &Sender<JobEvent>) -> Result<(), P
             .ok_or_else(|| PtError::InvalidConfig(format!("job {id} vanished before start")))?;
         (j.spec.clone(), j.dir.clone(), j.cancel.clone())
     };
+    // window the global event/counter streams to this job: everything
+    // recorded past the mark is attributed to it on export. Concurrent
+    // jobs interleave into one process-wide trace — the per-thread lanes
+    // (`pt-par-*`, `pt-rank-*`) keep the picture readable regardless.
+    let trace_mark = pt_trace::is_enabled().then(pt_trace::mark);
     let sys = spec.build_system()?;
     let resumed;
     let mut sim = match Simulation::resume_latest(&sys, &dir)? {
@@ -486,7 +515,44 @@ fn run_job(shared: &Arc<Shared>, id: u64, tx: &Sender<JobEvent>) -> Result<(), P
     });
     let series = sim.run()?;
     let table = series.to_table()?;
-    write_atomic(&dir.join("result.json"), &table.to_json())
+    write_atomic(&dir.join("result.json"), &table.to_json())?;
+    if let Some(mark) = trace_mark {
+        write_trace_artifacts(id, &dir, &series, &mark)?;
+    }
+    Ok(())
+}
+
+/// Export the job's observability artifacts next to its result:
+/// `trace.json` (Chrome trace-event format — load it in `about:tracing`
+/// or Perfetto) and `metrics.json` (the per-step phase breakdown from
+/// [`pt_core::TimeSeries::phase_table`] plus the pt-trace counter deltas
+/// accumulated since the job's mark). Deliberately separate files from
+/// `result.json`: results are bit-compared across layouts and resume,
+/// telemetry never is.
+fn write_trace_artifacts(
+    id: u64,
+    dir: &Path,
+    series: &pt_core::TimeSeries,
+    mark: &pt_trace::Mark,
+) -> Result<(), PtError> {
+    write_atomic(&dir.join("trace.json"), &pt_trace::chrome_trace_since(mark))?;
+    let phases = Json::parse(&series.phase_table()?.to_json())?;
+    let counters = Json::Obj(
+        pt_trace::counters_since(mark)
+            .iter()
+            .map(|(name, v)| (name.to_string(), Json::Num(v as f64)))
+            .collect(),
+    );
+    let metrics = Json::Obj(vec![
+        ("job".to_string(), Json::Num(id as f64)),
+        ("phases".to_string(), phases),
+        ("counters".to_string(), counters),
+        (
+            "dropped_events".to_string(),
+            Json::Num(pt_trace::dropped_events() as f64),
+        ),
+    ]);
+    write_atomic(&dir.join("metrics.json"), &metrics.dump())
 }
 
 /// The single consumer of the job-event fan-in: applies each event to the
@@ -519,6 +585,9 @@ fn pump(shared: &Arc<Shared>, rx: &Receiver<JobEvent>) {
                         if j.state.is_active() {
                             j.progress = progress;
                             j.state = JobState::Checkpointed;
+                            // restored steps were not computed this run —
+                            // keep them out of the live step rate
+                            j.steps_at_run_start = j.progress.steps_done();
                         }
                     }
                 }
@@ -564,7 +633,10 @@ fn settle(
     for (bid, _) in st.scheduler.start_batch() {
         if let Some(j) = st.jobs.get_mut(&bid) {
             j.state = JobState::Running;
+            j.run_started_us = Some(pt_trace::monotonic_us());
+            j.steps_at_run_start = j.progress.steps_done();
         }
+        pt_trace::counter_add(pt_trace::Counter::SchedDispatches, 1);
         to_start.push(bid);
     }
 }
@@ -582,6 +654,7 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
             "submit" => respond(&mut stream, handle_submit(shared, &msg)),
             "status" => respond(&mut stream, Ok(handle_status(shared))),
             "tail" => handle_tail(shared, &mut stream, &msg),
+            "stats" => handle_stats(shared, &mut stream, &msg),
             "cancel" => respond(&mut stream, handle_cancel(shared, &msg)),
             "fetch" => respond(&mut stream, handle_fetch(shared, &msg)),
             "shutdown" => {
@@ -653,6 +726,8 @@ fn handle_submit(shared: &Arc<Shared>, msg: &Json) -> Result<Json, PtError> {
                 error: None,
                 progress: JobProgress::default(),
                 cancel: CancelToken::new(),
+                run_started_us: None,
+                steps_at_run_start: 0,
             },
         );
         (id, dir)
@@ -663,6 +738,7 @@ fn handle_submit(shared: &Arc<Shared>, msg: &Json) -> Result<Json, PtError> {
 }
 
 fn handle_status(shared: &Arc<Shared>) -> Json {
+    let now_us = pt_trace::monotonic_us();
     let st = shared.lock_state();
     let jobs: Vec<Json> = st
         .jobs
@@ -679,6 +755,9 @@ fn handle_status(shared: &Arc<Shared>) -> Json {
                 ("steps".to_string(), Json::Num(j.spec.steps as f64)),
                 ("cores".to_string(), Json::Num(j.spec.cores() as f64)),
             ];
+            if let Some(rate) = j.steps_per_second(now_us) {
+                pairs.push(("steps_per_second".to_string(), Json::Num(rate)));
+            }
             if let Some(e) = &j.error {
                 pairs.push(("error".to_string(), Json::Str(e.clone())));
             }
@@ -702,6 +781,16 @@ fn handle_status(shared: &Arc<Shared>) -> Json {
     ok_response(vec![
         ("jobs".to_string(), Json::Arr(jobs)),
         ("scheduler".to_string(), scheduler),
+        // top-level mirrors for one-field consumers (same lock, same
+        // instant as the scheduler object above)
+        (
+            "queue_depth".to_string(),
+            Json::Num(st.scheduler.queued() as f64),
+        ),
+        (
+            "cores_in_use".to_string(),
+            Json::Num(st.scheduler.in_use() as f64),
+        ),
     ])
 }
 
@@ -840,6 +929,100 @@ fn handle_tail(shared: &Arc<Shared>, stream: &mut TcpStream, msg: &Json) -> Resu
                     return Ok(());
                 }
             }
+        }
+    }
+}
+
+/// The live telemetry stream (`cmd: "stats"`): server-wide throughput,
+/// queue depth and core utilization, plus a per-active-job step rate —
+/// all timestamped on the pt-trace monotonic clock. Uses the same
+/// condvar long-poll as `tail`: with `follow: true` a frame goes out
+/// whenever total committed steps advance, until every job is terminal;
+/// without it, exactly one frame. When tracing is armed the frame also
+/// carries the global counter values (FFT batches, pair FFTs, wire
+/// bytes, …) so a dashboard can difference them.
+fn handle_stats(shared: &Arc<Shared>, stream: &mut TcpStream, msg: &Json) -> Result<(), PtError> {
+    let follow = msg.get("follow").and_then(Json::as_bool).unwrap_or(false);
+    // (t_us, steps_total) at the previous frame: the stream's cursor
+    let mut prev: Option<(u64, usize)> = None;
+    loop {
+        let (frame, done) = {
+            let mut st = shared.lock_state();
+            loop {
+                let steps_total: usize = st
+                    .jobs
+                    .values()
+                    .map(|j| j.progress.steps_done())
+                    .sum::<usize>();
+                let all_terminal = st.jobs.values().all(|j| j.state.is_terminal());
+                let advanced = prev.is_none_or(|(_, s)| steps_total > s);
+                if advanced || all_terminal || !follow {
+                    let now_us = pt_trace::monotonic_us();
+                    let rate = match prev {
+                        Some((t0, s0)) if now_us > t0 => {
+                            (steps_total - s0) as f64 / ((now_us - t0) as f64 / 1e6)
+                        }
+                        _ => 0.0,
+                    };
+                    prev = Some((now_us, steps_total));
+                    let jobs: Vec<Json> = st
+                        .jobs
+                        .values()
+                        .filter(|j| j.state.is_active())
+                        .map(|j| {
+                            Json::Obj(vec![
+                                ("id".to_string(), Json::Num(j.id as f64)),
+                                ("state".to_string(), Json::Str(j.state.as_str().to_string())),
+                                (
+                                    "steps_done".to_string(),
+                                    Json::Num(j.progress.steps_done() as f64),
+                                ),
+                                (
+                                    "steps_per_second".to_string(),
+                                    Json::Num(j.steps_per_second(now_us).unwrap_or(0.0)),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    let done = all_terminal || !follow;
+                    let mut pairs = vec![
+                        ("t_us".to_string(), Json::Num(now_us as f64)),
+                        (
+                            "queue_depth".to_string(),
+                            Json::Num(st.scheduler.queued() as f64),
+                        ),
+                        (
+                            "cores_in_use".to_string(),
+                            Json::Num(st.scheduler.in_use() as f64),
+                        ),
+                        (
+                            "budget_cores".to_string(),
+                            Json::Num(st.scheduler.budget() as f64),
+                        ),
+                        ("steps_total".to_string(), Json::Num(steps_total as f64)),
+                        ("steps_per_second".to_string(), Json::Num(rate)),
+                        ("jobs".to_string(), Json::Arr(jobs)),
+                        ("done".to_string(), Json::Bool(done)),
+                    ];
+                    if pt_trace::is_enabled() {
+                        let counters = pt_trace::counters()
+                            .iter()
+                            .map(|(name, v)| (name.to_string(), Json::Num(v as f64)))
+                            .collect();
+                        pairs.push(("counters".to_string(), Json::Obj(counters)));
+                    }
+                    break (ok_response(pairs), done);
+                }
+                let (guard, _) = shared
+                    .cv
+                    .wait_timeout(st, Duration::from_millis(200))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st = guard;
+            }
+        };
+        write_frame(stream, &frame)?;
+        if done {
+            return Ok(());
         }
     }
 }

@@ -1,0 +1,171 @@
+//! Traced-server acceptance: a hybrid job on a `--trace`d server exports
+//! a loadable Chrome `trace.json` and a `metrics.json` whose per-step
+//! phase times sum to the step wall time, while a live `stats` stream
+//! shows a nonzero step rate *mid-run*. One test function on purpose:
+//! pt-trace's armed flag is process-global, so this binary holds exactly
+//! one server.
+
+use pt_io::Json;
+use pt_par::RankLayout;
+use pt_serve::{start, Client, JobSpec, JobState, LaserSpec, ServerConfig, SystemSpec};
+use pt_xc::XcKind;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(600);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pt_serve_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn hybrid_spec(name: &str, steps: usize) -> JobSpec {
+    JobSpec {
+        name: name.to_string(),
+        system: SystemSpec {
+            supercell: [1, 1, 1],
+            ecut: 2.0,
+            xc: XcKind::Pbe,
+            hybrid: true,
+            bands: None,
+            exchange: Default::default(),
+        },
+        laser: Some(LaserSpec {
+            a0: 0.02,
+            t0_as: 200.0,
+            sigma_as: 100.0,
+        }),
+        dt_as: 25.0,
+        steps,
+        checkpoint_every: 2,
+        layout: RankLayout::new(1, 1),
+    }
+}
+
+#[test]
+fn traced_hybrid_job_exports_artifacts_and_streams_live_stats() {
+    let dir = tmp_dir("trace");
+    let spec = hybrid_spec("traced-hybrid", 4);
+
+    let handle = start(ServerConfig::new(&dir, 2).traced()).unwrap();
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let job = client.submit(&spec).unwrap();
+
+    // Live telemetry on a second connection: ride the stats stream until
+    // every job is terminal, remembering whether any frame caught the job
+    // stepping at a positive rate while it was still active.
+    let stats_client = Client::connect(&addr).unwrap();
+    let mut frames = 0usize;
+    let mut saw_live_rate = false;
+    let mut saw_counters = false;
+    stats_client
+        .stats(true, |f| {
+            frames += 1;
+            assert!(f.cores_in_use <= f.budget_cores, "scheduler oversubscribed");
+            if f.jobs
+                .iter()
+                .any(|j| j.id == job && j.steps_per_second > 0.0)
+            {
+                saw_live_rate = true;
+            }
+            if f.counters
+                .iter()
+                .any(|(name, v)| name == "steps_committed" && *v > 0)
+            {
+                saw_counters = true;
+            }
+            true
+        })
+        .unwrap();
+    assert!(frames > 0, "stats stream produced no frames");
+    assert!(
+        saw_live_rate,
+        "no stats frame showed a positive per-job step rate mid-run"
+    );
+    assert!(saw_counters, "stats frames never carried live counters");
+
+    let row = client.wait_terminal(job, WAIT).unwrap();
+    assert_eq!(row.state, JobState::Done, "{:?}", row.error);
+
+    // `status` mirrors the scheduler gauges for one-shot consumers
+    let status = client.status().unwrap();
+    assert!(status.iter().any(|r| r.id == job));
+
+    let job_dir = dir.join("jobs").join(format!("job_{job:08}"));
+
+    // trace.json: a Chrome trace-event array with real span events
+    let trace_text = std::fs::read_to_string(job_dir.join("trace.json")).unwrap();
+    let trace = Json::parse(&trace_text).expect("trace.json parses");
+    let events = trace.as_arr().expect("chrome trace is a JSON array");
+    assert!(!events.is_empty(), "trace.json carries no events");
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str);
+        assert!(
+            matches!(ph, Some("X") | Some("M")),
+            "unexpected event phase {ph:?}"
+        );
+        assert!(ev.get("pid").is_some() && ev.get("tid").is_some());
+    }
+    let span_named = |name: &str| {
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some(name))
+    };
+    // the per-job window opens when the job thread starts, so the spans
+    // inside it are the job's own: ground-state SCF, then PT-CN steps
+    assert!(span_named("scf_loop"), "no SCF span in trace.json");
+    assert!(span_named("ptcn_step"), "no PT-CN step span in trace.json");
+    assert!(span_named("h_apply"), "no HΨ span in trace.json");
+
+    // metrics.json: counters + the per-step phase breakdown
+    let metrics_text = std::fs::read_to_string(job_dir.join("metrics.json")).unwrap();
+    let metrics = Json::parse(&metrics_text).expect("metrics.json parses");
+    let counters = metrics.get("counters").expect("metrics carry counters");
+    for key in [
+        "pair_ffts",
+        "fft_transforms",
+        "steps_committed",
+        "scf_iterations",
+    ] {
+        let v = counters
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("counter '{key}' missing"));
+        assert!(v > 0.0, "counter '{key}' is zero for a hybrid run");
+    }
+
+    // phase times: every named phase + 'other' sums to the step wall time
+    // within 5% (the acceptance tolerance; 'other' closes the budget by
+    // construction, so this is really a schema + bookkeeping check)
+    let phases = metrics.get("phases").expect("metrics carry phase table");
+    let wall = Client::table_column(phases, "wall").expect("wall column");
+    assert_eq!(wall.len(), spec.steps, "one phase row per step");
+    let mut named_sum = vec![0.0f64; wall.len()];
+    for col in [
+        "h_apply",
+        "residual",
+        "mix",
+        "density",
+        "ortho",
+        "ace_build",
+        "other",
+    ] {
+        let vals = Client::table_column(phases, col)
+            .unwrap_or_else(|| panic!("phase column '{col}' missing"));
+        for (acc, v) in named_sum.iter_mut().zip(vals) {
+            *acc += v;
+        }
+    }
+    for (i, (&w, &s)) in wall.iter().zip(&named_sum).enumerate() {
+        assert!(w > 0.0, "step {i}: zero wall time");
+        assert!(
+            (w - s).abs() <= 0.05 * w,
+            "step {i}: phases sum to {s:.6}s but wall is {w:.6}s (>5% apart)"
+        );
+    }
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -89,6 +89,7 @@ pub use pt_pseudo as pseudo;
 pub use pt_scf as scf;
 pub use pt_serve as serve;
 pub use pt_summit as summit;
+pub use pt_trace as trace;
 pub use pt_xc as xc;
 
 /// Everything a typical simulation needs, one `use` away.
